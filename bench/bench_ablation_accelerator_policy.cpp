@@ -1,0 +1,91 @@
+// Ablation — unknown-accelerator handling (DESIGN.md choice #3).
+//
+// The paper: "Approximating these accelerators with mainstream GPUs
+// produces systematic underestimates of silicon size." This study runs
+// the +public scenario under both policies and, for systems whose true
+// accelerator IS in the catalog, compares the proxy estimate against the
+// exact one to measure the bias directly.
+#include "bench/common.hpp"
+
+#include "analysis/scenario.hpp"
+#include "easyc/embodied.hpp"
+#include "hw/accelerator.hpp"
+#include "util/ascii.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+namespace model = easyc::model;
+
+std::string ablation_report() {
+  const auto& r = shared_pipeline();
+  std::string out = "Ablation — unknown-accelerator policy\n";
+
+  // Coverage under each policy.
+  easyc::util::TextTable cov({"Policy", "Embodied covered (of 500)"});
+  for (auto policy : {model::AcceleratorPolicy::kStrict,
+                      model::AcceleratorPolicy::kApproximateWithMainstreamGpu}) {
+    model::EasyCOptions opt;
+    opt.embodied.accelerator_policy = policy;
+    int covered = 0;
+    for (const auto& rec : r.records) {
+      auto in = to_inputs(rec, easyc::top500::Scenario::kTop500PlusPublic);
+      if (model::assess_embodied(in, opt.embodied).ok()) ++covered;
+    }
+    cov.add_row({policy == model::AcceleratorPolicy::kStrict
+                     ? "strict (decline)"
+                     : "approximate (mainstream proxy)",
+                 std::to_string(covered)});
+  }
+  out += cov.render();
+
+  // Bias measurement: hide the identity of known accelerators, proxy
+  // them, and compare against the exact estimate.
+  std::vector<double> bias_pct;
+  model::EmbodiedOptions approx;
+  approx.accelerator_policy =
+      model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  for (const auto& rec : r.records) {
+    auto in = to_inputs(rec, easyc::top500::Scenario::kFullKnowledge);
+    if (!in.has_accelerator() || !in.num_gpus) continue;
+    if (!easyc::hw::find_accelerator(in.accelerator)) continue;
+    const auto exact = model::assess_embodied(in, approx);
+    auto hidden = in;
+    hidden.accelerator = "undocumented accelerator";
+    const auto proxied = model::assess_embodied(hidden, approx);
+    if (!exact.ok() || !proxied.ok()) continue;
+    bias_pct.push_back((proxied.value().gpu_mt - exact.value().gpu_mt) /
+                       exact.value().gpu_mt * 100.0);
+  }
+  const auto s = easyc::util::summarize(bias_pct);
+  out += "\nProxy bias on accelerator silicon carbon, over " +
+         std::to_string(s.count) + " accelerated systems:\n";
+  out += "  mean " + easyc::util::format_double(s.mean, 1) + "%  median " +
+         easyc::util::format_double(s.median, 1) + "%  p05 " +
+         easyc::util::format_double(s.p05, 1) + "%  p95 " +
+         easyc::util::format_double(s.p95, 1) + "%\n";
+  out += "  (negative = underestimate, confirming the paper's warning)\n";
+  return out;
+}
+
+void BM_StrictVsApproximate(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  model::EmbodiedOptions opt;
+  opt.accelerator_policy =
+      state.range(0) == 0
+          ? model::AcceleratorPolicy::kStrict
+          : model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  auto in = to_inputs(r.records[0],
+                      easyc::top500::Scenario::kTop500PlusPublic);
+  for (auto _ : state) {
+    auto b = model::assess_embodied(in, opt);
+    benchmark::DoNotOptimize(&b);
+  }
+}
+BENCHMARK(BM_StrictVsApproximate)->Arg(0)->Arg(1);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(ablation_report())

@@ -1,0 +1,87 @@
+// Ablation — time granularity of grid carbon intensity.
+//
+// The paper names "inconsistent time granularity" of intensity data as a
+// systematic GHG-accounting error. This bench quantifies it: for hourly
+// profiles of several grid archetypes, how far off is the annual-average
+// method EasyC uses, for flat and diurnal HPC loads — and how much could
+// carbon-aware scheduling recover.
+#include "bench/common.hpp"
+
+#include "grid/temporal.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::grid::HourlyAciProfile;
+using easyc::grid::ProfileShape;
+using easyc::util::format_double;
+
+std::string ablation_report() {
+  std::string out =
+      "Ablation — annual-average vs hourly carbon intensity\n";
+
+  struct GridArchetype {
+    const char* label;
+    double mean;
+    ProfileShape shape;
+  };
+  const GridArchetype grids[] = {
+      {"solar-heavy (California-like)", 239, {0.35, 0.18, 0.06, 0.05}},
+      {"coal-baseload (Wyoming-like)", 791, {0.02, 0.04, 0.08, 0.03}},
+      {"hydro (Norway-like)", 29, {0.0, 0.02, 0.12, 0.02}},
+      {"mixed (Germany-like)", 344, {0.20, 0.12, 0.15, 0.06}},
+  };
+
+  easyc::util::TextTable t(
+      {"Grid", "Avg-method error, flat load (%)",
+       "Avg-method error, diurnal load (%)",
+       "Shift savings, 30% x 8h (%)"});
+  for (const auto& g : grids) {
+    HourlyAciProfile p(g.mean, g.shape);
+    const auto flat = std::vector<double>{1000.0};
+    const auto diurnal = easyc::grid::diurnal_load(1000.0, 0.4);
+    t.add_row({g.label,
+               format_double(p.average_method_error(flat) * 100, 3),
+               format_double(p.average_method_error(diurnal) * 100, 2),
+               format_double(p.shifting_savings(0.30, 8) * 100, 2)});
+  }
+  out += t.render();
+  out +=
+      "  Reading: for the near-flat loads of busy HPC systems the annual-"
+      "average\n  method EasyC uses is exact — the granularity error the "
+      "paper warns about\n  only bites for strongly diurnal loads on "
+      "solar-heavy grids.\n";
+  return out;
+}
+
+void BM_BuildHourlyProfile(benchmark::State& state) {
+  for (auto _ : state) {
+    HourlyAciProfile p(400.0);
+    benchmark::DoNotOptimize(p.hours().data());
+  }
+}
+BENCHMARK(BM_BuildHourlyProfile);
+
+void BM_HourlyCarbon(benchmark::State& state) {
+  HourlyAciProfile p(400.0);
+  const auto load = easyc::grid::diurnal_load(1000.0, 0.4);
+  for (auto _ : state) {
+    double mt = p.carbon_mt(load);
+    benchmark::DoNotOptimize(mt);
+  }
+}
+BENCHMARK(BM_HourlyCarbon);
+
+void BM_ShiftingSavings(benchmark::State& state) {
+  HourlyAciProfile p(400.0);
+  for (auto _ : state) {
+    double s = p.shifting_savings(0.3, 8);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ShiftingSavings);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(ablation_report())

@@ -1,0 +1,92 @@
+// Ablation — deriving the projection growth rates from list turnover.
+//
+// The paper's Fig. 10 growth rates (10.3%/yr operational, 2%/yr
+// embodied) come from observed list dynamics: ~48 new systems per
+// cycle adding 5%/1% per cycle. This bench simulates five list
+// editions, *measures* those rates from the simulated history, and
+// sweeps the turnover assumptions.
+#include "bench/common.hpp"
+
+#include "analysis/turnover.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::util::format_double;
+
+std::string ablation_report() {
+  std::string out =
+      "Ablation — growth rates derived from simulated list turnover\n";
+
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = 5;
+  const auto history = easyc::top500::generate_history(cfg);
+  const auto report = easyc::analysis::analyze_turnover(history);
+
+  easyc::util::TextTable t({"Edition", "New systems", "Op total (kMT)",
+                            "Emb total (kMT)", "Perf (PFlop/s)"});
+  for (const auto& e : report.editions) {
+    t.add_row({e.label, std::to_string(e.num_new),
+               format_double(e.op_total_mt / 1000.0, 0),
+               format_double(e.emb_total_mt / 1000.0, 0),
+               format_double(e.perf_pflops, 0)});
+  }
+  out += t.render();
+  out += "\nMeasured growth (paper values in parentheses):\n";
+  out += "  new systems per cycle: " +
+         format_double(report.avg_new_per_cycle, 1) + " (48)\n";
+  out += "  operational per cycle: " +
+         format_double(report.op_growth_per_cycle * 100, 2) + "% (5%)\n";
+  out += "  embodied per cycle:    " +
+         format_double(report.emb_growth_per_cycle * 100, 2) + "% (1%)\n";
+  out += "  operational per year:  " +
+         format_double(report.op_growth_annualized * 100, 2) +
+         "% (10.3%)\n";
+  out += "  embodied per year:     " +
+         format_double(report.emb_growth_annualized * 100, 2) + "% (2%)\n";
+
+  out += "\nTurnover-rate sweep (entrants per cycle -> annualized op "
+         "growth):\n";
+  easyc::util::TextTable sweep({"Entrants/cycle", "Op %/yr", "Emb %/yr"});
+  for (int entrants : {12, 24, 48, 96}) {
+    easyc::top500::HistoryConfig scfg;
+    scfg.editions = 4;
+    scfg.entrants_per_cycle = entrants;
+    const auto srep =
+        easyc::analysis::analyze_turnover(easyc::top500::generate_history(scfg));
+    sweep.add_row({std::to_string(entrants),
+                   format_double(srep.op_growth_annualized * 100, 2),
+                   format_double(srep.emb_growth_annualized * 100, 2)});
+  }
+  out += sweep.render();
+  out += "  Reading: operational growth scales with turnover because each "
+         "entrant\n  cohort is larger but only modestly more efficient — "
+         "the paper's post-\n  Dennard argument.\n";
+  return out;
+}
+
+void BM_GenerateHistory(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto h = easyc::top500::generate_history(cfg);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_GenerateHistory)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTurnover(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = 3;
+  static const auto history = easyc::top500::generate_history(cfg);
+  for (auto _ : state) {
+    auto r = easyc::analysis::analyze_turnover(history);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_AnalyzeTurnover)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(ablation_report())

@@ -1,0 +1,93 @@
+// Ablation — Monte-Carlo prior uncertainty and thread-pool scaling
+// (DESIGN.md choices #2/#4).
+//
+// Quantifies how EasyC's priors (utilization, fab intensity, platform
+// carbon, default storage) spread the fleet totals, and measures the
+// parallel speedup of the trial loop.
+#include "bench/common.hpp"
+
+#include <chrono>
+
+#include "analysis/scenario.hpp"
+#include "easyc/uncertainty.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+namespace model = easyc::model;
+
+std::vector<model::Inputs> enhanced_inputs() {
+  const auto& r = shared_pipeline();
+  std::vector<model::Inputs> inputs;
+  for (const auto& rec : r.records) {
+    inputs.push_back(
+        to_inputs(rec, easyc::top500::Scenario::kTop500PlusPublic));
+  }
+  return inputs;
+}
+
+std::string ablation_report() {
+  std::string out =
+      "Ablation — Monte-Carlo uncertainty of the fleet totals\n";
+  const auto inputs = enhanced_inputs();
+  const auto options =
+      easyc::analysis::options_for(easyc::top500::Scenario::kTop500PlusPublic);
+
+  easyc::util::TextTable t({"Trials", "Op mean (kMT)", "Op p05-p95 (kMT)",
+                            "Emb mean (kMT)", "Emb p05-p95 (kMT)"});
+  for (size_t trials : {32u, 128u, 512u}) {
+    const auto u = model::run_uncertainty(inputs, options, {}, trials, 2024,
+                                          &easyc::par::ThreadPool::global());
+    auto fmt = [](double v) {
+      return easyc::util::format_double(v / 1000.0, 0);
+    };
+    t.add_row({std::to_string(trials), fmt(u.operational_mt.mean),
+               fmt(u.operational_mt.p05) + ".." + fmt(u.operational_mt.p95),
+               fmt(u.embodied_mt.mean),
+               fmt(u.embodied_mt.p05) + ".." + fmt(u.embodied_mt.p95)});
+  }
+  out += t.render();
+
+  out += "\nThread-pool scaling (512 trials):\n";
+  easyc::util::TextTable s({"Threads", "Seconds", "Speedup"});
+  double t1 = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    easyc::par::ThreadPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    auto u = model::run_uncertainty(inputs, options, {}, 512, 2024, &pool);
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (threads == 1) t1 = sec;
+    s.add_row({std::to_string(threads),
+               easyc::util::format_double(sec, 3),
+               easyc::util::format_double(t1 / sec, 2) + "x"});
+    benchmark::DoNotOptimize(&u);
+  }
+  out += s.render();
+  out +=
+      "  Results are bit-identical across thread counts (forked RNG "
+      "streams per trial).\n";
+  return out;
+}
+
+void BM_Uncertainty_Trials(benchmark::State& state) {
+  static const auto inputs = enhanced_inputs();
+  const auto options =
+      easyc::analysis::options_for(easyc::top500::Scenario::kTop500PlusPublic);
+  for (auto _ : state) {
+    auto u = model::run_uncertainty(inputs, options, {},
+                                    static_cast<size_t>(state.range(0)),
+                                    2024, &easyc::par::ThreadPool::global());
+    benchmark::DoNotOptimize(&u);
+  }
+}
+BENCHMARK(BM_Uncertainty_Trials)->Arg(16)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(ablation_report())

@@ -1,0 +1,40 @@
+// Fig. 2 — Structural information reported for Top500 data items.
+#include "bench/common.hpp"
+#include "analysis/coverage.hpp"
+#include "report/experiments.hpp"
+#include "top500/generator.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_GenerateList(benchmark::State& state) {
+  for (auto _ : state) {
+    auto list = easyc::top500::generate_list();
+    benchmark::DoNotOptimize(list.records.data());
+  }
+}
+BENCHMARK(BM_GenerateList)->Unit(benchmark::kMillisecond);
+
+void BM_Fig2Histogram(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto hist = easyc::analysis::fig2_histogram(r.records);
+    benchmark::DoNotOptimize(hist.data());
+  }
+}
+BENCHMARK(BM_Fig2Histogram);
+
+void BM_DatasetCsvRoundTrip(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto csv = easyc::top500::to_csv(r.records);
+    auto back = easyc::top500::from_csv(csv);
+    benchmark::DoNotOptimize(back.data());
+  }
+}
+BENCHMARK(BM_DatasetCsvRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::fig02_missingness(shared_pipeline()))

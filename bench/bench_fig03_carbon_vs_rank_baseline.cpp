@@ -1,0 +1,35 @@
+// Fig. 3 — Operational and embodied carbon vs rank, Top500.org data only.
+#include "bench/common.hpp"
+#include "analysis/scenario.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_AssessBaselineScenario(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto a = easyc::analysis::assess_scenario(
+        r.records, easyc::top500::Scenario::kTop500Org);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_AssessBaselineScenario)->Unit(benchmark::kMillisecond);
+
+void BM_AssessSingleSystem(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  const auto in = easyc::top500::to_inputs(
+      r.records[1], easyc::top500::Scenario::kTop500Org);  // Frontier
+  const easyc::model::EasyCModel model;
+  for (auto _ : state) {
+    auto a = model.assess(in);
+    benchmark::DoNotOptimize(&a);
+  }
+}
+BENCHMARK(BM_AssessSingleSystem);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig03_carbon_vs_rank_baseline(shared_pipeline()))

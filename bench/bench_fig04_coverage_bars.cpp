@@ -1,0 +1,44 @@
+// Fig. 4 — Carbon footprint reporting coverage: GHG protocol vs EasyC
+// under both data scenarios.
+#include "bench/common.hpp"
+#include "analysis/coverage.hpp"
+#include "ghg/protocol.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_CountCoverage(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto c = easyc::analysis::count_coverage(r.enhanced.assessments);
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_CountCoverage);
+
+void BM_GhgCoverageScan(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto g = easyc::analysis::ghg_protocol_coverage(r.records);
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_GhgCoverageScan);
+
+void BM_GhgMissingItemsAudit(benchmark::State& state) {
+  easyc::ghg::ProtocolCalculator calc;
+  easyc::ghg::Inventory partial;
+  partial["s2.metered_kwh"] = 1e7;
+  partial["s2.grid_aci_location"] = 400;
+  for (auto _ : state) {
+    auto missing = calc.missing_items(partial);
+    benchmark::DoNotOptimize(missing.data());
+  }
+}
+BENCHMARK(BM_GhgMissingItemsAudit);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::fig04_coverage_bars(shared_pipeline()))

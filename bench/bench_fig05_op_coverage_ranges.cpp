@@ -1,0 +1,23 @@
+// Fig. 5 — Operational coverage across rank ranges, two data scenarios.
+#include "bench/common.hpp"
+#include "analysis/coverage.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_CoverageByRange(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto ranges = easyc::analysis::coverage_by_range(
+        r.records, r.baseline.assessments, /*operational_side=*/true);
+    benchmark::DoNotOptimize(ranges.data());
+  }
+}
+BENCHMARK(BM_CoverageByRange);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig05_op_coverage_ranges(shared_pipeline()))

@@ -1,0 +1,35 @@
+// Fig. 6 — Embodied coverage across rank ranges, two data scenarios.
+#include "bench/common.hpp"
+#include "analysis/coverage.hpp"
+#include "easyc/embodied.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_EmbodiedCoverageByRange(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto ranges = easyc::analysis::coverage_by_range(
+        r.records, r.enhanced.assessments, /*operational_side=*/false);
+    benchmark::DoNotOptimize(ranges.data());
+  }
+}
+BENCHMARK(BM_EmbodiedCoverageByRange);
+
+void BM_EmbodiedSingleAssessment(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  const auto in = easyc::top500::to_inputs(
+      r.records[0], easyc::top500::Scenario::kTop500PlusPublic);
+  for (auto _ : state) {
+    auto b = easyc::model::assess_embodied(in);
+    benchmark::DoNotOptimize(&b);
+  }
+}
+BENCHMARK(BM_EmbodiedSingleAssessment);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig06_emb_coverage_ranges(shared_pipeline()))

@@ -1,0 +1,32 @@
+// Fig. 7 — Total and average carbon for covered systems and the full
+// interpolated Top500.
+#include "bench/common.hpp"
+#include "analysis/interpolate.hpp"
+#include "report/experiments.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_InterpolateGaps(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto filled = easyc::analysis::interpolate_gaps(r.enhanced.embodied);
+    benchmark::DoNotOptimize(filled.values.data());
+  }
+}
+BENCHMARK(BM_InterpolateGaps);
+
+void BM_KahanTotal(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    double total = easyc::util::sum(r.op_interpolated.values);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_KahanTotal);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::fig07_totals(shared_pipeline()))

@@ -1,0 +1,21 @@
+// Fig. 8 — Full Top500 carbon vs rank after interpolation.
+#include "bench/common.hpp"
+#include "analysis/pipeline.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_FullPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = easyc::analysis::run_pipeline();
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig08_full_assessment(shared_pipeline()))

@@ -1,0 +1,22 @@
+// Fig. 9 — Per-system change between Baseline and Baseline+PublicInfo.
+#include "bench/common.hpp"
+#include "analysis/sensitivity.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_SensitivityReport(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto s = easyc::analysis::sensitivity(r);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_SensitivityReport);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig09_sensitivity_diff(shared_pipeline()))

@@ -1,0 +1,20 @@
+// Fig. 10 — Projected Top500 carbon footprint, 2024-2030.
+#include "bench/common.hpp"
+#include "analysis/projection.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_Project(benchmark::State& state) {
+  for (auto _ : state) {
+    auto p = easyc::analysis::project(1390, 1880, 9500);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Project);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::fig10_projection(shared_pipeline()))

@@ -1,0 +1,24 @@
+// Fig. 11 — Projected performance-to-carbon ratio vs the Dennard-era
+// ideal (2x per 18 months).
+#include "bench/common.hpp"
+#include "analysis/projection.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_ProjectLongHorizon(benchmark::State& state) {
+  easyc::analysis::ProjectionConfig cfg;
+  cfg.end_year = 2050;  // stress the exponential math
+  for (auto _ : state) {
+    auto p = easyc::analysis::project(1390, 1880, 9500, cfg);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_ProjectLongHorizon);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(
+    easyc::report::fig11_perf_per_carbon(shared_pipeline()))

@@ -1,0 +1,22 @@
+// Headline numbers — the paper's abstract claims: 1.39M MT operational,
+// 1.88M MT embodied, vehicle equivalences, and coverage percentages.
+#include "bench/common.hpp"
+#include "analysis/equivalence.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_Equivalences(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto e = easyc::analysis::equivalences(r.op_total_full_mt);
+    benchmark::DoNotOptimize(&e);
+  }
+}
+BENCHMARK(BM_Equivalences);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::headline_numbers(shared_pipeline()))

@@ -1,0 +1,26 @@
+// Table I — EasyC-required data unavailable on Top500.org and in other
+// public sources.
+#include "bench/common.hpp"
+#include "analysis/coverage.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_Table1Audit(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto t500 = easyc::analysis::table1_gaps(
+        r.records, easyc::top500::Scenario::kTop500Org);
+    auto pub = easyc::analysis::table1_gaps(
+        r.records, easyc::top500::Scenario::kTop500PlusPublic);
+    benchmark::DoNotOptimize(t500.data());
+    benchmark::DoNotOptimize(pub.data());
+  }
+}
+BENCHMARK(BM_Table1Audit);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::table1_data_gaps(shared_pipeline()))

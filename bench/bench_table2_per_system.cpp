@@ -1,0 +1,23 @@
+// Table II — Per-system operational and embodied carbon under the three
+// data scenarios (appendix table; first 40 rows printed here, the full
+// 500 emitted as CSV by report::write_figure_csvs).
+#include "bench/common.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using easyc::bench::shared_pipeline;
+
+void BM_RenderTable2(benchmark::State& state) {
+  const auto& r = shared_pipeline();
+  for (auto _ : state) {
+    auto text = easyc::report::table2_per_system(r, 0);
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+BENCHMARK(BM_RenderTable2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(easyc::report::table2_per_system(shared_pipeline(),
+                                                         40))

@@ -1,0 +1,43 @@
+// Shared infrastructure for the benchmark harness.
+//
+// Every bench binary regenerates one paper table/figure: it first prints
+// the reproduced figure (with paper-vs-measured annotations) and then
+// runs google-benchmark timings of the pipeline stages that produce it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/pipeline.hpp"
+
+namespace easyc::bench {
+
+/// Pipeline result shared by all benchmarks in a binary (computed once;
+/// the figures are deterministic).
+inline const analysis::PipelineResult& shared_pipeline() {
+  static const analysis::PipelineResult kResult = analysis::run_pipeline();
+  return kResult;
+}
+
+/// Print the reproduced figure, then hand control to google-benchmark.
+inline int figure_bench_main(int argc, char** argv,
+                             const std::string& report) {
+  std::fputs(report.c_str(), stdout);
+  std::fputs("\n", stdout);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace easyc::bench
+
+#define EASYC_FIGURE_BENCH_MAIN(REPORT_EXPR)                            \
+  int main(int argc, char** argv) {                                     \
+    const auto& pipeline_result = ::easyc::bench::shared_pipeline();    \
+    (void)pipeline_result;                                              \
+    return ::easyc::bench::figure_bench_main(argc, argv, (REPORT_EXPR)); \
+  }

@@ -1,0 +1,110 @@
+// Procurement what-if: compare the carbon footprint of candidate
+// system designs before buying.
+//
+// The paper argues that widespread, low-effort carbon modeling enables
+// decisions, not just reporting. This example compares four candidate
+// 20-PFlop/s procurement configurations — GPU vs CPU, sited on a clean
+// vs carbon-intensive grid — over a 6-year service life.
+//
+//   ./procurement_whatif
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "easyc/model.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+namespace model = easyc::model;
+
+model::Inputs gpu_design(const std::string& country,
+                         const std::string& region) {
+  model::Inputs in;
+  in.name = "gpu-design/" + country;
+  in.country = country;
+  in.region = region;
+  in.rmax_tflops = 20000;
+  in.rpeak_tflops = 27000;
+  in.processor = "NVIDIA Grace 72C 3.1GHz";
+  in.accelerator = "NVIDIA GH200 Superchip";
+  in.operation_year = 2025;
+  in.num_nodes = 160;
+  in.num_cpus = 640;
+  in.num_gpus = 640;
+  in.total_cores = 640 * 72 + 640 * 104;
+  in.memory_gb = 640 * 96;
+  in.memory_type = "HBM3";
+  in.ssd_tb = 2400;
+  return in;
+}
+
+model::Inputs cpu_design(const std::string& country,
+                         const std::string& region) {
+  model::Inputs in;
+  in.name = "cpu-design/" + country;
+  in.country = country;
+  in.region = region;
+  in.rmax_tflops = 20000;
+  in.rpeak_tflops = 26000;
+  in.processor = "AMD EPYC 9654 96C 2.4GHz";
+  in.operation_year = 2025;
+  in.num_nodes = 3472;
+  in.num_cpus = 6944;
+  in.total_cores = 6944 * 96;
+  in.memory_gb = 3472.0 * 768;
+  in.memory_type = "DDR5";
+  in.ssd_tb = 28000;
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  using easyc::util::format_double;
+  const int kServiceYears = 6;
+
+  std::vector<model::Inputs> candidates = {
+      gpu_design("Norway", ""),
+      gpu_design("United States", "Ohio"),
+      cpu_design("Norway", ""),
+      cpu_design("United States", "Ohio"),
+  };
+
+  const model::EasyCModel easyc;
+  easyc::util::TextTable t({"Candidate", "Op MT/yr", "Embodied MT",
+                            "6-yr total MT", "Embodied share (%)"});
+  double best_total = 1e18;
+  std::string best;
+  for (const auto& in : candidates) {
+    const auto a = easyc.assess(in);
+    if (!a.operational.ok() || !a.embodied.ok()) {
+      std::printf("%s: insufficient data (%s%s)\n", in.name.c_str(),
+                  a.operational.reasons_joined().c_str(),
+                  a.embodied.reasons_joined().c_str());
+      continue;
+    }
+    const double op = a.operational.value().mt_co2e;
+    const double emb = a.embodied.value().total_mt;
+    const double total = op * kServiceYears + emb;
+    if (total < best_total) {
+      best_total = total;
+      best = in.name;
+    }
+    t.add_row({in.name, format_double(op, 0), format_double(emb, 0),
+               format_double(total, 0),
+               format_double(emb / total * 100, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Lowest 6-year footprint: %s (%s MT CO2e)\n", best.c_str(),
+              format_double(best_total, 0).c_str());
+  std::printf(
+      "\nReading: grid siting dominates operational carbon (Norway vs "
+      "Ohio is a\n~18x grid-intensity difference), while the CPU design "
+      "carries more embodied\ncarbon per delivered FLOP (more nodes, "
+      "boards, and DRAM for the same Rmax).\nOn a clean grid the embodied "
+      "share becomes the decision variable —\nexactly the paper's argument "
+      "for reporting both sides.\n");
+  return 0;
+}

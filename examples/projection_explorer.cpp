@@ -1,0 +1,71 @@
+// Projection explorer: how does the Top500's carbon trajectory respond
+// to growth assumptions?
+//
+// Reproduces the paper's 2025-2030 projection (Figs. 10-11) from the
+// measured 2024 baseline, then sweeps the growth-rate assumptions:
+// what if efficiency gains accelerate, or list turnover doubles?
+//
+//   ./projection_explorer
+#include <cstdio>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/projection.hpp"
+#include "util/ascii.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  namespace analysis = easyc::analysis;
+  using easyc::util::format_double;
+
+  std::printf("Measuring the 2024 baseline (full pipeline)...\n");
+  const auto result = analysis::run_pipeline();
+  const double op0 = result.op_total_full_mt / 1000.0;   // kMT
+  const double emb0 = result.emb_total_full_mt / 1000.0;
+  double perf0 = 0.0;
+  for (const auto& r : result.records) perf0 += r.rmax_tflops / 1000.0;
+  std::printf("  2024: %s kMT operational, %s kMT embodied, %s PFlop/s\n\n",
+              format_double(op0, 0).c_str(), format_double(emb0, 0).c_str(),
+              format_double(perf0, 0).c_str());
+
+  struct ScenarioDef {
+    const char* label;
+    analysis::ProjectionConfig cfg;
+  };
+  ScenarioDef scenarios[] = {
+      {"paper (10.3%/yr op, 2%/yr emb)", {}},
+      {"efficiency breakthrough (4%/yr op)",
+       {2024, 2030, 0.04, 0.02, 0.135, 18.0}},
+      {"AI boom (20%/yr op, 8%/yr emb)",
+       {2024, 2030, 0.20, 0.08, 0.25, 18.0}},
+      {"flat lists (0%/yr both)", {2024, 2030, 0.0, 0.0, 0.06, 18.0}},
+  };
+
+  for (const auto& s : scenarios) {
+    const auto series = analysis::project(op0, emb0, perf0, s.cfg);
+    easyc::util::TextTable t({"Year", "Op kMT", "Emb kMT",
+                              "PF per kMT (op)", "Ideal"});
+    for (const auto& p : series) {
+      t.add_row({std::to_string(p.year),
+                 format_double(p.operational_kmt, 0),
+                 format_double(p.embodied_kmt, 0),
+                 format_double(p.op_ratio, 2),
+                 format_double(p.ideal_ratio, 1)});
+    }
+    std::printf("Scenario: %s\n%s", s.label, t.render().c_str());
+    std::printf("  2030 vs 2024: operational x%s, embodied x%s\n\n",
+                format_double(series.back().operational_kmt /
+                                  series.front().operational_kmt,
+                              2)
+                    .c_str(),
+                format_double(series.back().embodied_kmt /
+                                  series.front().embodied_kmt,
+                              2)
+                    .c_str());
+  }
+
+  std::printf(
+      "Note how even the efficiency-breakthrough scenario stays far below "
+      "the\nDennard-era ideal column: performance per unit carbon no "
+      "longer doubles\nevery 18 months (the paper's Fig. 11 point).\n");
+  return 0;
+}

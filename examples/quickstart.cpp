@@ -1,0 +1,91 @@
+// Quickstart: model one HPC system's carbon footprint with EasyC.
+//
+// This is the paper's core workflow: supply the seven key metrics (plus
+// anything extra you have) and get operational + embodied carbon with a
+// full breakdown — in well under the "one person-hour per year" budget
+// the paper sets for practicable reporting.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "analysis/equivalence.hpp"
+#include "easyc/model.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  namespace model = easyc::model;
+  using easyc::util::format_double;
+
+  // A mid-sized university GPU cluster, described by what the operators
+  // actually know about it.
+  model::Inputs in;
+  in.name = "campus-gpu-cluster";
+  in.country = "Germany";
+  in.region = "Bavaria";               // refines the grid intensity
+  in.rmax_tflops = 18000;              // 18 PFlop/s HPL
+  in.rpeak_tflops = 26000;
+  in.total_cores = 98304;
+  in.processor = "AMD EPYC 9654 96C 2.4GHz";
+  in.accelerator = "NVIDIA H100";
+
+  // The seven key metrics (Fig. 1 of the paper).
+  in.operation_year = 2024;            // 1. operation year
+  in.num_nodes = 256;                  // 2. # compute nodes
+  in.num_gpus = 1024;                  // 3. # GPUs
+  in.num_cpus = 512;                   // 4. # CPUs
+  in.memory_gb = 196608;               // 5. memory capacity
+  in.memory_type = "DDR5";             // 6. memory type
+  in.ssd_tb = 3500;                    // 7. SSD capacity
+  // Optional extras ("gentle slope"): metered figures, when available.
+  in.utilization = 0.72;
+
+  const model::EasyCModel easyc;
+  const auto assessment = easyc.assess(in);
+
+  std::printf("EasyC assessment: %s\n", in.name.c_str());
+  std::printf("  metrics provided: %d of 9 (missing %d)\n\n",
+              9 - in.num_missing(), in.num_missing());
+
+  if (assessment.operational.ok()) {
+    const auto& op = assessment.operational.value();
+    std::printf("Operational carbon: %s MT CO2e / year\n",
+                format_double(op.mt_co2e, 1).c_str());
+    std::printf("  energy path:   %s\n",
+                model::energy_path_name(op.path).c_str());
+    std::printf("  IT power:      %s kW (utilization %.0f%%)\n",
+                format_double(op.it_kw, 1).c_str(), op.utilization * 100);
+    std::printf("  facility:      PUE %.2f -> %s kWh / year\n", op.pue,
+                format_double(op.annual_kwh, 0).c_str());
+    std::printf("  grid:          %s gCO2e/kWh (%s)\n",
+                format_double(op.aci_g_kwh, 0).c_str(),
+                op.aci_region_refined ? "regional value" : "country average");
+  } else {
+    std::printf("Operational carbon: no estimate (%s)\n",
+                assessment.operational.reasons_joined().c_str());
+  }
+
+  if (assessment.embodied.ok()) {
+    const auto& emb = assessment.embodied.value();
+    std::printf("\nEmbodied carbon: %s MT CO2e (one-time, manufacturing)\n",
+                format_double(emb.total_mt, 1).c_str());
+    std::printf("  CPUs %s | GPUs %s | DRAM %s | flash %s | platform %s | "
+                "fabric %s\n",
+                format_double(emb.cpu_mt, 1).c_str(),
+                format_double(emb.gpu_mt, 1).c_str(),
+                format_double(emb.memory_mt, 1).c_str(),
+                format_double(emb.storage_mt, 1).c_str(),
+                format_double(emb.platform_mt, 1).c_str(),
+                format_double(emb.interconnect_mt, 1).c_str());
+  } else {
+    std::printf("\nEmbodied carbon: no estimate (%s)\n",
+                assessment.embodied.reasons_joined().c_str());
+  }
+
+  if (assessment.operational.ok()) {
+    std::printf("\nFor scale, the annual operational carbon equals %s.\n",
+                easyc::analysis::describe_equivalence(
+                    assessment.operational.value().mt_co2e)
+                    .c_str());
+  }
+  return 0;
+}

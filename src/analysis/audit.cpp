@@ -1,0 +1,108 @@
+#include "analysis/audit.hpp"
+
+#include "grid/aci.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::analysis {
+
+namespace {
+
+void add(AuditReport* report, AuditSeverity sev, int rank,
+         std::string message) {
+  report->issues.push_back({sev, rank, std::move(message)});
+  if (sev == AuditSeverity::kError) ++report->errors;
+  else ++report->warnings;
+}
+
+}  // namespace
+
+AuditReport audit_records(const std::vector<top500::SystemRecord>& records,
+                          const AuditOptions& opt) {
+  AuditReport report;
+  if (records.empty()) {
+    add(&report, AuditSeverity::kError, 0, "record set is empty");
+    return report;
+  }
+
+  double prev_rmax = 0.0;
+  int prev_rank = 0;
+  for (const auto& r : records) {
+    // Structure.
+    if (r.rank <= prev_rank) {
+      add(&report, AuditSeverity::kError, r.rank,
+          "rank not strictly increasing");
+    }
+    prev_rank = r.rank;
+    if (prev_rmax > 0 && r.rmax_tflops > prev_rmax * (1 + 1e-9)) {
+      add(&report, AuditSeverity::kError, r.rank,
+          "Rmax exceeds the previous rank's (list must be sorted)");
+    }
+    prev_rmax = r.rmax_tflops;
+
+    // Physics.
+    if (r.rmax_tflops <= 0) {
+      add(&report, AuditSeverity::kError, r.rank, "non-positive Rmax");
+    }
+    if (r.rpeak_tflops + 1e-9 < r.rmax_tflops) {
+      add(&report, AuditSeverity::kError, r.rank,
+          "Rmax exceeds Rpeak (HPL cannot beat peak)");
+    }
+    if (r.total_cores <= 0) {
+      add(&report, AuditSeverity::kError, r.rank, "non-positive core count");
+    }
+    if (r.truth.power_kw > 0 && r.rmax_tflops > 0) {
+      const double gfw = r.rmax_tflops / r.truth.power_kw;
+      if (gfw < opt.min_gflops_per_watt || gfw > opt.max_gflops_per_watt) {
+        add(&report, AuditSeverity::kWarning, r.rank,
+            "efficiency " + util::format_double(gfw, 1) +
+                " GFlops/W outside the plausible envelope");
+      }
+    }
+    if (r.year < opt.min_year || r.year > opt.max_year) {
+      add(&report, AuditSeverity::kWarning, r.rank,
+          "installation year " + std::to_string(r.year) + " out of range");
+    }
+
+    // Consistency of configuration ground truth, when present.
+    if (r.is_accelerated() && r.truth.nodes > 0 && r.truth.gpus > 0 &&
+        r.truth.gpus % r.truth.nodes != 0) {
+      add(&report, AuditSeverity::kWarning, r.rank,
+          "GPU count not a multiple of node count");
+    }
+    if (!r.is_accelerated() && r.truth.gpus > 0) {
+      add(&report, AuditSeverity::kError, r.rank,
+          "CPU-only system carries a GPU count");
+    }
+    if (r.truth.cpus > 0 && r.total_cores > 0 &&
+        r.truth.cpus > r.total_cores) {
+      add(&report, AuditSeverity::kError, r.rank,
+          "more CPU packages than cores");
+    }
+
+    // Lookups the pipeline will perform.
+    if (!grid::AciDatabase::builtin().country_aci(r.country)) {
+      add(&report, AuditSeverity::kWarning, r.rank,
+          "country '" + r.country +
+              "' has no grid-intensity entry (operational model will "
+              "decline)");
+    }
+  }
+  return report;
+}
+
+std::string render_audit(const AuditReport& report) {
+  if (report.clean()) return "audit: clean\n";
+  std::string out = "audit: " + std::to_string(report.errors) +
+                    " error(s), " + std::to_string(report.warnings) +
+                    " warning(s)\n";
+  for (const auto& issue : report.issues) {
+    out += std::string(
+               issue.severity == AuditSeverity::kError ? "  ERROR " : "  warn  ") +
+           (issue.rank > 0 ? "rank " + std::to_string(issue.rank) + ": "
+                           : "") +
+           issue.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace easyc::analysis

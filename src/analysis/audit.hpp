@@ -1,0 +1,51 @@
+// Dataset auditor: physical- and structural-consistency checks over a
+// Top500 record set before it enters the pipeline.
+//
+// The paper's methodology lives or dies on input quality ("exhaustive
+// data collection ... invites the inclusion of inaccurate data"); this
+// auditor catches the errors a scraped or hand-assembled list actually
+// contains — rank gaps, Rmax above Rpeak, impossible efficiencies,
+// unknown countries — and reports them without stopping the pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "top500/record.hpp"
+
+namespace easyc::analysis {
+
+enum class AuditSeverity {
+  kError,    ///< would corrupt pipeline results
+  kWarning,  ///< suspicious but usable
+};
+
+struct AuditIssue {
+  AuditSeverity severity = AuditSeverity::kWarning;
+  int rank = 0;            ///< 0 for list-level issues
+  std::string message;
+};
+
+struct AuditReport {
+  std::vector<AuditIssue> issues;
+  int errors = 0;
+  int warnings = 0;
+  bool clean() const { return issues.empty(); }
+};
+
+struct AuditOptions {
+  /// HPL efficiency envelope, GFlops/W. Anything outside is flagged.
+  double min_gflops_per_watt = 0.5;
+  double max_gflops_per_watt = 100.0;
+  int min_year = 1993;   ///< first Top500 list
+  int max_year = 2026;
+};
+
+/// Audit a rank-ordered record set.
+AuditReport audit_records(const std::vector<top500::SystemRecord>& records,
+                          const AuditOptions& options = {});
+
+/// Render the report for humans.
+std::string render_audit(const AuditReport& report);
+
+}  // namespace easyc::analysis

@@ -1,0 +1,30 @@
+#include "analysis/equivalence.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace easyc::analysis {
+
+Equivalence equivalences(double mt_co2e) {
+  Equivalence e;
+  e.vehicles = util::mtco2e_to_vehicle_years(mt_co2e);
+  e.vehicle_miles = util::mtco2e_to_vehicle_miles(mt_co2e);
+  e.homes = util::mtco2e_to_home_years(mt_co2e);
+  return e;
+}
+
+std::string describe_equivalence(double mt_co2e) {
+  const Equivalence e = equivalences(mt_co2e);
+  const std::string miles =
+      e.vehicle_miles >= 1.0e9
+          ? util::format_double(e.vehicle_miles / 1.0e9, 1) +
+                " billion vehicle miles"
+          : util::format_double(e.vehicle_miles / 1.0e6, 1) +
+                " million vehicle miles";
+  return util::with_commas(static_cast<long long>(e.vehicles)) +
+         " gasoline-powered vehicles for one year (" + miles +
+         "), or the electricity of " +
+         util::with_commas(static_cast<long long>(e.homes)) + " homes";
+}
+
+}  // namespace easyc::analysis

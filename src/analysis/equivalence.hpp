@@ -1,0 +1,21 @@
+// Everyday-equivalence statements for carbon totals (paper: the Top500's
+// operational carbon equals one year of 325,000 gasoline vehicles or
+// 3.5 billion vehicle-miles; embodied equals 439,000 vehicles).
+#pragma once
+
+#include <string>
+
+namespace easyc::analysis {
+
+struct Equivalence {
+  double vehicles = 0.0;       ///< gasoline-vehicle-years
+  double vehicle_miles = 0.0;  ///< passenger-vehicle miles
+  double homes = 0.0;          ///< home-electricity-years
+};
+
+Equivalence equivalences(double mt_co2e);
+
+/// "325,000 gasoline-powered vehicles / 3.5 billion vehicle miles".
+std::string describe_equivalence(double mt_co2e);
+
+}  // namespace easyc::analysis

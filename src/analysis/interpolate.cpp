@@ -1,0 +1,77 @@
+#include "analysis/interpolate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace easyc::analysis {
+
+InterpolationResult interpolate_gaps(
+    const std::vector<std::optional<double>>& series,
+    const InterpolationOptions& opt) {
+  EASYC_REQUIRE(opt.peers_per_side > 0, "need at least one peer per side");
+  const size_t n = series.size();
+  bool any = false;
+  for (const auto& v : series) {
+    if (v) any = true;
+  }
+  EASYC_REQUIRE(any, "cannot interpolate an entirely empty series");
+
+  InterpolationResult out;
+  out.values.resize(n, 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (series[i]) {
+      out.values[i] = *series[i];
+      continue;
+    }
+    out.interpolated_indices.push_back(i);
+
+    // Collect nearest complete peers, skipping other gaps ("if the
+    // peers are also incomplete, we use the next closest peers").
+    std::vector<double> peer_values;
+    std::vector<double> peer_dist;
+    int found_below = 0;
+    for (size_t j = i; j-- > 0 && found_below < opt.peers_per_side;) {
+      if (series[j]) {
+        peer_values.push_back(*series[j]);
+        peer_dist.push_back(static_cast<double>(i - j));
+        ++found_below;
+      }
+    }
+    int found_above = 0;
+    for (size_t j = i + 1; j < n && found_above < opt.peers_per_side; ++j) {
+      if (series[j]) {
+        peer_values.push_back(*series[j]);
+        peer_dist.push_back(static_cast<double>(j - i));
+        ++found_above;
+      }
+    }
+    EASYC_REQUIRE(!peer_values.empty(), "gap with no complete peers");
+
+    switch (opt.strategy) {
+      case InterpolationStrategy::kMean:
+        out.values[i] = util::mean(peer_values);
+        break;
+      case InterpolationStrategy::kMedian:
+        out.values[i] = util::median(peer_values);
+        break;
+      case InterpolationStrategy::kRankWeighted: {
+        double wsum = 0.0;
+        double acc = 0.0;
+        for (size_t k = 0; k < peer_values.size(); ++k) {
+          const double w = 1.0 / peer_dist[k];
+          wsum += w;
+          acc += w * peer_values[k];
+        }
+        out.values[i] = acc / wsum;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace easyc::analysis

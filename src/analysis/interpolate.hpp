@@ -1,0 +1,42 @@
+// Rank-neighbour interpolation for systems without an estimate.
+//
+// The paper: "we interpolate the carbon footprint for the systems
+// missing data using the average of the nearest 10 peers (5 lower and 5
+// higher) in the Top 500. If the peers are also incomplete, we use the
+// next closest peers."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace easyc::analysis {
+
+enum class InterpolationStrategy {
+  kMean,          ///< paper's method
+  kMedian,        ///< ablation: robust to outlier peers
+  kRankWeighted,  ///< ablation: closer peers weigh more (1/distance)
+};
+
+struct InterpolationOptions {
+  /// Peers taken on each side (paper: 5 + 5 = nearest 10).
+  int peers_per_side = 5;
+  InterpolationStrategy strategy = InterpolationStrategy::kMean;
+};
+
+struct InterpolationResult {
+  /// Complete series, index-aligned with the input (rank order).
+  std::vector<double> values;
+  /// Indices that were filled by interpolation.
+  std::vector<size_t> interpolated_indices;
+};
+
+/// Fill gaps in a rank-ordered series. Present entries pass through
+/// unchanged. A gap takes the configured statistic over the nearest
+/// `peers_per_side` *complete* entries on each side, skipping past other
+/// gaps; near the list edges fewer peers may exist and whatever is found
+/// is used. Requires at least one complete entry.
+InterpolationResult interpolate_gaps(
+    const std::vector<std::optional<double>>& series,
+    const InterpolationOptions& options = {});
+
+}  // namespace easyc::analysis

@@ -1,0 +1,101 @@
+#include "analysis/pipeline.hpp"
+
+#include "analysis/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace easyc::analysis {
+
+namespace {
+
+double covered_sum(const CarbonSeries& s) {
+  double total = 0.0;
+  for (const auto& v : s) {
+    if (v) total += *v;
+  }
+  return total;
+}
+
+int covered_count(const CarbonSeries& s) {
+  int n = 0;
+  for (const auto& v : s) {
+    if (v) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+double ScenarioResults::total(bool operational_side) const {
+  return covered_sum(operational_side ? operational : embodied);
+}
+
+double ScenarioResults::average(bool operational_side) const {
+  const CarbonSeries& s = operational_side ? operational : embodied;
+  const int n = covered_count(s);
+  return n == 0 ? 0.0 : covered_sum(s) / n;
+}
+
+CarbonSeries operational_series(
+    const std::vector<model::SystemAssessment>& assessments) {
+  CarbonSeries out;
+  out.reserve(assessments.size());
+  for (const auto& a : assessments) {
+    out.push_back(a.operational.ok()
+                      ? std::optional<double>(a.operational.value().mt_co2e)
+                      : std::nullopt);
+  }
+  return out;
+}
+
+CarbonSeries embodied_series(
+    const std::vector<model::SystemAssessment>& assessments) {
+  CarbonSeries out;
+  out.reserve(assessments.size());
+  for (const auto& a : assessments) {
+    out.push_back(a.embodied.ok()
+                      ? std::optional<double>(a.embodied.value().total_mt)
+                      : std::nullopt);
+  }
+  return out;
+}
+
+PipelineResult run_pipeline(const PipelineConfig& cfg) {
+  PipelineResult out;
+  auto generated = top500::generate_list(cfg.generator);
+  out.records = std::move(generated.records);
+  out.categories = std::move(generated.categories);
+
+  auto run_scenario = [&](top500::Scenario s) {
+    ScenarioResults r;
+    r.scenario = s;
+    r.assessments = assess_scenario(out.records, s);
+    r.operational = operational_series(r.assessments);
+    r.embodied = embodied_series(r.assessments);
+    r.coverage = count_coverage(r.assessments);
+    return r;
+  };
+  out.baseline = run_scenario(top500::Scenario::kTop500Org);
+  out.enhanced = run_scenario(top500::Scenario::kTop500PlusPublic);
+
+  out.op_interpolated =
+      interpolate_gaps(out.enhanced.operational, cfg.interpolation);
+  out.emb_interpolated =
+      interpolate_gaps(out.enhanced.embodied, cfg.interpolation);
+
+  out.op_total_covered_mt = out.enhanced.total(true);
+  out.emb_total_covered_mt = out.enhanced.total(false);
+  out.op_total_full_mt = util::sum(out.op_interpolated.values);
+  out.emb_total_full_mt = util::sum(out.emb_interpolated.values);
+
+  double perf_pflops = 0.0;
+  for (const auto& r : out.records) {
+    perf_pflops += r.rmax_tflops / util::kTFlopsPerPFlop;
+  }
+  out.projection =
+      project(out.op_total_full_mt / 1000.0, out.emb_total_full_mt / 1000.0,
+              perf_pflops, cfg.projection);
+  return out;
+}
+
+}  // namespace easyc::analysis

@@ -1,0 +1,67 @@
+// End-to-end assessment pipeline: the computation behind every figure
+// and table in the paper's evaluation section, run once and shared by
+// the benchmark harness, examples, and integration tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/interpolate.hpp"
+#include "analysis/projection.hpp"
+#include "easyc/model.hpp"
+#include "top500/generator.hpp"
+#include "top500/record.hpp"
+
+namespace easyc::analysis {
+
+/// One model side of one scenario, as a rank-ordered optional series
+/// (MT CO2e); nullopt = not covered.
+using CarbonSeries = std::vector<std::optional<double>>;
+
+struct ScenarioResults {
+  top500::Scenario scenario;
+  std::vector<model::SystemAssessment> assessments;
+  CarbonSeries operational;  ///< MT CO2e, rank order
+  CarbonSeries embodied;
+  CoverageCounts coverage;
+
+  double total(bool operational_side) const;   ///< sum of covered systems
+  double average(bool operational_side) const; ///< mean over covered
+};
+
+struct PipelineResult {
+  std::vector<top500::SystemRecord> records;
+  std::vector<top500::AccessCategory> categories;
+
+  ScenarioResults baseline;   ///< Top500.org data only
+  ScenarioResults enhanced;   ///< + public info
+
+  /// Full-500 series: enhanced coverage completed by interpolation.
+  InterpolationResult op_interpolated;
+  InterpolationResult emb_interpolated;
+
+  double op_total_covered_mt = 0.0;   ///< paper: 1.37M over 490 systems
+  double emb_total_covered_mt = 0.0;  ///< paper: 1.53M over 404 systems
+  double op_total_full_mt = 0.0;      ///< paper: 1.39M over 500
+  double emb_total_full_mt = 0.0;     ///< paper: 1.88M over 500
+
+  std::vector<ProjectionPoint> projection;
+};
+
+struct PipelineConfig {
+  top500::GeneratorConfig generator;
+  InterpolationOptions interpolation;
+  ProjectionConfig projection;
+};
+
+/// Run everything. Deterministic for a given config.
+PipelineResult run_pipeline(const PipelineConfig& config = {});
+
+/// Extract a CarbonSeries from assessments.
+CarbonSeries operational_series(
+    const std::vector<model::SystemAssessment>& assessments);
+CarbonSeries embodied_series(
+    const std::vector<model::SystemAssessment>& assessments);
+
+}  // namespace easyc::analysis

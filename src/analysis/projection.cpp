@@ -1,0 +1,38 @@
+#include "analysis/projection.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace easyc::analysis {
+
+std::vector<ProjectionPoint> project(double base_op_kmt, double base_emb_kmt,
+                                     double base_perf_pflops,
+                                     const ProjectionConfig& cfg) {
+  EASYC_REQUIRE(base_op_kmt > 0 && base_emb_kmt > 0 && base_perf_pflops > 0,
+                "projection baselines must be positive");
+  EASYC_REQUIRE(cfg.end_year >= cfg.start_year, "year range must be ordered");
+
+  std::vector<ProjectionPoint> out;
+  for (int year = cfg.start_year; year <= cfg.end_year; ++year) {
+    const double t = static_cast<double>(year - cfg.start_year);
+    ProjectionPoint p;
+    p.year = year;
+    p.operational_kmt = base_op_kmt * std::pow(1.0 + cfg.op_growth, t);
+    p.embodied_kmt = base_emb_kmt * std::pow(1.0 + cfg.emb_growth, t);
+    p.perf_pflops = base_perf_pflops * std::pow(1.0 + cfg.perf_growth, t);
+    p.op_ratio = p.perf_pflops / p.operational_kmt;
+    p.emb_ratio = p.perf_pflops / p.embodied_kmt;
+    const double base_ratio = base_perf_pflops / base_op_kmt;
+    p.ideal_ratio =
+        base_ratio * std::pow(2.0, t * 12.0 / cfg.ideal_doubling_months);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double annualize_per_cycle_growth(double per_cycle) {
+  return (1.0 + per_cycle) * (1.0 + per_cycle) - 1.0;
+}
+
+}  // namespace easyc::analysis

@@ -1,0 +1,47 @@
+// Projection of the Top500 carbon footprint through 2030 (paper Figs.
+// 10-11).
+//
+// The paper derives growth rates from list turnover: ~48 new systems
+// per cycle brought +5% operational and +1% embodied carbon per cycle,
+// i.e. 10.3%/yr operational and 2%/yr embodied annualized.
+#pragma once
+
+#include <vector>
+
+namespace easyc::analysis {
+
+struct ProjectionConfig {
+  int start_year = 2024;
+  int end_year = 2030;
+  double op_growth = 0.103;   ///< annualized operational growth
+  double emb_growth = 0.02;   ///< annualized embodied growth
+  /// Aggregate performance growth (total Rmax of the list), used for
+  /// the perf-per-carbon ratio. 13.5%/yr keeps the projected ratio
+  /// improving by ~0.2 PFlop/s per thousand MT per year, the rate the
+  /// paper reports.
+  double perf_growth = 0.135;
+  /// "Ideal" scaling for comparison: 2x performance per unit power
+  /// every 18 months (Dennard-era expectation).
+  double ideal_doubling_months = 18.0;
+};
+
+struct ProjectionPoint {
+  int year = 2024;
+  double operational_kmt = 0.0;   ///< thousand MT CO2e
+  double embodied_kmt = 0.0;
+  double perf_pflops = 0.0;
+  double op_ratio = 0.0;          ///< PFlop/s per thousand MT (operational)
+  double emb_ratio = 0.0;         ///< PFlop/s per thousand MT (embodied)
+  double ideal_ratio = 0.0;       ///< Dennard-scaling counterfactual
+};
+
+/// Project from the measured 2024 baselines.
+std::vector<ProjectionPoint> project(double base_op_kmt, double base_emb_kmt,
+                                     double base_perf_pflops,
+                                     const ProjectionConfig& config = {});
+
+/// Annualize a per-list-cycle growth rate (two cycles per year):
+/// (1+per_cycle)^2 - 1. The paper's 5%/cycle -> 10.25%/yr ~ 10.3%.
+double annualize_per_cycle_growth(double per_cycle);
+
+}  // namespace easyc::analysis

@@ -1,0 +1,23 @@
+#include "analysis/scenario.hpp"
+
+namespace easyc::analysis {
+
+model::EasyCOptions options_for(top500::Scenario scenario) {
+  model::EasyCOptions opt;
+  if (scenario != top500::Scenario::kTop500Org) {
+    opt.embodied.accelerator_policy =
+        model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  }
+  return opt;
+}
+
+std::vector<model::SystemAssessment> assess_scenario(
+    const std::vector<top500::SystemRecord>& records,
+    top500::Scenario scenario) {
+  std::vector<model::Inputs> inputs;
+  inputs.reserve(records.size());
+  for (const auto& r : records) inputs.push_back(to_inputs(r, scenario));
+  return model::EasyCModel(options_for(scenario)).assess_all(inputs);
+}
+
+}  // namespace easyc::analysis

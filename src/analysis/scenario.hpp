@@ -1,0 +1,24 @@
+// Scenario policy: how the EasyC model is configured per data scenario.
+//
+// The paper's Baseline run is conservative (an unidentifiable
+// accelerator yields no estimate); the Baseline+PublicInfo run
+// approximates unknown accelerators with mainstream GPUs — the source
+// of the systematic silicon underestimate the paper reports.
+#pragma once
+
+#include <vector>
+
+#include "easyc/model.hpp"
+#include "top500/record.hpp"
+
+namespace easyc::analysis {
+
+/// Model options appropriate for a data scenario.
+model::EasyCOptions options_for(top500::Scenario scenario);
+
+/// Assess every record under a scenario (projection + model, parallel).
+std::vector<model::SystemAssessment> assess_scenario(
+    const std::vector<top500::SystemRecord>& records,
+    top500::Scenario scenario);
+
+}  // namespace easyc::analysis

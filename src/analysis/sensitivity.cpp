@@ -1,0 +1,48 @@
+#include "analysis/sensitivity.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace easyc::analysis {
+
+namespace {
+
+std::vector<SystemDelta> deltas(const std::vector<top500::SystemRecord>& recs,
+                                const CarbonSeries& base,
+                                const CarbonSeries& enh,
+                                double* max_abs_pct) {
+  std::vector<SystemDelta> out;
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (!base[i] || !enh[i]) continue;
+    SystemDelta d;
+    d.rank = recs[i].rank;
+    d.delta_mt = *enh[i] - *base[i];
+    d.pct = *base[i] == 0.0 ? 0.0 : d.delta_mt / *base[i] * 100.0;
+    if (std::fabs(d.pct) > *max_abs_pct) *max_abs_pct = std::fabs(d.pct);
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+SensitivityReport sensitivity(const PipelineResult& r) {
+  SensitivityReport s;
+  s.operational = deltas(r.records, r.baseline.operational,
+                         r.enhanced.operational, &s.op_max_abs_pct);
+  s.embodied = deltas(r.records, r.baseline.embodied, r.enhanced.embodied,
+                      &s.emb_max_abs_pct);
+
+  s.op_total_baseline_mt = r.baseline.total(true);
+  s.op_total_enhanced_mt = r.enhanced.total(true);
+  s.emb_total_baseline_mt = r.baseline.total(false);
+  s.emb_total_enhanced_mt = r.enhanced.total(false);
+  s.op_total_pct =
+      util::pct_change(s.op_total_baseline_mt, s.op_total_enhanced_mt);
+  s.emb_total_pct =
+      util::pct_change(s.emb_total_baseline_mt, s.emb_total_enhanced_mt);
+  return s;
+}
+
+}  // namespace easyc::analysis

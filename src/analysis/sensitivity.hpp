@@ -1,0 +1,42 @@
+// Sensitivity of the assessment to the added public information (paper
+// Fig. 9 and the accompanying text): per-system deltas between the
+// Baseline and Baseline+PublicInfo scenarios, and the aggregate change.
+#pragma once
+
+#include <vector>
+
+#include "analysis/pipeline.hpp"
+
+namespace easyc::analysis {
+
+struct SystemDelta {
+  int rank = 0;
+  double delta_mt = 0.0;  ///< enhanced - baseline (MT CO2e)
+  double pct = 0.0;       ///< percent change vs baseline
+};
+
+struct SensitivityReport {
+  /// Per-rank deltas over systems covered in *both* scenarios (the
+  /// paper's Fig. 9 population; newly covered systems are excluded
+  /// there and reported via the aggregate instead).
+  std::vector<SystemDelta> operational;
+  std::vector<SystemDelta> embodied;
+
+  /// Largest relative per-system change (paper: ACI refinement moves
+  /// operational carbon by as much as +/-77.5%).
+  double op_max_abs_pct = 0.0;
+  double emb_max_abs_pct = 0.0;
+
+  /// Aggregate totals change, including newly covered systems (paper:
+  /// +2.85% operational (+38k MT), +670.48k MT / ~78% embodied).
+  double op_total_baseline_mt = 0.0;
+  double op_total_enhanced_mt = 0.0;
+  double emb_total_baseline_mt = 0.0;
+  double emb_total_enhanced_mt = 0.0;
+  double op_total_pct = 0.0;
+  double emb_total_pct = 0.0;
+};
+
+SensitivityReport sensitivity(const PipelineResult& result);
+
+}  // namespace easyc::analysis

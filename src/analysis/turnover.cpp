@@ -1,0 +1,61 @@
+#include "analysis/turnover.hpp"
+
+#include <cmath>
+
+#include "analysis/interpolate.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/projection.hpp"
+#include "analysis/scenario.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace easyc::analysis {
+
+TurnoverReport analyze_turnover(
+    const std::vector<top500::ListEdition>& history) {
+  EASYC_REQUIRE(history.size() >= 2,
+                "turnover analysis needs at least two editions");
+  TurnoverReport report;
+
+  for (const auto& edition : history) {
+    EditionFootprint fp;
+    fp.label = edition.label;
+    fp.num_new = edition.num_new;
+
+    const auto assessments = assess_scenario(
+        edition.records, top500::Scenario::kTop500PlusPublic);
+    const auto op = interpolate_gaps(operational_series(assessments));
+    const auto emb = interpolate_gaps(embodied_series(assessments));
+    fp.op_total_mt = util::sum(op.values);
+    fp.emb_total_mt = util::sum(emb.values);
+    for (const auto& r : edition.records) {
+      fp.perf_pflops += r.rmax_tflops / util::kTFlopsPerPFlop;
+    }
+    report.editions.push_back(fp);
+  }
+
+  const size_t cycles = report.editions.size() - 1;
+  double new_sum = 0.0;
+  double op_log = 0.0;
+  double emb_log = 0.0;
+  for (size_t i = 1; i < report.editions.size(); ++i) {
+    new_sum += report.editions[i].num_new;
+    op_log += std::log(report.editions[i].op_total_mt /
+                       report.editions[i - 1].op_total_mt);
+    emb_log += std::log(report.editions[i].emb_total_mt /
+                        report.editions[i - 1].emb_total_mt);
+  }
+  report.avg_new_per_cycle = new_sum / static_cast<double>(cycles);
+  report.op_growth_per_cycle =
+      std::exp(op_log / static_cast<double>(cycles)) - 1.0;
+  report.emb_growth_per_cycle =
+      std::exp(emb_log / static_cast<double>(cycles)) - 1.0;
+  report.op_growth_annualized =
+      annualize_per_cycle_growth(report.op_growth_per_cycle);
+  report.emb_growth_annualized =
+      annualize_per_cycle_growth(report.emb_growth_per_cycle);
+  return report;
+}
+
+}  // namespace easyc::analysis

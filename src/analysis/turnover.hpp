@@ -1,0 +1,37 @@
+// Turnover analysis: measure carbon growth from simulated list history.
+//
+// Reproduces the paper's growth-rate derivation (Section IV-C): assess
+// every edition of a simulated list history, difference the full-500
+// totals, and annualize the per-cycle growth. The measured rates feed
+// the projection (Figs. 10-11) instead of being assumed.
+#pragma once
+
+#include <vector>
+
+#include "top500/history.hpp"
+
+namespace easyc::analysis {
+
+struct EditionFootprint {
+  std::string label;
+  int num_new = 0;
+  double op_total_mt = 0.0;    ///< full 500, enhanced + interpolated
+  double emb_total_mt = 0.0;
+  double perf_pflops = 0.0;
+};
+
+struct TurnoverReport {
+  std::vector<EditionFootprint> editions;
+  double avg_new_per_cycle = 0.0;
+  double op_growth_per_cycle = 0.0;   ///< geometric mean over cycles
+  double emb_growth_per_cycle = 0.0;
+  double op_growth_annualized = 0.0;  ///< (1+cycle)^2 - 1
+  double emb_growth_annualized = 0.0;
+};
+
+/// Assess every edition (enhanced scenario + interpolation to 500) and
+/// compute growth rates.
+TurnoverReport analyze_turnover(
+    const std::vector<top500::ListEdition>& history);
+
+}  // namespace easyc::analysis

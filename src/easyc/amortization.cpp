@@ -1,0 +1,35 @@
+#include "easyc/amortization.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace easyc::model {
+
+AnnualFootprint annualize(const OperationalResult& operational,
+                          const EmbodiedBreakdown& embodied,
+                          const AmortizationOptions& options) {
+  EASYC_REQUIRE(options.service_years > 0, "service life must be positive");
+  AnnualFootprint f;
+  f.operational_mt = operational.mt_co2e;
+  f.embodied_amortized_mt = embodied.total_mt / options.service_years;
+  f.total_mt = f.operational_mt + f.embodied_amortized_mt;
+  f.embodied_share =
+      f.total_mt > 0 ? f.embodied_amortized_mt / f.total_mt : 0.0;
+  return f;
+}
+
+double replacement_payback_years(double old_operational_mt_per_year,
+                                 double new_operational_mt_per_year,
+                                 double new_embodied_mt) {
+  EASYC_REQUIRE(old_operational_mt_per_year >= 0 &&
+                    new_operational_mt_per_year >= 0 &&
+                    new_embodied_mt >= 0,
+                "carbon figures must be non-negative");
+  const double savings =
+      old_operational_mt_per_year - new_operational_mt_per_year;
+  if (savings <= 0.0) return std::numeric_limits<double>::infinity();
+  return new_embodied_mt / savings;
+}
+
+}  // namespace easyc::model

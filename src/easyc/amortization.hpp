@@ -1,0 +1,42 @@
+// Lifetime amortization of embodied carbon.
+//
+// The paper: "the embodied carbon is 1-time for the lifetime of the
+// computer system so it would be smaller if annualized." This module
+// does the annualization and answers the retire-or-keep question that
+// falls out of it: an old machine carries zero marginal embodied carbon
+// but a high operational rate; a replacement reverses the trade.
+#pragma once
+
+#include "easyc/embodied.hpp"
+#include "easyc/operational.hpp"
+
+namespace easyc::model {
+
+struct AmortizationOptions {
+  /// Service life over which manufacturing carbon is spread. Top500
+  /// systems historically serve 5-7 years.
+  double service_years = 6.0;
+};
+
+struct AnnualFootprint {
+  double operational_mt = 0.0;       ///< per year
+  double embodied_amortized_mt = 0.0;///< embodied / service life
+  double total_mt = 0.0;
+  double embodied_share = 0.0;       ///< fraction of total
+};
+
+/// Combine an operational result and an embodied breakdown into an
+/// annualized footprint.
+AnnualFootprint annualize(const OperationalResult& operational,
+                          const EmbodiedBreakdown& embodied,
+                          const AmortizationOptions& options = {});
+
+/// Replacement analysis: payback time (years) until a replacement
+/// system's embodied carbon is recovered by its operational savings.
+/// Returns +infinity when the replacement never pays back (it saves no
+/// operational carbon).
+double replacement_payback_years(double old_operational_mt_per_year,
+                                 double new_operational_mt_per_year,
+                                 double new_embodied_mt);
+
+}  // namespace easyc::model

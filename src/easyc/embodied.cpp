@@ -1,0 +1,207 @@
+#include "easyc/embodied.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/accelerator.hpp"
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+#include "hw/process.hpp"
+#include "util/units.hpp"
+
+namespace easyc::model {
+
+namespace {
+
+// DRAM provisioning prior: GB per CPU core (a dual-64-core node of the
+// 2020s typically carries 512 GB; dense many-core blades like Fugaku's
+// carry proportionally less per node).
+double default_memory_gb_per_core(int year) {
+  if (year >= 2019) return 4.0;
+  if (year >= 2016) return 2.5;
+  return 1.5;
+}
+
+// Derive node and CPU counts from what is available. Top500 always has
+// total cores; with a recognized CPU model the package count follows,
+// and nodes from a dual-socket prior. This is why the paper finds
+// CPU-only systems (ranks 151-500) assessable from Top500.org alone.
+struct Counts {
+  long long nodes = 0;
+  long long cpus = 0;
+};
+
+std::optional<Counts> resolve_counts(const Inputs& in,
+                                     const std::optional<hw::CpuSpec>& cpu) {
+  Counts c;
+  if (in.num_nodes && in.num_cpus) {
+    c.nodes = *in.num_nodes;
+    c.cpus = *in.num_cpus;
+    return c;
+  }
+  if (in.num_nodes && !in.num_cpus) {
+    c.nodes = *in.num_nodes;
+    c.cpus = 2 * c.nodes;  // dual-socket prior
+    return c;
+  }
+  if (!in.total_cores || !cpu || cpu->cores <= 0) return std::nullopt;
+  c.cpus = std::max<long long>(
+      1, (*in.total_cores + cpu->cores - 1) / cpu->cores);
+  if (in.num_cpus) c.cpus = *in.num_cpus;
+  // Sockets per node prior: accelerated nodes typically single-socket
+  // hosts; CPU-only nodes dual-socket.
+  const long long sockets_per_node = in.has_accelerator() ? 1 : 2;
+  c.nodes = std::max<long long>(1, c.cpus / sockets_per_node);
+  return c;
+}
+
+}  // namespace
+
+Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& in,
+                                           const EmbodiedOptions& opt) {
+  in.validate();
+  std::vector<std::string> reasons;
+
+  const int year = in.operation_year.value_or(2020);
+
+  // --- CPU identity ---
+  // The era-generic silicon model stands in for unlisted parts only
+  // when the part is a mainstream server family; unique devices
+  // (SW26010-class) are unmodelable without disclosure — the paper's
+  // reason Sunway TaihuLight has no embodied estimate.
+  std::optional<hw::CpuSpec> cpu = hw::find_cpu(in.processor);
+  if (!cpu && hw::is_mainstream_server_cpu(in.processor) &&
+      in.total_cores && (in.num_cpus || in.num_nodes)) {
+    long long packages = in.num_cpus.value_or(
+        in.num_nodes ? *in.num_nodes * 2 : 0);
+    if (packages > 0) {
+      const int cores_per_pkg = static_cast<int>(std::max<long long>(
+          1, *in.total_cores / packages));
+      cpu = hw::generic_server_cpu(year, cores_per_pkg);
+    }
+  }
+  if (!cpu) {
+    reasons.push_back("processor '" + in.processor +
+                      "' not in catalog and not a mainstream family "
+                      "derivable from counts");
+  }
+
+  // --- node / package counts ---
+  const auto counts = resolve_counts(in, cpu);
+  if (!counts) {
+    reasons.push_back(
+        "cannot resolve node/CPU counts (need # nodes, or total cores + "
+        "known CPU model)");
+  }
+
+  // --- accelerator identity & count ---
+  std::optional<hw::AcceleratorSpec> acc;
+  bool used_proxy = false;
+  long long gpu_count = 0;
+  if (in.has_accelerator()) {
+    acc = hw::find_accelerator(in.accelerator);
+    if (!acc) {
+      if (opt.accelerator_policy ==
+          AcceleratorPolicy::kApproximateWithMainstreamGpu) {
+        acc = hw::mainstream_gpu_proxy(year);
+        used_proxy = true;
+      } else {
+        reasons.push_back("accelerator '" + in.accelerator +
+                          "' not in catalog (strict policy declines)");
+      }
+    }
+    if (in.num_gpus) {
+      gpu_count = *in.num_gpus;
+    } else {
+      reasons.push_back(
+          "accelerated system without a GPU count: embodied carbon not "
+          "estimable");
+    }
+  }
+
+  if (!reasons.empty()) {
+    return Outcome<EmbodiedBreakdown>::failure(std::move(reasons));
+  }
+
+  EmbodiedBreakdown b;
+  b.used_gpu_proxy = used_proxy;
+
+  // --- CPUs ---
+  {
+    const auto node = hw::find_process_node(cpu->process_nm);
+    const double per_pkg_kg =
+        cpu->die_area_cm2 * node.carbon_per_cm2(opt.fab_aci_kg_kwh) +
+        opt.cpu_packaging_kg;
+    b.cpu_mt = util::kg_to_mt(per_pkg_kg * static_cast<double>(counts->cpus));
+  }
+
+  // --- GPUs ---
+  if (acc && gpu_count > 0) {
+    const auto node = hw::find_process_node(acc->process_nm);
+    const double hbm_kg =
+        acc->hbm_gb * hw::memory_spec(acc->hbm_type).embodied_kg_per_gb;
+    const double per_pkg_kg =
+        acc->die_area_cm2 * node.carbon_per_cm2(opt.fab_aci_kg_kwh) +
+        hbm_kg + opt.gpu_packaging_kg;
+    b.gpu_mt = util::kg_to_mt(per_pkg_kg * static_cast<double>(gpu_count));
+  }
+
+  // --- system DRAM ---
+  {
+    double mem_gb;
+    if (in.memory_gb) {
+      mem_gb = *in.memory_gb;
+    } else {
+      mem_gb = default_memory_gb_per_core(year) *
+               static_cast<double>(counts->cpus) * cpu->cores;
+      b.used_memory_default = true;
+    }
+    const auto mem_type =
+        in.memory_type ? hw::parse_memory_type(*in.memory_type)
+                       : hw::MemoryType::kUnknown;
+    b.memory_mt =
+        util::kg_to_mt(mem_gb * hw::memory_spec(mem_type).embodied_kg_per_gb);
+  }
+
+  // --- storage ---
+  {
+    double ssd_tb;
+    if (in.ssd_tb) {
+      ssd_tb = *in.ssd_tb;
+    } else {
+      ssd_tb = std::min(opt.default_ssd_tb_per_node *
+                            static_cast<double>(counts->nodes),
+                        opt.default_ssd_cap_tb);
+      b.used_storage_default = true;
+    }
+    b.storage_mt = util::kg_to_mt(
+        ssd_tb * hw::storage_spec(hw::StorageClass::kNvmeSsd).embodied_kg_per_tb);
+  }
+
+  // --- platform & interconnect (composition-scaled per node) ---
+  {
+    const double nodes_d = static_cast<double>(counts->nodes);
+    const double cpu_cores_per_node =
+        static_cast<double>(counts->cpus) * cpu->cores / nodes_d;
+    const double gpus_per_node =
+        static_cast<double>(gpu_count) / nodes_d;
+    const double platform_kg = std::min(
+        opt.platform_cap_kg,
+        opt.platform_base_kg +
+            opt.platform_per_cpu_core_kg * cpu_cores_per_node +
+            opt.platform_per_gpu_kg * gpus_per_node);
+    const double ic_kg = std::min(
+        opt.interconnect_cap_kg,
+        opt.interconnect_base_kg +
+            opt.interconnect_per_cpu_core_kg * cpu_cores_per_node +
+            opt.interconnect_per_gpu_kg * gpus_per_node);
+    b.platform_mt = util::kg_to_mt(platform_kg * nodes_d);
+    b.interconnect_mt = util::kg_to_mt(ic_kg * nodes_d);
+  }
+
+  b.total_mt = b.cpu_mt + b.gpu_mt + b.memory_mt + b.storage_mt +
+               b.platform_mt + b.interconnect_mt;
+  return Outcome<EmbodiedBreakdown>::success(b);
+}
+
+}  // namespace easyc::model

@@ -1,0 +1,79 @@
+// EasyC embodied-carbon model (ACT-style bottom-up manufacturing carbon).
+//
+//   embodied MT CO2e =
+//       CPUs  x (die area x carbon-per-area(node) + packaging)
+//     + GPUs  x (die area x carbon-per-area(node) + HBM GB x kg/GB + pkg)
+//     + DRAM capacity GB x kg/GB(type)
+//     + SSD capacity TB x kg/TB
+//     + nodes x platform overhead (mainboard, PSU, chassis, NIC)
+//     + nodes x interconnect share (switch silicon + optics)
+//
+// The paper's coverage findings drive the failure modes implemented
+// here: CPU-only systems are assessable from Top500 core counts alone,
+// while accelerated systems need accelerator identity + count, which
+// Top500.org does not adequately capture (paper Section IV-A, Fig. 6).
+#pragma once
+
+#include <string>
+
+#include "easyc/inputs.hpp"
+#include "easyc/outcome.hpp"
+
+namespace easyc::model {
+
+/// How unknown accelerator models are treated.
+enum class AcceleratorPolicy {
+  /// Decline to estimate (baseline coverage behaviour).
+  kStrict,
+  /// Substitute the era's mainstream datacenter GPU. The paper notes
+  /// this "produces systematic underestimates of silicon size".
+  kApproximateWithMainstreamGpu,
+};
+
+struct EmbodiedBreakdown {
+  double cpu_mt = 0.0;
+  double gpu_mt = 0.0;
+  double memory_mt = 0.0;
+  double storage_mt = 0.0;
+  double platform_mt = 0.0;     ///< mainboard/PSU/chassis/NIC per node
+  double interconnect_mt = 0.0;
+  double total_mt = 0.0;
+
+  bool used_gpu_proxy = false;      ///< mainstream-GPU substitution used
+  bool used_memory_default = false; ///< per-node capacity prior used
+  bool used_storage_default = false;
+};
+
+struct EmbodiedOptions {
+  AcceleratorPolicy accelerator_policy = AcceleratorPolicy::kStrict;
+  /// Fab electricity intensity, kgCO2e/kWh (ACT world-average default).
+  double fab_aci_kg_kwh = 0.475;
+  /// Per-package assembly/substrate carbon, kgCO2e (CoWoS-class
+  /// substrates for accelerators are far heavier than CPU LGA parts).
+  double cpu_packaging_kg = 12.0;
+  double gpu_packaging_kg = 25.0;
+  /// Node platform manufacturing carbon (mainboard PCB, PSUs, chassis
+  /// sheet metal, NIC) scales with node composition: a 48-core blade is
+  /// nothing like an 8-GPU DGX chassis. kgCO2e per node:
+  ///   platform = base + per_core x CPU cores + per_gpu x GPUs  (capped)
+  double platform_base_kg = 80.0;
+  double platform_per_cpu_core_kg = 1.6;
+  double platform_per_gpu_kg = 45.0;
+  double platform_cap_kg = 650.0;
+  /// Interconnect fabric share (switch silicon, optics, cables), same
+  /// composition scaling.
+  double interconnect_base_kg = 30.0;
+  double interconnect_per_cpu_core_kg = 0.6;
+  double interconnect_per_gpu_kg = 20.0;
+  double interconnect_cap_kg = 280.0;
+  /// Default node-local + parallel-FS share of flash when SSD capacity
+  /// is unreported: TB per node, with a site-level cap (large node
+  /// counts share a filesystem rather than replicating 12 TB each).
+  double default_ssd_tb_per_node = 8.0;
+  double default_ssd_cap_tb = 40000.0;
+};
+
+Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& inputs,
+                                           const EmbodiedOptions& options = {});
+
+}  // namespace easyc::model

@@ -1,0 +1,23 @@
+#include "easyc/model.hpp"
+
+#include "parallel/algorithms.hpp"
+
+namespace easyc::model {
+
+SystemAssessment EasyCModel::assess(const Inputs& inputs) const {
+  SystemAssessment a;
+  a.name = inputs.name;
+  a.operational = assess_operational(inputs, options_.operational);
+  a.embodied = assess_embodied(inputs, options_.embodied);
+  return a;
+}
+
+std::vector<SystemAssessment> EasyCModel::assess_all(
+    const std::vector<Inputs>& inputs) const {
+  std::vector<SystemAssessment> out(inputs.size());
+  par::parallel_for(0, inputs.size(),
+                    [&](size_t i) { out[i] = assess(inputs[i]); });
+  return out;
+}
+
+}  // namespace easyc::model

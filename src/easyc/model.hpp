@@ -1,0 +1,54 @@
+// EasyCModel: the tool facade (paper Fig. 1).
+//
+// Bundles the operational and embodied models behind one call with one
+// options block, and reports per-system assessments that the analysis
+// layer aggregates into the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "easyc/embodied.hpp"
+#include "easyc/inputs.hpp"
+#include "easyc/operational.hpp"
+
+namespace easyc::model {
+
+struct EasyCOptions {
+  OperationalOptions operational;
+  EmbodiedOptions embodied;
+};
+
+/// Per-system assessment: either side may independently fail for lack
+/// of data (the paper's operational and embodied coverages differ:
+/// 391 vs 283 of 500 on Top500.org data).
+struct SystemAssessment {
+  std::string name;
+  Outcome<OperationalResult> operational;
+  Outcome<EmbodiedBreakdown> embodied;
+
+  SystemAssessment()
+      : operational(Outcome<OperationalResult>::failure("not assessed")),
+        embodied(Outcome<EmbodiedBreakdown>::failure("not assessed")) {}
+};
+
+class EasyCModel {
+ public:
+  explicit EasyCModel(EasyCOptions options = {})
+      : options_(std::move(options)) {}
+
+  const EasyCOptions& options() const { return options_; }
+
+  /// Assess one system.
+  SystemAssessment assess(const Inputs& inputs) const;
+
+  /// Assess a fleet. When `pool` is non-null the sweep is parallelized
+  /// across it; results are index-stable either way.
+  std::vector<SystemAssessment> assess_all(
+      const std::vector<Inputs>& inputs) const;
+
+ private:
+  EasyCOptions options_;
+};
+
+}  // namespace easyc::model

@@ -1,0 +1,178 @@
+#include "easyc/operational.hpp"
+
+#include <algorithm>
+
+#include "grid/pue.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+#include "util/units.hpp"
+
+namespace easyc::model {
+
+std::string energy_path_name(EnergyPath path) {
+  switch (path) {
+    case EnergyPath::kMeteredAnnualEnergy: return "metered annual energy";
+    case EnergyPath::kReportedPower: return "reported HPL power";
+    case EnergyPath::kComponentRollup: return "component power roll-up";
+    case EnergyPath::kCoreCountEstimate: return "core-count estimate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Per-node average DRAM capacity prior (GB) by era, used only inside the
+// component roll-up when memory capacity is unreported.
+double default_node_memory_gb(int year) {
+  if (year >= 2023) return 768.0;
+  if (year >= 2019) return 512.0;
+  if (year >= 2016) return 256.0;
+  return 128.0;
+}
+
+struct ItPowerEstimate {
+  double kw = 0.0;
+  EnergyPath path = EnergyPath::kComponentRollup;
+};
+
+// Estimation path 3: roll node component TDPs up to system IT power.
+std::optional<ItPowerEstimate> component_rollup(const Inputs& in,
+                                                double overhead_fraction) {
+  if (!in.num_nodes || !in.num_cpus) return std::nullopt;
+  // Accelerated system with no accelerator count: cannot roll up.
+  if (in.has_accelerator() && !in.num_gpus) return std::nullopt;
+
+  const int year = in.operation_year.value_or(2020);
+
+  double cpu_tdp_w = 0.0;
+  if (auto cpu = hw::find_cpu(in.processor)) {
+    cpu_tdp_w = cpu->tdp_w;
+  } else if (in.total_cores && in.num_cpus) {
+    const auto cores_per_cpu = static_cast<int>(
+        std::max<long long>(1, *in.total_cores / *in.num_cpus));
+    cpu_tdp_w = hw::generic_server_cpu(year, cores_per_cpu).tdp_w;
+  } else {
+    return std::nullopt;
+  }
+
+  double gpu_w_total = 0.0;
+  if (in.has_accelerator()) {
+    double gpu_tdp = 0.0;
+    if (auto acc = hw::find_accelerator(in.accelerator)) {
+      gpu_tdp = acc->tdp_w;
+    } else {
+      gpu_tdp = hw::mainstream_gpu_proxy(year).tdp_w;
+    }
+    gpu_w_total = gpu_tdp * static_cast<double>(*in.num_gpus);
+  }
+
+  const double cpu_w_total =
+      cpu_tdp_w * static_cast<double>(*in.num_cpus);
+
+  const double mem_gb = in.memory_gb.value_or(
+      default_node_memory_gb(year) * static_cast<double>(*in.num_nodes));
+  const auto mem_type =
+      in.memory_type ? hw::parse_memory_type(*in.memory_type)
+                     : hw::MemoryType::kUnknown;
+  const double mem_w_total = hw::memory_spec(mem_type).power_w_per_gb * mem_gb;
+
+  const double compute_w = cpu_w_total + gpu_w_total + mem_w_total;
+  ItPowerEstimate est;
+  est.kw = compute_w * (1.0 + overhead_fraction) / 1000.0;
+  est.path = EnergyPath::kComponentRollup;
+  return est;
+}
+
+// Estimation path 4: CPU-only systems where only core counts are known.
+std::optional<ItPowerEstimate> core_count_estimate(const Inputs& in,
+                                                   double overhead_fraction) {
+  if (in.has_accelerator()) return std::nullopt;  // cores alone say nothing
+  if (!in.total_cores) return std::nullopt;
+  const int year = in.operation_year.value_or(2020);
+  // Era-typical average watts per core, including the core's share of
+  // uncore and DRAM (calibrated against listed HPL power of CPU-only
+  // systems of each era).
+  double w_per_core = 3.4;
+  if (year >= 2022) {
+    w_per_core = 2.3;
+  } else if (year >= 2019) {
+    w_per_core = 2.7;
+  }
+  ItPowerEstimate est;
+  est.kw = static_cast<double>(*in.total_cores) * w_per_core *
+           (1.0 + overhead_fraction) / 1000.0;
+  est.path = EnergyPath::kCoreCountEstimate;
+  return est;
+}
+
+}  // namespace
+
+Outcome<OperationalResult> assess_operational(
+    const Inputs& in, const OperationalOptions& options) {
+  in.validate();
+  EASYC_REQUIRE(options.aci != nullptr, "options.aci must not be null");
+  EASYC_REQUIRE(options.default_utilization > 0.0 &&
+                    options.default_utilization <= 1.0,
+                "default utilization must be in (0,1]");
+
+  std::vector<std::string> reasons;
+
+  // --- grid intensity ---
+  const auto aci = options.aci->best_aci(in.country, in.region);
+  if (!aci) {
+    reasons.push_back("no grid carbon intensity for country '" + in.country +
+                      "'");
+  }
+
+  // --- energy ---
+  const double util = in.utilization.value_or(options.default_utilization);
+  const int year = in.operation_year.value_or(2020);
+
+  OperationalResult r;
+  r.utilization = util;
+
+  if (in.annual_energy_kwh) {
+    // Path 1: metered energy is facility-side; no PUE re-application.
+    r.path = EnergyPath::kMeteredAnnualEnergy;
+    r.annual_kwh = *in.annual_energy_kwh;
+    r.pue = 1.0;
+    r.it_kw = r.annual_kwh / util::kHoursPerYear;
+  } else {
+    std::optional<ItPowerEstimate> it;
+    if (in.power_kw) {
+      // Path 2: Top500 power is measured during HPL, close to full
+      // load; scale by utilization for the annual average.
+      it = ItPowerEstimate{*in.power_kw, EnergyPath::kReportedPower};
+    } else if (auto roll =
+                   component_rollup(in, options.node_overhead_fraction)) {
+      it = roll;
+    } else if (auto cores =
+                   core_count_estimate(in, options.node_overhead_fraction)) {
+      it = cores;
+    }
+    if (!it) {
+      reasons.push_back(
+          "no energy path: power not reported and component counts "
+          "insufficient for a roll-up");
+    } else {
+      r.path = it->path;
+      r.it_kw = it->kw;
+      r.pue = grid::default_pue(grid::infer_facility_class(it->kw, year),
+                                year);
+      r.annual_kwh = util::kw_year_to_kwh(it->kw * util) * r.pue;
+    }
+  }
+
+  if (!reasons.empty()) {
+    return Outcome<OperationalResult>::failure(std::move(reasons));
+  }
+
+  r.aci_g_kwh = *aci;
+  r.aci_region_refined =
+      options.aci->region_aci(in.country, in.region).has_value();
+  r.mt_co2e = util::kwh_to_mtco2e(r.annual_kwh, r.aci_g_kwh);
+  return Outcome<OperationalResult>::success(r);
+}
+
+}  // namespace easyc::model

@@ -1,0 +1,66 @@
+// EasyC operational-carbon model.
+//
+//   operational MT CO2e / year =
+//       annual energy (kWh) x PUE x grid carbon intensity (g/kWh) / 1e9
+//
+// Annual energy is resolved through a "gentle slope" of estimation
+// paths, from best data to least (the paper's design requirement: use
+// the few metrics available, allow more when present):
+//
+//   1. metered annual energy            (optional metric 9)
+//   2. Top500-reported HPL power  x utilization x 8760h
+//   3. component power roll-up: nodes x (CPU TDP + GPU TDP + DRAM + fan/
+//      VRM overhead) x utilization     (needs node/CPU/GPU counts)
+//   4. core-count power estimate       (CPU-only systems)
+//
+// If none of the paths has its inputs, the model reports no estimate —
+// that is the uncovered population of paper Figs. 4-5.
+#pragma once
+
+#include <string>
+
+#include "easyc/inputs.hpp"
+#include "easyc/outcome.hpp"
+#include "grid/aci.hpp"
+
+namespace easyc::model {
+
+/// Which estimation path produced the energy figure.
+enum class EnergyPath {
+  kMeteredAnnualEnergy,
+  kReportedPower,
+  kComponentRollup,
+  kCoreCountEstimate,
+};
+
+std::string energy_path_name(EnergyPath path);
+
+struct OperationalResult {
+  double mt_co2e = 0.0;        ///< annual operational carbon
+  double annual_kwh = 0.0;     ///< facility energy (post-PUE)
+  double it_kw = 0.0;          ///< average IT power draw
+  double pue = 1.0;
+  double aci_g_kwh = 0.0;      ///< grid intensity used
+  bool aci_region_refined = false;  ///< true when a sub-national ACI hit
+  EnergyPath path = EnergyPath::kReportedPower;
+  double utilization = 0.0;    ///< utilization actually applied
+};
+
+struct OperationalOptions {
+  /// Prior for average utilization when the optional metric is absent.
+  /// Leadership HPC systems run 70-90% busy; 0.75 is the default prior
+  /// (annual average draw relative to the HPL power figure).
+  double default_utilization = 0.75;
+  /// Grid intensity database (defaults to the builtin snapshot).
+  const grid::AciDatabase* aci = &grid::AciDatabase::builtin();
+  /// Power drawn by node components other than CPU/GPU/DRAM (VRM loss,
+  /// fans, NIC), as a fraction of compute power.
+  double node_overhead_fraction = 0.18;
+};
+
+/// Assess one system. `inputs.validate()` is called; invalid inputs
+/// throw ValidationError, *missing* inputs yield a failure Outcome.
+Outcome<OperationalResult> assess_operational(
+    const Inputs& inputs, const OperationalOptions& options = {});
+
+}  // namespace easyc::model

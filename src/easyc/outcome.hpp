@@ -1,0 +1,68 @@
+// Outcome<T>: either a computed model result or the list of reasons the
+// model declined to produce one.
+//
+// Coverage — which systems *can* be assessed under a data scenario — is
+// itself a headline result of the paper (Figs. 4-6), so "no estimate" is
+// a first-class value with machine-readable reasons, not an exception.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace easyc::model {
+
+template <typename T>
+class Outcome {
+ public:
+  static Outcome success(T value) {
+    Outcome o;
+    o.value_ = std::move(value);
+    return o;
+  }
+
+  static Outcome failure(std::vector<std::string> reasons) {
+    EASYC_REQUIRE(!reasons.empty(), "failure Outcome needs a reason");
+    Outcome o;
+    o.reasons_ = std::move(reasons);
+    return o;
+  }
+
+  static Outcome failure(std::string reason) {
+    return failure(std::vector<std::string>{std::move(reason)});
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    EASYC_REQUIRE(value_.has_value(), "value() on failed Outcome");
+    return *value_;
+  }
+
+  T& value() {
+    EASYC_REQUIRE(value_.has_value(), "value() on failed Outcome");
+    return *value_;
+  }
+
+  /// Why no estimate was possible (empty when ok()).
+  const std::vector<std::string>& reasons() const { return reasons_; }
+
+  std::string reasons_joined() const {
+    std::string out;
+    for (size_t i = 0; i < reasons_.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += reasons_[i];
+    }
+    return out;
+  }
+
+ private:
+  Outcome() = default;
+  std::optional<T> value_;
+  std::vector<std::string> reasons_;
+};
+
+}  // namespace easyc::model

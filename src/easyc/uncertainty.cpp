@@ -1,0 +1,83 @@
+#include "easyc/uncertainty.hpp"
+
+#include <algorithm>
+
+#include "parallel/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace easyc::model {
+
+namespace {
+
+struct TrialTotals {
+  double op_mt = 0.0;
+  double emb_mt = 0.0;
+};
+
+TrialTotals run_trial(const std::vector<Inputs>& inputs,
+                      const EasyCOptions& base, const PriorRanges& ranges,
+                      util::Rng rng) {
+  auto jitter = [&rng](double center, double rel) {
+    return center * rng.uniform(1.0 - rel, 1.0 + rel);
+  };
+
+  EasyCOptions opt = base;
+  opt.operational.default_utilization = std::clamp(
+      jitter(base.operational.default_utilization, ranges.utilization_rel),
+      0.05, 1.0);
+  opt.embodied.fab_aci_kg_kwh =
+      jitter(base.embodied.fab_aci_kg_kwh, ranges.fab_aci_rel);
+  opt.embodied.platform_base_kg =
+      jitter(base.embodied.platform_base_kg, ranges.node_platform_rel);
+  opt.embodied.platform_per_cpu_core_kg = jitter(
+      base.embodied.platform_per_cpu_core_kg, ranges.node_platform_rel);
+  opt.embodied.platform_per_gpu_kg =
+      jitter(base.embodied.platform_per_gpu_kg, ranges.node_platform_rel);
+  opt.embodied.default_ssd_tb_per_node =
+      jitter(base.embodied.default_ssd_tb_per_node, ranges.ssd_default_rel);
+  // ACI perturbation is applied as a post-scale on operational carbon:
+  // intensity enters the model linearly, so scaling the result is exact
+  // and avoids cloning the database per trial.
+  const double aci_scale = 1.0 + ranges.aci_rel * rng.uniform(-1.0, 1.0);
+
+  EasyCModel model(opt);
+  TrialTotals t;
+  for (const auto& in : inputs) {
+    const auto a = model.assess(in);
+    if (a.operational.ok()) t.op_mt += a.operational.value().mt_co2e;
+    if (a.embodied.ok()) t.emb_mt += a.embodied.value().total_mt;
+  }
+  t.op_mt *= aci_scale;
+  return t;
+}
+
+}  // namespace
+
+UncertaintyResult run_uncertainty(const std::vector<Inputs>& inputs,
+                                  const EasyCOptions& base_options,
+                                  const PriorRanges& ranges, size_t trials,
+                                  uint64_t seed, par::ThreadPool* pool) {
+  std::vector<double> op(trials, 0.0);
+  std::vector<double> emb(trials, 0.0);
+  const util::Rng root(seed);
+
+  auto body = [&](size_t i) {
+    const auto t = run_trial(inputs, base_options, ranges, root.fork(i));
+    op[i] = t.op_mt;
+    emb[i] = t.emb_mt;
+  };
+
+  if (pool != nullptr) {
+    par::parallel_for(*pool, 0, trials, body);
+  } else {
+    for (size_t i = 0; i < trials; ++i) body(i);
+  }
+
+  UncertaintyResult r;
+  r.trials = trials;
+  r.operational_mt = util::summarize(op);
+  r.embodied_mt = util::summarize(emb);
+  return r;
+}
+
+}  // namespace easyc::model

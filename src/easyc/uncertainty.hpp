@@ -1,0 +1,46 @@
+// Monte-Carlo uncertainty analysis over EasyC's model priors.
+//
+// EasyC substitutes priors for unreported metrics (utilization, PUE,
+// per-node memory, fab intensity). This module quantifies how much those
+// priors matter by sampling them from documented ranges and re-running
+// the model, in parallel across a thread pool. Results are deterministic
+// for a given seed and independent of thread count (each trial owns a
+// forked RNG stream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "easyc/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/stats.hpp"
+
+namespace easyc::model {
+
+/// Relative half-widths of the sampled priors (uniform distributions
+/// centred on the configured option values).
+struct PriorRanges {
+  double utilization_rel = 0.15;   ///< +/-15% around default utilization
+  double fab_aci_rel = 0.30;       ///< fab grid mix varies widely by site
+  double node_platform_rel = 0.30;
+  double ssd_default_rel = 0.40;   ///< unreported storage is the loosest
+  double aci_rel = 0.10;           ///< annual-average vs hourly intensity
+};
+
+struct UncertaintyResult {
+  util::Summary operational_mt;  ///< distribution of fleet op carbon
+  util::Summary embodied_mt;     ///< distribution of fleet embodied carbon
+  size_t trials = 0;
+};
+
+/// Run `trials` Monte-Carlo samples of fleet totals for `inputs` under
+/// perturbed options. Systems that fail coverage under a sample simply
+/// contribute zero for that sample (matching how the paper's totals
+/// only sum covered systems).
+UncertaintyResult run_uncertainty(const std::vector<Inputs>& inputs,
+                                  const EasyCOptions& base_options,
+                                  const PriorRanges& ranges, size_t trials,
+                                  uint64_t seed,
+                                  par::ThreadPool* pool = nullptr);
+
+}  // namespace easyc::model

@@ -1,0 +1,101 @@
+// GHG-Protocol-style carbon accounting comparator.
+//
+// The paper contrasts EasyC's 7 metrics with the GHG Protocol's
+// "hundreds of metrics" and finds that *no* Top500 system publishes the
+// data a protocol computation needs (Fig. 4 left bars). This module
+// implements a faithful, deliberately data-hungry line-item calculator:
+//
+//   Scope 1  direct emissions (backup generators, refrigerant leakage)
+//   Scope 2  purchased electricity (location- and market-based)
+//   Scope 3  upstream embodied: per-component manufacturing line items
+//
+// `requirements()` enumerates every data item a diligent computation
+// needs; `can_assess()` checks an availability set against it. Running
+// it over the Top500 dataset yields the near-zero coverage the paper
+// reports.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "easyc/inputs.hpp"
+#include "easyc/outcome.hpp"
+
+namespace easyc::ghg {
+
+enum class Scope { kScope1, kScope2, kScope3 };
+
+struct DataItem {
+  std::string key;        ///< stable identifier, e.g. "s2.metered_kwh"
+  std::string description;
+  Scope scope = Scope::kScope2;
+  bool required = true;   ///< optional items refine but do not gate
+};
+
+/// The full data-requirement manifest (hundreds of items: per-component
+/// LCA entries, fuel logs, refrigerant inventories, energy contracts).
+const std::vector<DataItem>& requirements();
+
+/// Count of required (gating) items.
+size_t num_required_items();
+
+/// A filled-in inventory: item key -> value in the item's natural unit
+/// (kWh, kg, litres, count). Missing keys are missing data.
+using Inventory = std::map<std::string, double>;
+
+struct GhgResult {
+  double scope1_mt = 0.0;
+  double scope2_mt = 0.0;
+  double scope3_mt = 0.0;
+  double total_mt() const { return scope1_mt + scope2_mt + scope3_mt; }
+};
+
+struct GhgOptions {
+  /// Location-based grid factor, gCO2e/kWh, for scope 2.
+  double grid_aci_g_kwh = 473.0;
+  /// Diesel emission factor, kgCO2e per litre.
+  double diesel_kg_per_litre = 2.68;
+  /// Refrigerant GWP (R-134a class), kgCO2e per kg leaked.
+  double refrigerant_gwp = 1430.0;
+};
+
+/// How far EasyC's nine metrics go toward a GHG-protocol inventory:
+/// builds the partial inventory those metrics can populate and reports
+/// the coverage fraction. This is the quantitative form of the paper's
+/// "7 metrics vs hundreds" contrast (Fig. 1).
+struct InventoryOverlap {
+  Inventory partial;         ///< items derivable from EasyC inputs
+  size_t derivable = 0;      ///< required items populated
+  size_t required_total = 0;
+  double fraction() const {
+    return required_total == 0
+               ? 0.0
+               : static_cast<double>(derivable) / required_total;
+  }
+};
+InventoryOverlap inventory_from_easyc(const model::Inputs& inputs);
+
+class ProtocolCalculator {
+ public:
+  explicit ProtocolCalculator(GhgOptions options = {})
+      : options_(options) {}
+
+  /// Which required items are absent from `inventory`.
+  std::vector<std::string> missing_items(const Inventory& inventory) const;
+
+  /// True when every gating item is present.
+  bool can_assess(const Inventory& inventory) const;
+
+  /// Full computation; fails (with the missing-item list) unless every
+  /// required item is present — the protocol's all-or-nothing nature is
+  /// exactly what the paper critiques.
+  model::Outcome<GhgResult> assess(const Inventory& inventory) const;
+
+ private:
+  GhgOptions options_;
+};
+
+}  // namespace easyc::ghg

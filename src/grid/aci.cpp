@@ -1,0 +1,155 @@
+#include "grid/aci.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::grid {
+
+void AciDatabase::add(GridRegion region) {
+  EASYC_REQUIRE(region.aci_g_kwh >= 0.0, "ACI must be non-negative");
+  regions_.push_back(std::move(region));
+}
+
+std::optional<double> AciDatabase::country_aci(
+    std::string_view country) const {
+  for (const auto& r : regions_) {
+    if (!r.subnational && util::iequals(r.name, country)) return r.aci_g_kwh;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> AciDatabase::region_aci(std::string_view country,
+                                              std::string_view region) const {
+  if (util::trim(region).empty()) return std::nullopt;
+  const std::string key =
+      std::string(country) + "/" + std::string(util::trim(region));
+  for (const auto& r : regions_) {
+    if (r.subnational && util::iequals(r.name, key)) return r.aci_g_kwh;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> AciDatabase::best_aci(std::string_view country,
+                                            std::string_view region) const {
+  if (auto refined = region_aci(country, region)) return refined;
+  return country_aci(country);
+}
+
+const AciDatabase& AciDatabase::builtin() {
+  static const AciDatabase db = [] {
+    AciDatabase d;
+    // --- Country annual averages (gCO2e/kWh, 2024-style values) ---
+    for (const auto& [name, aci] : std::initializer_list<
+             std::pair<const char*, double>>{
+             {"United States", 369},
+             {"China", 554},
+             {"Japan", 462},
+             {"Germany", 344},
+             {"France", 56},
+             {"Finland", 79},
+             {"Italy", 331},
+             {"Switzerland", 46},
+             {"Spain", 174},
+             {"Netherlands", 268},
+             {"United Kingdom", 211},
+             {"South Korea", 427},
+             {"Korea, South", 427},
+             {"Saudi Arabia", 706},
+             {"United Arab Emirates", 561},
+             {"Australia", 549},
+             {"Canada", 171},
+             {"Brazil", 96},
+             {"Russia", 441},
+             {"India", 713},
+             {"Taiwan", 644},
+             {"Singapore", 471},
+             {"Norway", 29},
+             {"Sweden", 36},
+             {"Denmark", 151},
+             {"Iceland", 28},
+             {"Ireland", 282},
+             {"Poland", 662},
+             {"Czech Republic", 415},
+             {"Czechia", 415},
+             {"Austria", 110},
+             {"Belgium", 139},
+             {"Luxembourg", 159},
+             {"Portugal", 150},
+             {"Slovenia", 231},
+             {"Slovakia", 106},
+             {"Hungary", 205},
+             {"Bulgaria", 387},
+             {"Croatia", 205},
+             {"Greece", 336},
+             {"Morocco", 624},
+             {"Thailand", 471},
+             {"Malaysia", 585},
+             {"Indonesia", 675},
+             {"Vietnam", 472},
+             {"Israel", 537},
+             {"Turkey", 414},
+             {"Mexico", 408},
+             {"Argentina", 354},
+             {"Chile", 291},
+             {"South Africa", 708},
+             {"Egypt", 470},
+             {"Qatar", 602},
+             {"Kuwait", 649},
+             {"Bahrain", 905},
+             {"New Zealand", 112},
+             {"Hong Kong", 610},
+             {"Kazakhstan", 821},
+             {"Ukraine", 259},
+             {"Romania", 264},
+             {"Serbia", 582},
+             {"Estonia", 416},
+             {"Lithuania", 160},
+             {"Latvia", 120},
+         }) {
+      d.add({name, aci, false});
+    }
+    // --- Sub-national refinements (the "+ public info" scenario).
+    // US balancing authorities / states hosting Top500 sites, plus a
+    // few non-US regions with grids far from their national average.
+    for (const auto& [name, aci] : std::initializer_list<
+             std::pair<const char*, double>>{
+             {"United States/California", 239},
+             {"United States/TVA", 470},       // Oak Ridge (Frontier)
+             {"United States/Tennessee", 470},
+             {"United States/Illinois", 271},  // Argonne (Aurora)
+             {"United States/New Mexico", 430},
+             {"United States/Washington", 106},
+             {"United States/Texas", 431},
+             {"United States/Wyoming", 791},
+             {"United States/Iowa", 339},
+             {"United States/Virginia", 324},
+             {"United States/Ohio", 522},
+             {"United States/Florida", 417},
+             {"United States/Colorado", 542},
+             {"United States/Utah", 605},
+             {"United States/New York", 211},
+             {"United States/Massachusetts", 353},
+             {"United States/Idaho", 137},
+             {"United States/Mississippi", 434},
+             {"Japan/Kyushu", 331},     // nuclear-heavy island grid
+             {"Japan/Kansai", 360},     // Kobe (Fugaku)
+             {"Japan/Hokuriku", 501},
+             {"Germany/Bavaria", 256},
+             {"China/Guangdong", 523},
+             {"China/Wuxi", 560},       // Jiangsu grid, near national avg
+             {"Canada/Quebec", 28},
+             {"Canada/Ontario", 71},
+             {"Canada/Alberta", 510},
+             {"Australia/Western Australia", 504},
+             {"Finland/Kajaani", 73},   // LUMI: hydro-heavy local mix
+             {"Italy/Bologna", 285},
+             {"Switzerland/Lugano", 39},
+         }) {
+      d.add({name, aci, true});
+    }
+    return d;
+  }();
+  return db;
+}
+
+}  // namespace easyc::grid

@@ -1,0 +1,58 @@
+// Average carbon intensity (ACI) of grid electricity, gCO2e/kWh.
+//
+// Two granularities, mirroring the paper's two data scenarios:
+//   * country-level annual averages (always derivable from the Top500
+//     "Country" field — the Baseline scenario), and
+//   * named sub-national regions / grid operators (the "+ public info"
+//     scenario; the paper reports region refinement changes per-system
+//     operational carbon by as much as +/-77.5%).
+//
+// Values are 2024 annual averages in the style of Ember/IEA public data.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easyc::grid {
+
+struct GridRegion {
+  std::string name;     ///< country or "Country/Region" key
+  double aci_g_kwh;     ///< annual average carbon intensity
+  bool subnational;     ///< true for region-level refinements
+};
+
+class AciDatabase {
+ public:
+  /// Database preloaded with the embedded country and region tables.
+  static const AciDatabase& builtin();
+
+  /// Empty database for tests / custom data.
+  AciDatabase() = default;
+
+  void add(GridRegion region);
+
+  /// Country-level lookup (case-insensitive). nullopt if unknown.
+  std::optional<double> country_aci(std::string_view country) const;
+
+  /// Region-level lookup by "Country/Region" (e.g. "United States/TVA").
+  /// nullopt if no refinement is known.
+  std::optional<double> region_aci(std::string_view country,
+                                   std::string_view region) const;
+
+  /// Best available: region refinement when present, else country.
+  std::optional<double> best_aci(std::string_view country,
+                                 std::string_view region) const;
+
+  /// World average, used only as an explicit last-resort default.
+  static constexpr double kWorldAverage = 473.0;
+
+  size_t size() const { return regions_.size(); }
+  const std::vector<GridRegion>& regions() const { return regions_; }
+
+ private:
+  std::vector<GridRegion> regions_;
+};
+
+}  // namespace easyc::grid

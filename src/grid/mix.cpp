@@ -1,0 +1,88 @@
+#include "grid/mix.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::grid {
+
+double EnergyMix::aci_g_kwh() const {
+  EASYC_REQUIRE(std::abs(total() - 1.0) < 0.01,
+                "generation shares must sum to 1");
+  return coal * SourceIntensities::kCoal + gas * SourceIntensities::kGas +
+         oil * SourceIntensities::kOil +
+         nuclear * SourceIntensities::kNuclear +
+         hydro * SourceIntensities::kHydro +
+         wind * SourceIntensities::kWind +
+         solar * SourceIntensities::kSolar +
+         biomass * SourceIntensities::kBiomass;
+}
+
+EnergyMix EnergyMix::with_added(std::string_view source, double share) const {
+  EASYC_REQUIRE(share >= 0.0 && share <= 1.0, "share must be in [0,1]");
+  EnergyMix out = *this;
+  const double keep = 1.0 - share;
+  out.coal *= keep;
+  out.gas *= keep;
+  out.oil *= keep;
+  out.nuclear *= keep;
+  out.hydro *= keep;
+  out.wind *= keep;
+  out.solar *= keep;
+  out.biomass *= keep;
+  const std::string s = util::to_lower(source);
+  if (s == "coal") out.coal += share;
+  else if (s == "gas") out.gas += share;
+  else if (s == "oil") out.oil += share;
+  else if (s == "nuclear") out.nuclear += share;
+  else if (s == "hydro") out.hydro += share;
+  else if (s == "wind") out.wind += share;
+  else if (s == "solar") out.solar += share;
+  else if (s == "biomass") out.biomass += share;
+  else EASYC_REQUIRE(false, "unknown generation source");
+  return out;
+}
+
+namespace {
+
+//                         coal   gas   oil  nucl  hydro wind  solar bio
+const std::map<std::string, EnergyMix>& mixes() {
+  static const std::map<std::string, EnergyMix> kMixes = {
+      {"united states", {0.16, 0.42, 0.01, 0.18, 0.06, 0.10, 0.06, 0.01}},
+      {"china",         {0.58, 0.03, 0.00, 0.05, 0.13, 0.10, 0.09, 0.02}},
+      {"germany",       {0.22, 0.15, 0.01, 0.00, 0.05, 0.32, 0.14, 0.11}},
+      {"france",        {0.00, 0.06, 0.01, 0.65, 0.12, 0.10, 0.05, 0.01}},
+      {"japan",         {0.28, 0.33, 0.03, 0.09, 0.08, 0.01, 0.12, 0.06}},
+      {"united kingdom",{0.01, 0.31, 0.00, 0.14, 0.02, 0.31, 0.05, 0.16}},
+      {"italy",         {0.05, 0.45, 0.01, 0.00, 0.16, 0.08, 0.13, 0.12}},
+      {"spain",         {0.01, 0.21, 0.01, 0.20, 0.12, 0.24, 0.19, 0.02}},
+      {"finland",       {0.03, 0.04, 0.00, 0.42, 0.17, 0.20, 0.02, 0.12}},
+      {"norway",        {0.00, 0.01, 0.00, 0.00, 0.88, 0.10, 0.00, 0.01}},
+      {"sweden",        {0.00, 0.00, 0.00, 0.29, 0.40, 0.26, 0.02, 0.03}},
+      {"india",         {0.72, 0.03, 0.00, 0.03, 0.08, 0.05, 0.08, 0.01}},
+      {"australia",     {0.46, 0.18, 0.02, 0.00, 0.06, 0.13, 0.15, 0.00}},
+      {"south korea",   {0.32, 0.27, 0.01, 0.30, 0.01, 0.01, 0.06, 0.02}},
+      {"saudi arabia",  {0.00, 0.62, 0.37, 0.00, 0.00, 0.00, 0.01, 0.00}},
+      {"switzerland",   {0.00, 0.01, 0.00, 0.36, 0.57, 0.01, 0.05, 0.00}},
+      {"canada",        {0.05, 0.13, 0.00, 0.13, 0.60, 0.06, 0.01, 0.02}},
+      {"brazil",        {0.03, 0.06, 0.01, 0.02, 0.62, 0.13, 0.10, 0.03}},
+  };
+  return kMixes;
+}
+
+}  // namespace
+
+std::optional<EnergyMix> national_mix(std::string_view country) {
+  auto it = mixes().find(util::to_lower(country));
+  if (it == mixes().end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> mix_countries() {
+  std::vector<std::string> out;
+  for (const auto& [name, mix] : mixes()) out.push_back(name);
+  return out;
+}
+
+}  // namespace easyc::grid

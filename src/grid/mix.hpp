@@ -1,0 +1,61 @@
+// Generation-mix decomposition of grid carbon intensity.
+//
+// The country-level ACI numbers in `aci.hpp` are annual outcomes; this
+// module models *why* they are what they are: a generation mix times
+// per-source lifecycle intensities (IPCC AR5 medians). It supports the
+// what-if analyses sites actually run — "what does a 30% solar PPA do to
+// our operational carbon?" — and sanity-anchors the ACI table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easyc::grid {
+
+/// Generation shares; should sum to ~1 (validated on use).
+struct EnergyMix {
+  double coal = 0.0;
+  double gas = 0.0;
+  double oil = 0.0;
+  double nuclear = 0.0;
+  double hydro = 0.0;
+  double wind = 0.0;
+  double solar = 0.0;
+  double biomass = 0.0;
+
+  double total() const {
+    return coal + gas + oil + nuclear + hydro + wind + solar + biomass;
+  }
+
+  /// Lifecycle carbon intensity of this mix, gCO2e/kWh. Requires the
+  /// shares to sum to 1 within 1%.
+  double aci_g_kwh() const;
+
+  /// A new mix with `share` of generation replaced by `source`
+  /// (proportional displacement of everything else). `source` is one of
+  /// "coal","gas","oil","nuclear","hydro","wind","solar","biomass".
+  EnergyMix with_added(std::string_view source, double share) const;
+};
+
+/// Per-source lifecycle intensities, gCO2e/kWh (IPCC AR5 medians).
+struct SourceIntensities {
+  static constexpr double kCoal = 820.0;
+  static constexpr double kGas = 490.0;
+  static constexpr double kOil = 650.0;
+  static constexpr double kNuclear = 12.0;
+  static constexpr double kHydro = 24.0;
+  static constexpr double kWind = 11.0;
+  static constexpr double kSolar = 41.0;
+  static constexpr double kBiomass = 230.0;
+};
+
+/// Representative national generation mixes (2024-style). nullopt for
+/// countries without an embedded mix.
+std::optional<EnergyMix> national_mix(std::string_view country);
+
+/// Countries with embedded mixes.
+std::vector<std::string> mix_countries();
+
+}  // namespace easyc::grid

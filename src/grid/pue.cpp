@@ -1,0 +1,31 @@
+#include "grid/pue.hpp"
+
+#include <algorithm>
+
+namespace easyc::grid {
+
+double default_pue(FacilityClass cls, int year) {
+  // Anchors: industry-average PUE fell from ~1.6 (2015) to ~1.45
+  // (2024); leadership liquid-cooled sites report 1.03-1.2.
+  double base = 1.5;
+  switch (cls) {
+    case FacilityClass::kLeadershipLiquidCooled: base = 1.06; break;
+    case FacilityClass::kModernDataCenter: base = 1.20; break;
+    case FacilityClass::kLegacyMachineRoom: base = 1.42; break;
+  }
+  // ~0.01/yr improvement after 2018 for non-leadership classes.
+  if (cls != FacilityClass::kLeadershipLiquidCooled && year > 2018) {
+    base -= 0.01 * (std::min(year, 2030) - 2018);
+  }
+  return std::clamp(base, 1.03, 2.0);
+}
+
+FacilityClass infer_facility_class(double it_power_kw, int year) {
+  if (it_power_kw >= 4000.0) return FacilityClass::kLeadershipLiquidCooled;
+  if (it_power_kw >= 800.0 || year >= 2021) {
+    return FacilityClass::kModernDataCenter;
+  }
+  return FacilityClass::kLegacyMachineRoom;
+}
+
+}  // namespace easyc::grid

@@ -1,0 +1,25 @@
+// Power Usage Effectiveness model.
+//
+// PUE converts IT power into facility power (cooling, distribution
+// losses). Few Top500 sites disclose PUE, so EasyC uses an era- and
+// class-based prior: liquid-cooled leadership facilities run near 1.1,
+// legacy air-cooled machine rooms near 1.5.
+#pragma once
+
+namespace easyc::grid {
+
+enum class FacilityClass {
+  kLeadershipLiquidCooled,  ///< purpose-built exascale-class facility
+  kModernDataCenter,        ///< hyperscaler / recent university DC
+  kLegacyMachineRoom,       ///< air-cooled legacy room
+};
+
+/// Default PUE prior for a facility class and installation year. Newer
+/// facilities trend lower; clamped to [1.03, 2.0].
+double default_pue(FacilityClass cls, int year);
+
+/// Infer facility class from system size: multi-megawatt systems are
+/// overwhelmingly liquid-cooled purpose-built sites.
+FacilityClass infer_facility_class(double it_power_kw, int year);
+
+}  // namespace easyc::grid

@@ -1,0 +1,132 @@
+#include "grid/temporal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace easyc::grid {
+
+namespace {
+constexpr int kHoursPerDay = 24;
+constexpr int kDaysPerYear = 365;
+constexpr int kHoursPerYear = kHoursPerDay * kDaysPerYear;
+}  // namespace
+
+HourlyAciProfile::HourlyAciProfile(double annual_mean_g_kwh,
+                                   const ProfileShape& shape) {
+  EASYC_REQUIRE(annual_mean_g_kwh >= 0, "annual mean must be non-negative");
+  hours_.resize(kHoursPerYear);
+  for (int d = 0; d < kDaysPerYear; ++d) {
+    // Seasonal: winter-high cosine peaking at day 15 (mid-January).
+    const double seasonal =
+        shape.seasonal_amp *
+        std::cos(2.0 * M_PI * (d - 15) / static_cast<double>(kDaysPerYear));
+    const bool weekend = (d % 7) >= 5;
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      // Solar dip centred on 13:00 (sharper in summer).
+      const double solar_season = 1.0 - 0.5 * seasonal / std::max(
+          shape.seasonal_amp, 1e-12);
+      const double solar =
+          -shape.solar_depth * (shape.seasonal_amp > 0 ? solar_season : 1.0) *
+          std::exp(-0.5 * std::pow((h - 13.0) / 2.5, 2.0));
+      // Evening ramp centred on 19:00.
+      const double evening =
+          shape.evening_peak *
+          std::exp(-0.5 * std::pow((h - 19.0) / 2.0, 2.0));
+      double v = 1.0 + seasonal + solar + evening;
+      if (weekend) v -= shape.weekend_drop;
+      hours_[d * kHoursPerDay + h] = std::max(0.0, v);
+    }
+  }
+  // Normalize so the arithmetic mean is exactly the annual mean.
+  const double mean =
+      std::accumulate(hours_.begin(), hours_.end(), 0.0) / hours_.size();
+  EASYC_REQUIRE(mean > 0, "degenerate profile shape");
+  for (double& v : hours_) v *= annual_mean_g_kwh / mean;
+}
+
+double HourlyAciProfile::annual_mean() const {
+  return std::accumulate(hours_.begin(), hours_.end(), 0.0) / hours_.size();
+}
+
+double HourlyAciProfile::min() const {
+  return *std::min_element(hours_.begin(), hours_.end());
+}
+
+double HourlyAciProfile::max() const {
+  return *std::max_element(hours_.begin(), hours_.end());
+}
+
+double HourlyAciProfile::carbon_mt(const std::vector<double>& load_kw) const {
+  EASYC_REQUIRE(!load_kw.empty(), "load series must not be empty");
+  double grams = 0.0;
+  for (int h = 0; h < kHoursPerYear; ++h) {
+    const double kw = load_kw[h % load_kw.size()];
+    EASYC_REQUIRE(kw >= 0, "load must be non-negative");
+    grams += kw * hours_[h];  // 1 hour per sample: kW -> kWh
+  }
+  return util::g_to_mt(grams);
+}
+
+double HourlyAciProfile::carbon_mt_flat(double load_kw) const {
+  return carbon_mt({load_kw});
+}
+
+double HourlyAciProfile::average_method_error(
+    const std::vector<double>& load_kw) const {
+  const double hourly = carbon_mt(load_kw);
+  EASYC_REQUIRE(hourly > 0, "zero-carbon load");
+  double kwh = 0.0;
+  for (int h = 0; h < kHoursPerYear; ++h) kwh += load_kw[h % load_kw.size()];
+  const double avg_method = util::g_to_mt(kwh * annual_mean());
+  return (avg_method - hourly) / hourly;
+}
+
+double HourlyAciProfile::shifting_savings(double deferrable_share,
+                                          int window_hours) const {
+  EASYC_REQUIRE(deferrable_share >= 0.0 && deferrable_share <= 1.0,
+                "deferrable share must be in [0,1]");
+  EASYC_REQUIRE(window_hours >= 1 && window_hours <= kHoursPerDay,
+                "window must be within a day");
+  // Baseline: flat unit load. Shifted: move the deferrable share of each
+  // day's energy into that day's cleanest `window_hours`.
+  double base_g = 0.0;
+  double shifted_g = 0.0;
+  for (int d = 0; d < kDaysPerYear; ++d) {
+    std::array<double, kHoursPerDay> day{};
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      day[h] = hours_[d * kHoursPerDay + h];
+      base_g += day[h];  // 1 kW flat
+    }
+    std::array<double, kHoursPerDay> sorted = day;
+    std::sort(sorted.begin(), sorted.end());
+    double clean_mean = 0.0;
+    for (int h = 0; h < window_hours; ++h) clean_mean += sorted[h];
+    clean_mean /= window_hours;
+    const double day_mean =
+        std::accumulate(day.begin(), day.end(), 0.0) / kHoursPerDay;
+    // Non-deferrable stays flat; deferrable energy runs at clean-window
+    // intensity.
+    shifted_g += kHoursPerDay * ((1.0 - deferrable_share) * day_mean +
+                                 deferrable_share * clean_mean);
+  }
+  return (base_g - shifted_g) / base_g;
+}
+
+std::vector<double> diurnal_load(double mean_kw, double day_night_swing) {
+  EASYC_REQUIRE(mean_kw > 0, "mean load must be positive");
+  EASYC_REQUIRE(day_night_swing >= 0.0 && day_night_swing <= 1.0,
+                "swing must be in [0,1]");
+  std::vector<double> load(kHoursPerDay);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    // Peak at 15:00, trough at 03:00.
+    load[h] = mean_kw * (1.0 + day_night_swing *
+                                   std::sin(2.0 * M_PI * (h - 9) / 24.0));
+  }
+  return load;
+}
+
+}  // namespace easyc::grid

@@ -1,0 +1,64 @@
+// Time-resolved grid carbon intensity.
+//
+// The paper lists "inconsistent time granularity" of carbon-intensity
+// data among the systematic errors of GHG-protocol accounting. This
+// module models an hourly ACI profile around an annual average —
+// diurnal solar displacement (the "duck curve"), a seasonal component,
+// and weekday/weekend demand — and quantifies:
+//   * the error made by using the annual average for a non-flat load,
+//   * the savings available to carbon-aware schedulers that shift
+//     deferrable load into clean hours.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace easyc::grid {
+
+/// Shape parameters for a synthetic hourly profile. All amplitudes are
+/// relative to the annual mean (e.g. 0.2 = +/-20% swing).
+struct ProfileShape {
+  double solar_depth = 0.15;     ///< midday dip from solar generation
+  double evening_peak = 0.12;    ///< evening ramp (gas peakers)
+  double seasonal_amp = 0.10;    ///< winter-high seasonal swing
+  double weekend_drop = 0.05;    ///< weekend demand reduction
+};
+
+/// One year of hourly intensities (8760 values, gCO2e/kWh).
+class HourlyAciProfile {
+ public:
+  /// Build a profile whose arithmetic mean equals `annual_mean_g_kwh`.
+  HourlyAciProfile(double annual_mean_g_kwh, const ProfileShape& shape = {});
+
+  const std::vector<double>& hours() const { return hours_; }
+  double annual_mean() const;
+  double min() const;
+  double max() const;
+
+  /// Carbon (MT CO2e) of an hourly load series (kW per hour; shorter
+  /// series wrap around the year).
+  double carbon_mt(const std::vector<double>& load_kw) const;
+
+  /// Carbon of a constant load, which by construction equals the
+  /// annual-average computation (flat loads are insensitive to time
+  /// granularity).
+  double carbon_mt_flat(double load_kw) const;
+
+  /// Relative error (fraction) of the annual-average method for a given
+  /// load series: (avg-method - hourly-method) / hourly-method.
+  double average_method_error(const std::vector<double>& load_kw) const;
+
+  /// Carbon saving (fraction) from shifting a fraction
+  /// `deferrable_share` of a flat load into the cleanest `window_hours`
+  /// of each day.
+  double shifting_savings(double deferrable_share, int window_hours) const;
+
+ private:
+  std::vector<double> hours_;
+};
+
+/// A daily load shape for a diurnally-varying HPC/AI facility: interactive
+/// daytime load plus a batch trough at night. Mean equals `mean_kw`.
+std::vector<double> diurnal_load(double mean_kw, double day_night_swing);
+
+}  // namespace easyc::grid

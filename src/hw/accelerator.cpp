@@ -1,0 +1,112 @@
+#include "hw/accelerator.hpp"
+
+#include "util/strings.hpp"
+
+namespace easyc::hw {
+
+const std::vector<AcceleratorSpec>& accelerator_catalog() {
+  // Die areas sum all logic dies in the package (e.g. MI250X = 2 GCDs,
+  // MI300A = 6 XCD + 3 CCD + 4 IOD chiplets, GH200 counts only the GPU
+  // die — its Grace die is modeled by the CPU catalog).
+  static const std::vector<AcceleratorSpec> kCatalog = {
+      // --- NVIDIA ---
+      {"GB200", "NVIDIA", 4, 16.6, 1200, 192, MemoryType::kHbm3, 2024,
+       {"gb200"}},
+      {"GH200 (H100 die)", "NVIDIA", 4, 8.14, 700, 96, MemoryType::kHbm3,
+       2023, {"gh200"}},
+      {"H200", "NVIDIA", 4, 8.14, 700, 141, MemoryType::kHbm3, 2024,
+       {"h200"}},
+      {"H100 SXM", "NVIDIA", 4, 8.14, 700, 80, MemoryType::kHbm3, 2022,
+       {"h100"}},
+      {"A100 80GB", "NVIDIA", 7, 8.26, 400, 80, MemoryType::kHbm2e, 2021,
+       {"a100 80", "a100-80", "a100 sxm4 80", "a100 sxm4 64"}},
+      {"A100 40GB", "NVIDIA", 7, 8.26, 400, 40, MemoryType::kHbm2, 2020,
+       {"a100"}},
+      {"V100", "NVIDIA", 12, 8.15, 300, 16, MemoryType::kHbm2, 2017,
+       {"v100", "volta"}},
+      {"P100", "NVIDIA", 16, 6.10, 300, 16, MemoryType::kHbm2, 2016,
+       {"p100"}},
+      {"L40S", "NVIDIA", 4, 6.09, 350, 48, MemoryType::kDdr5, 2023,
+       {"l40s", "l40"}},
+      {"A40", "NVIDIA", 7, 6.28, 300, 48, MemoryType::kDdr5, 2020,
+       {"a40 ", "rtx a6000"}},
+      {"A30", "NVIDIA", 7, 8.26, 165, 24, MemoryType::kHbm2, 2021,
+       {"a30 ", "a30,"}},
+      {"A800 80GB", "NVIDIA", 7, 8.26, 400, 80, MemoryType::kHbm2e, 2022,
+       {"a800"}},
+      {"H800", "NVIDIA", 4, 8.14, 700, 80, MemoryType::kHbm3, 2023,
+       {"h800"}},
+      {"T4", "NVIDIA", 12, 5.45, 70, 16, MemoryType::kDdr5, 2018,
+       {"tesla t4", "t4 "}},
+      {"K20x", "NVIDIA", 28, 5.61, 235, 6, MemoryType::kDdr3, 2012,
+       {"k20x", "k40", "k80"}},
+      // --- AMD Instinct ---
+      {"MI300A", "AMD", 5, 9.2, 760, 128, MemoryType::kHbm3, 2023,
+       {"mi300a", "instinct mi300a"}},
+      {"MI300X", "AMD", 5, 10.5, 750, 192, MemoryType::kHbm3, 2023,
+       {"mi300x"}},
+      {"MI325X", "AMD", 5, 10.5, 1000, 256, MemoryType::kHbm3, 2024,
+       {"mi325x"}},
+      {"MI250X", "AMD", 6, 14.5, 560, 128, MemoryType::kHbm2e, 2021,
+       {"mi250x", "mi250"}},
+      {"MI210", "AMD", 6, 7.2, 300, 64, MemoryType::kHbm2e, 2022,
+       {"mi210"}},
+      {"MI100", "AMD", 7, 7.5, 300, 32, MemoryType::kHbm2, 2020, {"mi100"}},
+      // --- Intel ---
+      {"Data Center GPU Max 1550", "Intel", 5, 12.8, 600, 128,
+       MemoryType::kHbm2e, 2023, {"max 1550", "ponte vecchio", "gpu max"}},
+      {"Gaudi 2", "Intel/Habana", 7, 8.5, 600, 96, MemoryType::kHbm2e,
+       2022, {"gaudi2", "gaudi 2"}},
+      {"Xeon Phi 7120P (KNC)", "Intel", 22, 7.2, 300, 16,
+       MemoryType::kDdr3, 2013, {"xeon phi 7120", "5110p", "31s1p"}},
+      // --- NEC vector engines ---
+      {"SX-Aurora VE 30A", "NEC", 7, 5.4, 250, 96, MemoryType::kHbm3, 2023,
+       {"ve 30", "vector engine type 30"}},
+      {"SX-Aurora VE 20B", "NEC", 16, 5.0, 300, 48, MemoryType::kHbm2, 2020,
+       {"sx-aurora", "vector engine"}},
+      // --- Chinese accelerators (approximations; the paper flags these
+      //     as the hardest to document) ---
+      {"Sunway SW26010-Pro accel cluster", "Sunway", 14, 6.0, 350, 16,
+       MemoryType::kDdr4, 2021, {"sw26010-pro", "sw26010pro"}},
+      {"Matrix-3000", "NUDT", 12, 6.4, 400, 32, MemoryType::kHbm2, 2021,
+       {"matrix-3000"}},
+      {"Deep Computing Processor", "Biren-class", 7, 7.7, 450, 64,
+       MemoryType::kHbm2e, 2022, {"dcu", "deep computing"}},
+      // --- PEZY ---
+      {"PEZY-SC3", "PEZY", 7, 7.86, 470, 32, MemoryType::kDdr4, 2021,
+       {"pezy-sc3", "pezy"}},
+  };
+  return kCatalog;
+}
+
+std::optional<AcceleratorSpec> find_accelerator(
+    std::string_view accelerator_string) {
+  if (util::trim(accelerator_string).empty()) return std::nullopt;
+  const std::string needle = util::to_lower(accelerator_string);
+  if (needle == "none" || needle == "n/a") return std::nullopt;
+  for (const auto& spec : accelerator_catalog()) {
+    for (const auto& key : spec.match_keys) {
+      if (needle.find(key) != std::string::npos) return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+AcceleratorSpec mainstream_gpu_proxy(int year) {
+  // "Approximating these accelerators with mainstream GPUs produces
+  // systematic underestimates of silicon size" — the proxy is the
+  // volume datacenter GPU of the era, which is smaller than the bespoke
+  // HPC parts it stands in for.
+  if (year >= 2023) {
+    return {"proxy-H100", "proxy", 4, 8.14, 700, 80, MemoryType::kHbm3,
+            year, {}};
+  }
+  if (year >= 2020) {
+    return {"proxy-A100", "proxy", 7, 8.26, 400, 40, MemoryType::kHbm2,
+            year, {}};
+  }
+  return {"proxy-V100", "proxy", 12, 8.15, 300, 16, MemoryType::kHbm2, year,
+          {}};
+}
+
+}  // namespace easyc::hw

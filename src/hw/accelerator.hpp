@@ -1,0 +1,42 @@
+// Accelerator (GPU/co-processor) catalog.
+//
+// The paper identifies accelerator diversity as the main obstacle to
+// embodied-carbon coverage: "top systems today make heavy use of an
+// increasingly diverse set of accelerators ... Top500.org does not
+// capture adequate accelerator information." This catalog covers every
+// accelerator family on the November-2024 list, including the early or
+// unique devices it names (MI300A, A64FX handled as CPU, SW26010).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/memory.hpp"
+
+namespace easyc::hw {
+
+struct AcceleratorSpec {
+  std::string model;
+  std::string vendor;
+  int process_nm = 7;
+  double die_area_cm2 = 0;   ///< logic silicon per package (sum of dies)
+  double tdp_w = 0;
+  double hbm_gb = 0;         ///< on-package memory capacity
+  MemoryType hbm_type = MemoryType::kHbm2e;
+  int year = 2020;
+  std::vector<std::string> match_keys;  ///< lower-case substrings
+};
+
+const std::vector<AcceleratorSpec>& accelerator_catalog();
+
+/// Match a Top500 accelerator string; nullopt if unknown.
+std::optional<AcceleratorSpec> find_accelerator(
+    std::string_view accelerator_string);
+
+/// The "approximate with a mainstream GPU" fallback the paper describes
+/// (and warns systematically underestimates silicon for novel parts).
+AcceleratorSpec mainstream_gpu_proxy(int year);
+
+}  // namespace easyc::hw

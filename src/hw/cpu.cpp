@@ -1,0 +1,157 @@
+#include "hw/cpu.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::hw {
+
+const std::vector<CpuSpec>& cpu_catalog() {
+  // Die areas are total compute silicon per package (sum of chiplets
+  // for MCM parts), from die-shot analyses and vendor disclosures.
+  static const std::vector<CpuSpec> kCatalog = {
+      // --- AMD EPYC (chiplet sums: CCDs + IOD) ---
+      {"EPYC 9754", "AMD", 5, 11.5, 360, 128, 2023, {"epyc 9754"}},
+      {"EPYC 9684X", "AMD", 5, 13.0, 400, 96, 2023, {"epyc 9684"}},
+      {"EPYC 9654", "AMD", 5, 10.8, 360, 96, 2022, {"epyc 9654"}},
+      {"EPYC 9554", "AMD", 5, 9.2, 360, 64, 2022, {"epyc 9554"}},
+      {"EPYC 9534", "AMD", 5, 9.2, 280, 64, 2022, {"epyc 9534"}},
+      {"EPYC 9454", "AMD", 5, 8.0, 290, 48, 2022, {"epyc 9454"}},
+      {"EPYC 9374F", "AMD", 5, 8.0, 320, 32, 2022, {"epyc 9374"}},
+      {"EPYC 9274F", "AMD", 5, 6.6, 320, 24, 2022, {"epyc 9274"}},
+      {"EPYC 7763", "AMD", 7, 10.3, 280, 64, 2021, {"epyc 7763"}},
+      {"EPYC 7742", "AMD", 7, 10.3, 225, 64, 2019, {"epyc 7742"}},
+      {"EPYC 7713", "AMD", 7, 10.3, 225, 64, 2021, {"epyc 7713"}},
+      {"EPYC 7662", "AMD", 7, 10.3, 225, 64, 2020, {"epyc 7662"}},
+      {"EPYC 7601", "AMD", 14, 8.5, 180, 32, 2017, {"epyc 7601"}},
+      {"EPYC 7543", "AMD", 7, 8.2, 225, 32, 2021, {"epyc 7543"}},
+      {"EPYC 7532", "AMD", 7, 8.2, 200, 32, 2020, {"epyc 7532"}},
+      {"EPYC 7502", "AMD", 7, 8.2, 180, 32, 2019, {"epyc 7502"}},
+      {"EPYC 7452", "AMD", 7, 8.2, 155, 32, 2019, {"epyc 7452"}},
+      {"EPYC 7402", "AMD", 7, 7.0, 180, 24, 2019, {"epyc 7402"}},
+      {"EPYC (Trento) 7A53", "AMD", 7, 10.3, 280, 64, 2021,
+       {"7a53", "trento", "optimized 3rd gen epyc"}},
+      {"EPYC 9V84 (Genoa custom)", "AMD", 5, 10.8, 360, 96, 2023,
+       {"9v84"}},
+      {"EPYC 7573X", "AMD", 7, 11.0, 280, 32, 2022, {"7573x", "7373x"}},
+      {"EPYC 7H12", "AMD", 7, 10.3, 280, 64, 2019, {"7h12"}},
+      {"EPYC 7551", "AMD", 14, 8.5, 180, 32, 2017, {"7551"}},
+      {"EPYC 7371", "AMD", 14, 8.5, 200, 16, 2018, {"7371"}},
+      {"EPYC generic", "AMD", 7, 9.0, 225, 48, 2020, {"epyc"}},
+      // --- Intel Xeon ---
+      {"Xeon Max 9470", "Intel", 10, 15.5, 350, 52, 2023,
+       {"xeon max 9470", "max 9470", "xeon cpu max"}},
+      {"Xeon Platinum 8592+", "Intel", 7, 12.6, 350, 64, 2023,
+       {"platinum 8592"}},
+      {"Xeon Platinum 8480+", "Intel", 10, 15.0, 350, 56, 2023,
+       {"platinum 8480", "platinum 8470", "platinum 8460"}},
+      {"Xeon Platinum 8380", "Intel", 10, 6.6, 270, 40, 2021,
+       {"platinum 8380", "platinum 8368", "platinum 8358"}},
+      {"Xeon Platinum 8280", "Intel", 14, 6.9, 205, 28, 2019,
+       {"platinum 8280", "platinum 8276", "platinum 8268"}},
+      {"Xeon Platinum 8174", "Intel", 14, 6.9, 240, 24, 2017,
+       {"platinum 8174", "platinum 8168", "platinum 8160"}},
+      {"Xeon Gold 6348", "Intel", 10, 6.6, 235, 28, 2021,
+       {"gold 6348", "gold 6338", "gold 6330"}},
+      {"Xeon Gold 6248", "Intel", 14, 6.9, 150, 20, 2019,
+       {"gold 6248", "gold 6252", "gold 6240", "gold 6230"}},
+      {"Xeon Gold 6148", "Intel", 14, 6.9, 150, 20, 2017,
+       {"gold 6148", "gold 6154", "gold 6140"}},
+      {"Xeon E5-2690v3", "Intel", 22, 6.6, 135, 12, 2014,
+       {"e5-2690", "e5-2680", "e5-2695", "e5-2697"}},
+      {"Xeon Phi 7250", "Intel", 14, 6.8, 215, 68, 2016,
+       {"xeon phi", "7250 68c"}},
+      {"Xeon 6980P (Granite Rapids)", "Intel", 3, 11.6, 500, 128, 2024,
+       {"xeon 6980", "granite rapids"}},
+      {"Xeon Platinum 9242", "Intel", 14, 13.8, 350, 48, 2019,
+       {"platinum 9242", "platinum 9282"}},
+      {"Xeon Silver 4216", "Intel", 14, 4.0, 100, 16, 2019,
+       {"silver 42", "silver 41"}},
+      {"Xeon E5-2650v4", "Intel", 14, 4.6, 105, 12, 2016,
+       {"e5-2650", "e5-2640", "e5-2630"}},
+      {"Xeon generic", "Intel", 10, 7.0, 225, 32, 2020, {"xeon", "platinum",
+                                                         "intel gold"}},
+      // --- Arm server parts ---
+      {"A64FX", "Fujitsu", 7, 4.0, 160, 48, 2019, {"a64fx"}},
+      {"Grace CPU 72C", "NVIDIA", 4, 5.5, 250, 72, 2023, {"grace"}},
+      {"Ampere Altra Max", "Ampere", 7, 6.5, 250, 128, 2021, {"altra"}},
+      {"AWS Graviton3", "Amazon", 5, 4.5, 100, 64, 2022, {"graviton3"}},
+      {"Fujitsu MONAKA", "Fujitsu", 3, 6.0, 270, 144, 2027, {"monaka"}},
+      {"Marvell ThunderX2", "Marvell", 16, 6.4, 180, 32, 2018,
+       {"thunderx2"}},
+      {"Fujitsu SPARC64 XIfx", "Fujitsu", 20, 6.0, 200, 32, 2015,
+       {"sparc64"}},
+      // --- Chinese parts ---
+      // Note: SW26010 (Sunway) is deliberately NOT in the catalog. The
+      // paper identifies such "early or unique compute devices" as
+      // unmodelable for embodied carbon (Sunway TaihuLight's embodied
+      // value exists only by interpolation in its Table II).
+      {"Hygon Dhyana 7185", "Hygon", 14, 8.5, 180, 32, 2018, {"hygon"}},
+      {"Phytium 2000+", "Phytium", 16, 4.0, 150, 64, 2019, {"phytium", "ft-2000"}},
+      // --- IBM ---
+      {"POWER9 22C", "IBM", 14, 6.9, 250, 22, 2017, {"power9"}},
+      {"POWER10", "IBM", 7, 6.0, 300, 15, 2021, {"power10"}},
+      // --- NEC vector host ---
+      {"NEC SX-Aurora VH", "NEC", 16, 5.0, 200, 24, 2018,
+       {"sx-aurora", "vector host"}},
+  };
+  return kCatalog;
+}
+
+std::optional<CpuSpec> find_cpu(std::string_view processor_string) {
+  if (util::trim(processor_string).empty()) return std::nullopt;
+  const std::string needle = util::to_lower(processor_string);
+  for (const auto& spec : cpu_catalog()) {
+    for (const auto& key : spec.match_keys) {
+      if (needle.find(key) != std::string::npos) return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+CpuSpec generic_server_cpu(int year, int cores) {
+  EASYC_REQUIRE(cores > 0, "generic CPU needs a positive core count");
+  CpuSpec spec;
+  spec.model = "generic-server";
+  spec.vendor = "generic";
+  spec.cores = cores;
+  spec.year = year;
+  // Era-typical node and per-core silicon. Older processes spend more
+  // area per core; newer parts add L3 and IO that offset density gains.
+  if (year >= 2023) {
+    spec.process_nm = 5;
+    spec.die_area_cm2 = 0.105 * cores;
+    spec.tdp_w = 4.0 * cores;
+  } else if (year >= 2020) {
+    spec.process_nm = 7;
+    spec.die_area_cm2 = 0.14 * cores;
+    spec.tdp_w = 3.8 * cores;
+  } else if (year >= 2017) {
+    spec.process_nm = 14;
+    spec.die_area_cm2 = 0.25 * cores;
+    spec.tdp_w = 6.0 * cores;
+  } else {
+    spec.process_nm = 22;
+    spec.die_area_cm2 = 0.45 * cores;
+    spec.tdp_w = 9.0 * cores;
+  }
+  spec.die_area_cm2 = std::min(spec.die_area_cm2, 14.0);
+  spec.tdp_w = std::min(spec.tdp_w, 400.0);
+  return spec;
+}
+
+bool is_mainstream_server_cpu(std::string_view processor_string) {
+  static const char* kMarkers[] = {
+      "xeon",  "epyc",    "opteron",  "power",   "sparc",   "arm",
+      "altra", "grace",   "graviton", "a64fx",   "neoverse", "intel",
+      "amd",   "itanium", "core i",   "threadripper",
+  };
+  const std::string n = util::to_lower(processor_string);
+  for (const char* m : kMarkers) {
+    if (n.find(m) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace easyc::hw

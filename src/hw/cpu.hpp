@@ -1,0 +1,50 @@
+// CPU catalog: per-model die area, process node, TDP, and core count.
+//
+// Top500.org reports processor strings like "AMD EPYC 9654 64C 2.4GHz"
+// or "Xeon Platinum 8480+"; lookup is by case-insensitive substring so
+// catalog entries match the reported strings directly. The catalog
+// covers every processor family appearing in the November-2024 list,
+// including the unusual parts the paper calls out (A64FX, SW26010).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easyc::hw {
+
+struct CpuSpec {
+  std::string model;        ///< canonical name
+  std::string vendor;       ///< AMD / Intel / Fujitsu / ...
+  int process_nm = 7;       ///< logic process node
+  double die_area_cm2 = 0;  ///< total compute silicon per package
+  double tdp_w = 0;         ///< package TDP
+  int cores = 0;            ///< physical cores per package
+  int year = 2020;          ///< introduction year
+
+  /// Lower-cased substrings that identify this part in Top500 strings;
+  /// checked in catalog order, so more specific entries come first.
+  std::vector<std::string> match_keys;
+};
+
+/// Full catalog, most-specific entries first.
+const std::vector<CpuSpec>& cpu_catalog();
+
+/// Match a Top500 processor string; nullopt if no entry matches.
+std::optional<CpuSpec> find_cpu(std::string_view processor_string);
+
+/// Family-average fallback: per-core die area and TDP for generic
+/// server CPUs of a given year, used when the exact part is unknown but
+/// core counts are reported (the CPU-only ranks 151-500 case in the
+/// paper, where Top500 core counts suffice for embodied carbon).
+CpuSpec generic_server_cpu(int year, int cores);
+
+/// True when the processor string names a mainstream server-CPU family
+/// (x86/Arm/POWER lineages) for which the era-generic silicon model is a
+/// sound stand-in. Exotic/unique devices (Sunway SW26010, ShenWei,
+/// custom manycore parts) return false: the paper treats them as
+/// unmodelable for embodied carbon without additional disclosure.
+bool is_mainstream_server_cpu(std::string_view processor_string);
+
+}  // namespace easyc::hw

@@ -1,0 +1,86 @@
+#include "hw/memory.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::hw {
+
+MemorySpec memory_spec(MemoryType type) {
+  // Embodied kgCO2e/GB: DDR generations improve slowly with density;
+  // HBM carries a stacking/TSV penalty (roughly 1.5-2x planar DRAM at
+  // equal capacity). Power: active W/GB from vendor datasheets.
+  switch (type) {
+    case MemoryType::kDdr3:
+      return {type, 0.63, 0.045};
+    case MemoryType::kDdr4:
+      return {type, 0.50, 0.038};
+    case MemoryType::kDdr5:
+      return {type, 0.42, 0.030};
+    case MemoryType::kHbm2:
+      return {type, 1.05, 0.025};
+    case MemoryType::kHbm2e:
+      return {type, 0.95, 0.024};
+    case MemoryType::kHbm3:
+      return {type, 0.88, 0.022};
+    case MemoryType::kUnknown:
+      // Conservative planar-DRAM default used when the memory type is
+      // one of the metrics missing from public sources (Table I shows
+      // it is missing for every system on Top500.org).
+      return {type, 0.50, 0.035};
+  }
+  EASYC_REQUIRE(false, "unreachable memory type");
+  return {};
+}
+
+MemoryType parse_memory_type(std::string_view name) {
+  const std::string n = util::to_lower(util::trim(name));
+  if (n == "ddr3") return MemoryType::kDdr3;
+  if (n == "ddr4") return MemoryType::kDdr4;
+  if (n == "ddr5") return MemoryType::kDdr5;
+  if (n == "hbm2") return MemoryType::kHbm2;
+  if (n == "hbm2e") return MemoryType::kHbm2e;
+  if (n == "hbm3" || n == "hbm3e") return MemoryType::kHbm3;
+  return MemoryType::kUnknown;
+}
+
+std::string memory_type_name(MemoryType type) {
+  switch (type) {
+    case MemoryType::kDdr3: return "DDR3";
+    case MemoryType::kDdr4: return "DDR4";
+    case MemoryType::kDdr5: return "DDR5";
+    case MemoryType::kHbm2: return "HBM2";
+    case MemoryType::kHbm2e: return "HBM2e";
+    case MemoryType::kHbm3: return "HBM3";
+    case MemoryType::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+StorageSpec storage_spec(StorageClass cls) {
+  // kgCO2e/TB from SSD/HDD vendor LCAs: NAND flash is manufacturing-
+  // intensive (~100 kg/TB for current TLC), spinning disk is an order
+  // of magnitude lighter per TB. The paper notes embodied carbon is
+  // "heavily influenced by storage" — these coefficients are why: a
+  // 700 PB parallel filesystem contributes tens of thousands of MT.
+  switch (cls) {
+    case StorageClass::kNvmeSsd:
+      return {cls, 130.0, 0.9};
+    case StorageClass::kSataSsd:
+      return {cls, 118.0, 1.1};
+    case StorageClass::kHdd:
+      return {cls, 9.5, 0.55};
+  }
+  EASYC_REQUIRE(false, "unreachable storage class");
+  return {};
+}
+
+std::string storage_class_name(StorageClass cls) {
+  switch (cls) {
+    case StorageClass::kNvmeSsd: return "NVMe SSD";
+    case StorageClass::kSataSsd: return "SATA SSD";
+    case StorageClass::kHdd: return "HDD";
+  }
+  return "unknown";
+}
+
+}  // namespace easyc::hw

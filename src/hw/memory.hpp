@@ -1,0 +1,55 @@
+// Memory and storage manufacturing-carbon and power coefficients.
+//
+// DRAM embodied carbon is modeled per GB by memory generation (denser
+// processes amortize wafer carbon over more bits, but HBM stacking and
+// TSV yield loss push the other way). Values are industry-average
+// kgCO2e/GB consistent with the ACT paper and DRAM-vendor LCA reports.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace easyc::hw {
+
+enum class MemoryType {
+  kDdr3,
+  kDdr4,
+  kDdr5,
+  kHbm2,
+  kHbm2e,
+  kHbm3,
+  kUnknown,
+};
+
+struct MemorySpec {
+  MemoryType type = MemoryType::kUnknown;
+  double embodied_kg_per_gb = 0.0;  ///< manufacturing carbon, kgCO2e/GB
+  double power_w_per_gb = 0.0;      ///< active power draw, W/GB
+};
+
+/// Coefficients for a memory generation.
+MemorySpec memory_spec(MemoryType type);
+
+/// Parse names like "DDR4", "ddr5", "HBM2e". Unrecognized -> kUnknown.
+MemoryType parse_memory_type(std::string_view name);
+
+std::string memory_type_name(MemoryType type);
+
+enum class StorageClass {
+  kNvmeSsd,
+  kSataSsd,
+  kHdd,
+};
+
+struct StorageSpec {
+  StorageClass cls = StorageClass::kNvmeSsd;
+  double embodied_kg_per_tb = 0.0;  ///< manufacturing carbon, kgCO2e/TB
+  double power_w_per_tb = 0.0;      ///< operating power, W/TB
+};
+
+StorageSpec storage_spec(StorageClass cls);
+
+std::string storage_class_name(StorageClass cls);
+
+}  // namespace easyc::hw

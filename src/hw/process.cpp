@@ -1,0 +1,56 @@
+#include "hw/process.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace easyc::hw {
+
+double ProcessNode::carbon_per_cm2(double fab_aci_kg_kwh) const {
+  EASYC_REQUIRE(fab_aci_kg_kwh >= 0.0, "fab ACI must be non-negative");
+  EASYC_REQUIRE(yield > 0.0 && yield <= 1.0, "yield must be in (0,1]");
+  return (epa_kwh_cm2 * fab_aci_kg_kwh + gpa_kg_cm2 + mpa_kg_cm2) / yield;
+}
+
+const std::vector<ProcessNode>& process_nodes() {
+  // EPA/GPA/MPA trajectories follow ACT Table 2 (interpolated where a
+  // node is between published points). Energy per area grows steeply
+  // below 10nm due to EUV multi-patterning; yields drop for the largest
+  // reticle-limited dies but are modeled per-node here (die-size yield
+  // effects are folded into the catalog areas).
+  static const std::vector<ProcessNode> kNodes = {
+      {3, 3.00, 0.33, 0.58, 0.85},
+      {4, 2.70, 0.31, 0.56, 0.87},
+      {5, 2.45, 0.30, 0.55, 0.875},
+      {7, 2.15, 0.28, 0.52, 0.88},
+      {10, 1.80, 0.27, 0.50, 0.89},
+      {12, 1.65, 0.26, 0.49, 0.90},
+      {14, 1.50, 0.25, 0.49, 0.90},
+      {16, 1.40, 0.25, 0.48, 0.91},
+      {22, 1.20, 0.24, 0.46, 0.92},
+      {28, 1.05, 0.23, 0.45, 0.93},
+      {40, 0.90, 0.22, 0.44, 0.94},
+      {65, 0.75, 0.21, 0.43, 0.95},
+  };
+  return kNodes;
+}
+
+ProcessNode find_process_node(int nm) {
+  EASYC_REQUIRE(nm > 0, "process node must be positive");
+  const auto& nodes = process_nodes();
+  const ProcessNode* best = &nodes.front();
+  int best_dist = std::abs(best->nm - nm);
+  for (const auto& n : nodes) {
+    const int d = std::abs(n.nm - nm);
+    // Ties break toward the older node: half-generation names ("6nm",
+    // "12nm") are optical shrinks of the older full node.
+    if (d < best_dist || (d == best_dist && n.nm > best->nm)) {
+      best = &n;
+      best_dist = d;
+    }
+  }
+  return *best;
+}
+
+}  // namespace easyc::hw

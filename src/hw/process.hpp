@@ -1,0 +1,43 @@
+// Semiconductor process-node manufacturing-carbon model.
+//
+// Follows the structure of ACT (Gupta et al., ISCA'22): the embodied
+// carbon of a logic die is
+//
+//   C_die = area_cm2 * CPA(node)
+//   CPA   = (EPA * fab_aci + GPA + MPA) / yield
+//
+// where EPA is fab energy per wafer area (kWh/cm2), GPA direct gas
+// emissions per area (kgCO2e/cm2), MPA materials per area, and yield the
+// fraction of good dies. Coefficients are embedded per node from the
+// ACT paper's published tables (industry-average scenario); callers can
+// override the fab grid intensity to study fab-siting sensitivity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace easyc::hw {
+
+/// One manufacturing process generation.
+struct ProcessNode {
+  int nm = 0;            ///< marketing node, e.g. 7 for "7nm"
+  double epa_kwh_cm2;    ///< fab energy per die area, kWh/cm2
+  double gpa_kg_cm2;     ///< direct GHG (PFC etc.) per area, kgCO2e/cm2
+  double mpa_kg_cm2;     ///< upstream materials per area, kgCO2e/cm2
+  double yield;          ///< good-die fraction in (0,1]
+
+  /// Carbon per good die area (kgCO2e/cm2) at a fab grid intensity of
+  /// `fab_aci_kg_kwh` (kgCO2e/kWh). Default 0.475 kg/kWh is ACT's
+  /// world-average fab electricity scenario.
+  double carbon_per_cm2(double fab_aci_kg_kwh = 0.475) const;
+};
+
+/// All modeled nodes, newest first. Covers every node appearing in the
+/// CPU/accelerator catalogs.
+const std::vector<ProcessNode>& process_nodes();
+
+/// Find a node by nm value; falls back to the nearest modeled node if
+/// the exact one is absent (e.g. "6nm" -> 7nm coefficients).
+ProcessNode find_process_node(int nm);
+
+}  // namespace easyc::hw

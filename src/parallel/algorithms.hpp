@@ -1,0 +1,107 @@
+// Data-parallel building blocks on top of ThreadPool.
+//
+// Chunking strategy: the index range is cut into ~4 chunks per worker so
+// that mild load imbalance (e.g. accelerator-rich systems cost more to
+// model than CPU-only ones) is absorbed without fine-grained queueing.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace easyc::par {
+
+/// Invoke f(i) for every i in [begin, end) across the pool. Blocks until
+/// complete. The body must not throw for indices it cannot handle —
+/// exceptions propagate out of parallel_for after all chunks finish or
+/// fail.
+template <typename F>
+void parallel_for(ThreadPool& pool, size_t begin, size_t end, F&& f) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t nchunks =
+      std::min<size_t>(n, static_cast<size_t>(pool.size()) * 4);
+  const size_t chunk = (n + nchunks - 1) / nchunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(nchunks);
+  for (size_t c = 0; c < nchunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([lo, hi, &f] {
+      for (size_t i = lo; i < hi; ++i) f(i);
+    }));
+  }
+  // Collect all first so every chunk completes even if one throws; then
+  // rethrow the first failure.
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// parallel_for on the process-global pool.
+template <typename F>
+void parallel_for(size_t begin, size_t end, F&& f) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<F>(f));
+}
+
+/// Map f over [begin, end), materializing results in index order.
+template <typename F>
+auto parallel_map(ThreadPool& pool, size_t begin, size_t end, F&& f)
+    -> std::vector<decltype(f(size_t{0}))> {
+  using R = decltype(f(size_t{0}));
+  std::vector<R> out(end > begin ? end - begin : 0);
+  parallel_for(pool, begin, end,
+               [&](size_t i) { out[i - begin] = f(i); });
+  return out;
+}
+
+/// Reduction: combine f(i) over [begin, end) with `combine`, starting
+/// from `init`. `combine` must be associative and commutative; each
+/// chunk reduces locally and chunk results fold serially, so the result
+/// is deterministic for exact operations and stable within floating
+/// error for sums.
+template <typename T, typename F, typename Combine>
+T parallel_reduce(ThreadPool& pool, size_t begin, size_t end, T init, F&& f,
+                  Combine&& combine) {
+  if (begin >= end) return init;
+  const size_t n = end - begin;
+  const size_t nchunks =
+      std::min<size_t>(n, static_cast<size_t>(pool.size()) * 4);
+  const size_t chunk = (n + nchunks - 1) / nchunks;
+
+  std::vector<std::future<T>> futures;
+  for (size_t c = 0; c < nchunks; ++c) {
+    const size_t lo = begin + c * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([lo, hi, init, &f, &combine]() -> T {
+      T acc = init;
+      for (size_t i = lo; i < hi; ++i) acc = combine(acc, f(i));
+      return acc;
+    }));
+  }
+  T total = init;
+  std::exception_ptr first_error;
+  for (auto& fut : futures) {
+    try {
+      total = combine(total, fut.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return total;
+}
+
+}  // namespace easyc::par

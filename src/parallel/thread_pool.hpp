@@ -1,0 +1,68 @@
+// A fixed-size thread pool with a single locked deque.
+//
+// The workloads in this repository (Monte-Carlo uncertainty trials,
+// per-system model sweeps, ablation grids) are embarrassingly parallel
+// with coarse task granularity, so a simple mutex-protected queue is the
+// right tool: contention is negligible once tasks are chunked (see
+// parallel_for), and the implementation stays auditable.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easyc::par {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; returns a future for its result. Exceptions thrown
+  /// by the task are captured into the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        throw std::runtime_error("submit() on a stopping ThreadPool");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide default pool, lazily constructed with one worker per
+  /// hardware thread. Intended for library-internal parallel_for calls;
+  /// applications that need custom sizing construct their own pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace easyc::par

@@ -1,0 +1,466 @@
+#include "report/experiments.hpp"
+
+#include <cmath>
+
+#include "analysis/coverage.hpp"
+#include "analysis/equivalence.hpp"
+#include "report/paper_reference.hpp"
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::report {
+
+namespace {
+
+using util::format_double;
+using util::with_commas;
+using P = PaperReference;
+
+std::string paper_vs(const std::string& what, double paper, double measured,
+                     int digits = 0) {
+  return "  [paper-vs-measured] " + what + ": paper=" +
+         format_double(paper, digits) +
+         " measured=" + format_double(measured, digits) + "\n";
+}
+
+std::vector<double> ranks_of(const analysis::PipelineResult& r) {
+  std::vector<double> xs;
+  xs.reserve(r.records.size());
+  for (const auto& rec : r.records) xs.push_back(rec.rank);
+  return xs;
+}
+
+// Sampled scatter of covered systems for series plots.
+void covered_points(const analysis::CarbonSeries& s,
+                    const std::vector<top500::SystemRecord>& recs,
+                    std::vector<double>* xs, std::vector<double>* ys) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i]) {
+      xs->push_back(recs[i].rank);
+      ys->push_back(*s[i] / 1000.0);  // thousand MT
+    }
+  }
+}
+
+std::string coverage_range_report(const analysis::PipelineResult& r,
+                                  bool operational_side,
+                                  const char* figure_label) {
+  std::string out;
+  out += std::string(figure_label) + "\n";
+  auto base = analysis::coverage_by_range(r.records, r.baseline.assessments,
+                                          operational_side);
+  auto enh = analysis::coverage_by_range(r.records, r.enhanced.assessments,
+                                         operational_side);
+  util::TextTable t({"Rank range", "Top500.org %", "+public %"});
+  for (size_t i = 0; i < base.size(); ++i) {
+    t.add_row({base[i].range.label(), format_double(base[i].covered_pct, 1),
+               format_double(enh[i].covered_pct, 1)});
+  }
+  out += t.render();
+  return out;
+}
+
+}  // namespace
+
+std::string fig02_missingness(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 2 — Structural information reported for Top500 data items\n";
+  const auto hist = analysis::fig2_histogram(r.records);
+  std::vector<util::Bar> bars;
+  for (int k = 1; k <= top500::kNumTop500DataItems; ++k) {
+    bars.push_back({std::to_string(k), static_cast<double>(hist[k])});
+  }
+  bars.push_back({"None", static_cast<double>(hist[0])});
+  out += util::bar_chart(bars, 50, "# of systems missing k data items");
+  out += "  (every system misses at least the Memory item: Table I "
+         "reports 499/500 without memory capacity)\n";
+  return out;
+}
+
+std::string fig03_carbon_vs_rank_baseline(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 3 — Carbon vs rank, Top500.org data only (thousand MT CO2e)\n";
+  std::vector<double> xs, ys;
+  covered_points(r.baseline.operational, r.records, &xs, &ys);
+  out += util::series_plot(xs, ys, 72, 14, "(a) Operational, covered " +
+                                               std::to_string(xs.size()) +
+                                               "/500");
+  xs.clear();
+  ys.clear();
+  covered_points(r.baseline.embodied, r.records, &xs, &ys);
+  out += util::series_plot(xs, ys, 72, 14, "(b) Embodied, covered " +
+                                               std::to_string(xs.size()) +
+                                               "/500");
+  out += paper_vs("op covered (Top500.org)", P::kOpCoveredTop500,
+                  r.baseline.coverage.operational);
+  out += paper_vs("emb covered (Top500.org)", P::kEmbCoveredTop500,
+                  r.baseline.coverage.embodied);
+  return out;
+}
+
+std::string fig04_coverage_bars(const analysis::PipelineResult& r) {
+  std::string out = "Fig. 4 — Carbon footprint reporting coverage\n";
+  const auto ghg = analysis::ghg_protocol_coverage(r.records);
+  out += util::bar_chart(
+      {{"GHG protocol", static_cast<double>(ghg.operational)},
+       {"EasyC (top500.org)",
+        static_cast<double>(r.baseline.coverage.operational)},
+       {"EasyC (+public)",
+        static_cast<double>(r.enhanced.coverage.operational)}},
+      50, "(a) Operational: number of systems");
+  out += util::bar_chart(
+      {{"GHG protocol", static_cast<double>(ghg.embodied)},
+       {"EasyC (top500.org)",
+        static_cast<double>(r.baseline.coverage.embodied)},
+       {"EasyC (+public)",
+        static_cast<double>(r.enhanced.coverage.embodied)}},
+      50, "(b) Embodied: number of systems");
+  out += paper_vs("op coverage +public", P::kOpCoveredPublic,
+                  r.enhanced.coverage.operational);
+  out += paper_vs("emb coverage +public", P::kEmbCoveredPublic,
+                  r.enhanced.coverage.embodied);
+  int both = 0;
+  for (size_t i = 0; i < r.baseline.assessments.size(); ++i) {
+    if (r.baseline.assessments[i].operational.ok() &&
+        r.baseline.assessments[i].embodied.ok()) {
+      ++both;
+    }
+  }
+  out += paper_vs("% with both op+emb from Top500.org alone",
+                  P::kBothCoveredTop500Pct, both / 5.0, 1);
+  return out;
+}
+
+std::string fig05_op_coverage_ranges(const analysis::PipelineResult& r) {
+  return coverage_range_report(
+      r, true, "Fig. 5 — Operational coverage by rank range");
+}
+
+std::string fig06_emb_coverage_ranges(const analysis::PipelineResult& r) {
+  return coverage_range_report(
+      r, false, "Fig. 6 — Embodied coverage by rank range");
+}
+
+std::string fig07_totals(const analysis::PipelineResult& r) {
+  std::string out = "Fig. 7 — Total and average carbon footprint\n";
+  const int op_n = r.enhanced.coverage.operational;
+  const int emb_n = r.enhanced.coverage.embodied;
+  util::TextTable t({"Set", "Operational (kMT)", "Embodied (kMT)"});
+  t.add_row({std::to_string(op_n) + "," + std::to_string(emb_n) + " (Total)",
+             format_double(r.op_total_covered_mt / 1000.0, 1),
+             format_double(r.emb_total_covered_mt / 1000.0, 1)});
+  t.add_row({"500 (Total Interpolated)",
+             format_double(r.op_total_full_mt / 1000.0, 1),
+             format_double(r.emb_total_full_mt / 1000.0, 1)});
+  t.add_row({std::to_string(op_n) + "," + std::to_string(emb_n) + " (Avg)",
+             format_double(r.op_total_covered_mt / op_n / 1000.0, 3),
+             format_double(r.emb_total_covered_mt / emb_n / 1000.0, 3)});
+  t.add_row({"500 (Avg Interpolated)",
+             format_double(r.op_total_full_mt / 500.0 / 1000.0, 3),
+             format_double(r.emb_total_full_mt / 500.0 / 1000.0, 3)});
+  out += t.render();
+  out += paper_vs("op total covered (MT)", P::kOpTotalCoveredMt,
+                  r.op_total_covered_mt);
+  out += paper_vs("emb total covered (MT)", P::kEmbTotalCoveredMt,
+                  r.emb_total_covered_mt);
+  out += paper_vs("op total full 500 (MT)", P::kOpTotalFullMt,
+                  r.op_total_full_mt);
+  out += paper_vs("emb total full 500 (MT)", P::kEmbTotalFullMt,
+                  r.emb_total_full_mt);
+  const double op_pct = (r.op_total_full_mt - r.op_total_covered_mt) /
+                        r.op_total_covered_mt * 100.0;
+  const double emb_pct = (r.emb_total_full_mt - r.emb_total_covered_mt) /
+                         r.emb_total_covered_mt * 100.0;
+  out += paper_vs("interpolation adds to op total (%)",
+                  P::kOpInterpolationPct, op_pct, 2);
+  out += paper_vs("interpolation adds to emb total (%)",
+                  P::kEmbInterpolationPct, emb_pct, 2);
+  return out;
+}
+
+std::string fig08_full_assessment(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 8 — Full Top500 carbon vs rank (EasyC + public + interpolated, "
+      "thousand MT CO2e)\n";
+  const auto xs = ranks_of(r);
+  std::vector<double> op, emb;
+  for (double v : r.op_interpolated.values) op.push_back(v / 1000.0);
+  for (double v : r.emb_interpolated.values) emb.push_back(v / 1000.0);
+  out += util::series_plot(xs, op, 72, 14, "(a) Operational (all 500)");
+  out += util::series_plot(xs, emb, 72, 14, "(b) Embodied (all 500)");
+  out += "  interpolated systems: op " +
+         std::to_string(r.op_interpolated.interpolated_indices.size()) +
+         " (paper: 10), emb " +
+         std::to_string(r.emb_interpolated.interpolated_indices.size()) +
+         " (paper: 96)\n";
+  return out;
+}
+
+std::string fig09_sensitivity_diff(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 9 — Baseline vs Baseline+PublicInfo per-system change "
+      "(thousand MT CO2e)\n";
+  const auto s = analysis::sensitivity(r);
+  std::vector<double> xs, ys;
+  for (const auto& d : s.operational) {
+    xs.push_back(d.rank);
+    ys.push_back(d.delta_mt / 1000.0);
+  }
+  out += util::series_plot(xs, ys, 72, 12, "(a) Operational diff");
+  xs.clear();
+  ys.clear();
+  for (const auto& d : s.embodied) {
+    xs.push_back(d.rank);
+    ys.push_back(d.delta_mt / 1000.0);
+  }
+  out += util::series_plot(xs, ys, 72, 12, "(b) Embodied diff");
+  out += paper_vs("max |op per-system change| (%)", P::kOpMaxPerSystemPct,
+                  s.op_max_abs_pct, 1);
+  out += paper_vs("op total change (%)", P::kOpTotalChangePct,
+                  s.op_total_pct, 2);
+  out += paper_vs("emb total change (MT)", P::kEmbTotalChangeMt,
+                  s.emb_total_enhanced_mt - s.emb_total_baseline_mt);
+  out += paper_vs("emb total change (%)", P::kEmbTotalChangePct,
+                  s.emb_total_pct, 1);
+  return out;
+}
+
+std::string fig10_projection(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 10 — Projected Top500 carbon, 2024-2030 (thousand MT CO2e)\n";
+  util::TextTable t({"Year", "Operational (kMT)", "Embodied (kMT)"});
+  for (const auto& p : r.projection) {
+    t.add_row({std::to_string(p.year), format_double(p.operational_kmt, 0),
+               format_double(p.embodied_kmt, 0)});
+  }
+  out += t.render();
+  const auto& first = r.projection.front();
+  const auto& last = r.projection.back();
+  out += paper_vs("op 2030 / 2024 factor", P::kOp2030Factor,
+                  last.operational_kmt / first.operational_kmt, 2);
+  out += paper_vs("emb 2030 / 2024 factor", P::kEmb2030Factor,
+                  last.embodied_kmt / first.embodied_kmt, 2);
+  return out;
+}
+
+std::string fig11_perf_per_carbon(const analysis::PipelineResult& r) {
+  std::string out =
+      "Fig. 11 — Projected performance-to-carbon ratio (PFlop/s per "
+      "thousand MT CO2e)\n";
+  util::TextTable t({"Year", "Projected (op)", "Projected (emb)", "Ideal"});
+  for (const auto& p : r.projection) {
+    t.add_row({std::to_string(p.year), format_double(p.op_ratio, 2),
+               format_double(p.emb_ratio, 2),
+               format_double(p.ideal_ratio, 2)});
+  }
+  out += t.render();
+  const auto& first = r.projection.front();
+  const auto& second = r.projection[1];
+  out += paper_vs("op ratio slope (PF/kMT per year)", P::kPerfPerCarbonSlope,
+                  second.op_ratio - first.op_ratio, 2);
+  out += "  ideal curve doubles every 18 months; projected improvement is "
+         "dramatically slower (paper Section IV-C)\n";
+  return out;
+}
+
+std::string table1_data_gaps(const analysis::PipelineResult& r) {
+  std::string out =
+      "Table I — EasyC-required data unavailable per source\n";
+  const auto t500 =
+      analysis::table1_gaps(r.records, top500::Scenario::kTop500Org);
+  const auto pub =
+      analysis::table1_gaps(r.records, top500::Scenario::kTop500PlusPublic);
+  util::TextTable t({"Type", "# Incomplete [Top500.org]",
+                     "# Incomplete [Other Public]"});
+  for (size_t i = 0; i < t500.size(); ++i) {
+    t.add_row({model::metric_name(t500[i].metric),
+               std::to_string(t500[i].systems_incomplete),
+               std::to_string(pub[i].systems_incomplete)});
+  }
+  out += t.render();
+  out += paper_vs("nodes missing (Top500.org)", P::kNodesMissingTop500,
+                  t500[1].systems_incomplete);
+  out += paper_vs("nodes missing (+public)", P::kNodesMissingPublic,
+                  pub[1].systems_incomplete);
+  out += paper_vs("memory missing (Top500.org)", P::kMemMissingTop500,
+                  t500[4].systems_incomplete);
+  out += paper_vs("SSD missing (+public)", P::kSsdMissingPublic,
+                  pub[6].systems_incomplete);
+  return out;
+}
+
+std::string table2_per_system(const analysis::PipelineResult& r,
+                              int max_rows) {
+  std::string out =
+      "Table II — Per-system carbon footprint (MT CO2e) under three data "
+      "scenarios\n";
+  util::TextTable t({"Rank", "System", "op t500", "op +pub", "op +interp",
+                     "emb t500", "emb +pub", "emb +interp"});
+  const int n = max_rows == 0
+                    ? static_cast<int>(r.records.size())
+                    : std::min<int>(max_rows, r.records.size());
+  auto cell = [](const std::optional<double>& v) {
+    return v ? format_double(*v, 0) : std::string("");
+  };
+  for (int i = 0; i < n; ++i) {
+    t.add_row({std::to_string(r.records[i].rank),
+               r.records[i].name.empty() ? "(unnamed)" : r.records[i].name,
+               cell(r.baseline.operational[i]),
+               cell(r.enhanced.operational[i]),
+               format_double(r.op_interpolated.values[i], 0),
+               cell(r.baseline.embodied[i]),
+               cell(r.enhanced.embodied[i]),
+               format_double(r.emb_interpolated.values[i], 0)});
+  }
+  out += t.render();
+
+  // Appendix contrasts.
+  auto find_rank = [&](int rank) -> int {
+    for (size_t i = 0; i < r.records.size(); ++i) {
+      if (r.records[i].rank == rank) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const int lumi = find_rank(8);
+  const int leo = find_rank(9);
+  if (lumi >= 0 && leo >= 0 && r.enhanced.operational[leo] &&
+      r.enhanced.operational[lumi]) {
+    out += paper_vs("Leonardo / LUMI operational factor",
+                    P::kLumiVsLeonardoOpFactor,
+                    *r.enhanced.operational[leo] /
+                        *r.enhanced.operational[lumi],
+                    2);
+  }
+  const int frontier = find_rank(2);
+  const int elcap = find_rank(1);
+  if (frontier >= 0 && elcap >= 0 && r.enhanced.embodied[frontier] &&
+      r.enhanced.embodied[elcap]) {
+    out += paper_vs("Frontier / El Capitan embodied factor",
+                    P::kFrontierVsElCapitanEmbFactor,
+                    *r.enhanced.embodied[frontier] /
+                        *r.enhanced.embodied[elcap],
+                    2);
+  }
+  return out;
+}
+
+std::string headline_numbers(const analysis::PipelineResult& r) {
+  std::string out = "Headline assessment of the Top 500\n";
+  out += "  Operational carbon (1 year, full 500): " +
+         format_double(r.op_total_full_mt / 1.0e6, 3) +
+         " million MT CO2e (paper: 1.39)\n";
+  out += "    = " + analysis::describe_equivalence(r.op_total_full_mt) + "\n";
+  out += "  Embodied carbon (full 500): " +
+         format_double(r.emb_total_full_mt / 1.0e6, 3) +
+         " million MT CO2e (paper: 1.88)\n";
+  out += "    = " + analysis::describe_equivalence(r.emb_total_full_mt) +
+         "\n";
+  out += paper_vs("op vehicles-equivalent", P::kOpVehicles,
+                  analysis::equivalences(r.op_total_full_mt).vehicles);
+  out += paper_vs("emb vehicles-equivalent", P::kEmbVehicles,
+                  analysis::equivalences(r.emb_total_full_mt).vehicles);
+  return out;
+}
+
+std::vector<std::string> write_figure_csvs(const analysis::PipelineResult& r,
+                                           const std::string& dir) {
+  std::vector<std::string> written;
+  auto emit = [&](const std::string& name, const util::CsvTable& t) {
+    const std::string path = dir + "/" + name;
+    t.write_file(path);
+    written.push_back(path);
+  };
+
+  {
+    util::CsvTable t({"missing_items", "num_systems"});
+    const auto hist = analysis::fig2_histogram(r.records);
+    for (int k = 1; k <= top500::kNumTop500DataItems; ++k) {
+      t.add_row({std::to_string(k), std::to_string(hist[k])});
+    }
+    t.add_row({"none", std::to_string(hist[0])});
+    emit("fig02_missingness.csv", t);
+  }
+  {
+    util::CsvTable t({"rank", "op_t500_mt", "op_public_mt", "op_interp_mt",
+                      "emb_t500_mt", "emb_public_mt", "emb_interp_mt"});
+    auto cell = [](const std::optional<double>& v) {
+      return v ? util::format_double(*v, 2) : std::string("");
+    };
+    for (size_t i = 0; i < r.records.size(); ++i) {
+      t.add_row({std::to_string(r.records[i].rank),
+                 cell(r.baseline.operational[i]),
+                 cell(r.enhanced.operational[i]),
+                 util::format_double(r.op_interpolated.values[i], 2),
+                 cell(r.baseline.embodied[i]),
+                 cell(r.enhanced.embodied[i]),
+                 util::format_double(r.emb_interpolated.values[i], 2)});
+    }
+    emit("table2_per_system.csv", t);
+  }
+  {
+    util::CsvTable t({"year", "operational_kmt", "embodied_kmt",
+                      "perf_pflops", "op_ratio", "emb_ratio", "ideal_ratio"});
+    for (const auto& p : r.projection) {
+      t.add_row({std::to_string(p.year),
+                 util::format_double(p.operational_kmt, 2),
+                 util::format_double(p.embodied_kmt, 2),
+                 util::format_double(p.perf_pflops, 2),
+                 util::format_double(p.op_ratio, 4),
+                 util::format_double(p.emb_ratio, 4),
+                 util::format_double(p.ideal_ratio, 4)});
+    }
+    emit("fig10_fig11_projection.csv", t);
+  }
+  {
+    const auto ghg = analysis::ghg_protocol_coverage(r.records);
+    util::CsvTable t({"method", "operational_covered", "embodied_covered"});
+    t.add_row({"ghg_protocol", std::to_string(ghg.operational),
+               std::to_string(ghg.embodied)});
+    t.add_row({"easyc_top500org",
+               std::to_string(r.baseline.coverage.operational),
+               std::to_string(r.baseline.coverage.embodied)});
+    t.add_row({"easyc_plus_public",
+               std::to_string(r.enhanced.coverage.operational),
+               std::to_string(r.enhanced.coverage.embodied)});
+    emit("fig04_coverage.csv", t);
+  }
+  {
+    util::CsvTable t({"rank_range", "op_t500_pct", "op_public_pct",
+                      "emb_t500_pct", "emb_public_pct"});
+    const auto op_base =
+        analysis::coverage_by_range(r.records, r.baseline.assessments, true);
+    const auto op_enh =
+        analysis::coverage_by_range(r.records, r.enhanced.assessments, true);
+    const auto emb_base =
+        analysis::coverage_by_range(r.records, r.baseline.assessments, false);
+    const auto emb_enh =
+        analysis::coverage_by_range(r.records, r.enhanced.assessments, false);
+    for (size_t i = 0; i < op_base.size(); ++i) {
+      t.add_row({op_base[i].range.label(),
+                 util::format_double(op_base[i].covered_pct, 2),
+                 util::format_double(op_enh[i].covered_pct, 2),
+                 util::format_double(emb_base[i].covered_pct, 2),
+                 util::format_double(emb_enh[i].covered_pct, 2)});
+    }
+    emit("fig05_fig06_range_coverage.csv", t);
+  }
+  {
+    const auto s = analysis::sensitivity(r);
+    util::CsvTable t({"side", "rank", "delta_mt", "pct"});
+    for (const auto& d : s.operational) {
+      t.add_row({"operational", std::to_string(d.rank),
+                 util::format_double(d.delta_mt, 3),
+                 util::format_double(d.pct, 3)});
+    }
+    for (const auto& d : s.embodied) {
+      t.add_row({"embodied", std::to_string(d.rank),
+                 util::format_double(d.delta_mt, 3),
+                 util::format_double(d.pct, 3)});
+    }
+    emit("fig09_sensitivity.csv", t);
+  }
+  return written;
+}
+
+}  // namespace easyc::report

@@ -1,0 +1,36 @@
+// Report builders: one function per paper table/figure. Each renders a
+// human-readable reproduction (ASCII table/chart + paper-vs-measured
+// lines) from a PipelineResult; the bench harness prints them and
+// EXPERIMENTS.md records the outcomes.
+#pragma once
+
+#include <string>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/sensitivity.hpp"
+
+namespace easyc::report {
+
+std::string fig02_missingness(const analysis::PipelineResult& r);
+std::string fig03_carbon_vs_rank_baseline(const analysis::PipelineResult& r);
+std::string fig04_coverage_bars(const analysis::PipelineResult& r);
+std::string fig05_op_coverage_ranges(const analysis::PipelineResult& r);
+std::string fig06_emb_coverage_ranges(const analysis::PipelineResult& r);
+std::string fig07_totals(const analysis::PipelineResult& r);
+std::string fig08_full_assessment(const analysis::PipelineResult& r);
+std::string fig09_sensitivity_diff(const analysis::PipelineResult& r);
+std::string fig10_projection(const analysis::PipelineResult& r);
+std::string fig11_perf_per_carbon(const analysis::PipelineResult& r);
+std::string table1_data_gaps(const analysis::PipelineResult& r);
+/// Per-system carbon under the three data scenarios (appendix Table II);
+/// `max_rows` limits output (0 = all 500).
+std::string table2_per_system(const analysis::PipelineResult& r,
+                              int max_rows = 40);
+std::string headline_numbers(const analysis::PipelineResult& r);
+
+/// Dump machine-readable figure data as CSV files under `dir`
+/// (created by the caller). Returns the list of files written.
+std::vector<std::string> write_figure_csvs(const analysis::PipelineResult& r,
+                                           const std::string& dir);
+
+}  // namespace easyc::report

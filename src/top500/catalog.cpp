@@ -1,0 +1,236 @@
+#include "top500/catalog.hpp"
+
+namespace easyc::top500 {
+
+namespace {
+
+struct Spec {
+  int rank;
+  const char* name;
+  const char* site;
+  const char* country;
+  const char* region;  // "" when no sub-national refinement applies
+  const char* vendor;
+  const char* segment;
+  int year;
+  double rmax_tf;
+  double rpeak_tf;
+  long long cores;
+  const char* processor;
+  const char* accelerator;        // "" = CPU-only
+  const char* accelerator_public; // refined identity ("" = same as listed)
+  double power_kw;                // ground-truth HPL power
+  long long nodes;
+  long long gpus;
+  long long cpus;
+  double memory_gb;
+  const char* memtype;
+  double ssd_tb;
+  double annual_energy_kwh;       // >0 only for metered (cloud) systems
+  AccessCategory cat;
+};
+
+NamedSystem make(const Spec& s) {
+  NamedSystem n;
+  SystemRecord& r = n.record;
+  r.rank = s.rank;
+  r.name = s.name;
+  r.site = s.site;
+  r.country = s.country;
+  r.vendor = s.vendor;
+  r.segment = s.segment;
+  r.year = s.year;
+  r.rmax_tflops = s.rmax_tf;
+  r.rpeak_tflops = s.rpeak_tf;
+  r.total_cores = s.cores;
+  r.processor = s.processor;
+  r.accelerator = s.accelerator;
+  r.accelerator_public = s.accelerator_public;
+  r.truth.power_kw = s.power_kw;
+  r.truth.nodes = s.nodes;
+  r.truth.gpus = s.gpus;
+  r.truth.cpus = s.cpus;
+  r.truth.memory_gb = s.memory_gb;
+  r.truth.memory_type = s.memtype;
+  r.truth.ssd_tb = s.ssd_tb;
+  r.truth.utilization = 0.8;
+  r.truth.annual_energy_kwh = s.annual_energy_kwh;
+  r.truth.region = s.region;
+  n.category = s.cat;
+  return n;
+}
+
+using AC = AccessCategory;
+
+std::vector<NamedSystem> build() {
+  // Specs follow the November-2024 list; configuration details come
+  // from vendor/site disclosures, storage capacities calibrated so the
+  // per-system contrasts the paper reports (Frontier vs El Capitan
+  // embodied ~2.6x) emerge from the embodied model.
+  const Spec specs[] = {
+      {1, "El Capitan", "LLNL", "United States", "California", "HPE",
+       "Research", 2024, 1742000, 2746380, 11039616,
+       "AMD 4th Gen EPYC 24C 1.8GHz", "AMD Instinct MI300A", "",
+       29581, 11136, 44544, 11136, 5737000, "HBM3", 200000, 0,
+       AC::kAccPublicCountsPower},
+      {2, "Frontier", "DOE/SC/ORNL", "United States", "Tennessee", "HPE",
+       "Research", 2022, 1353000, 2055720, 9066176,
+       "AMD Optimized 3rd Gen EPYC 64C 2GHz", "AMD Instinct MI250X", "",
+       24607, 9472, 37888, 9472, 4850000, "DDR4", 740000, 0,
+       AC::kAccPublicCountsPower},
+      {3, "Aurora", "DOE/SC/Argonne", "United States", "Illinois", "Intel",
+       "Research", 2023, 1012000, 1980010, 9264128,
+       "Xeon CPU Max 9470 52C 2.4GHz", "Intel Data Center GPU Max", "",
+       38698, 10624, 63744, 21248, 10522000, "DDR5", 230000, 0,
+       AC::kAccPublicCountsPower},
+      {4, "Eagle", "Microsoft Azure", "United States", "Iowa", "Microsoft",
+       "Industry", 2023, 561200, 846840, 2073600,
+       "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "",
+       11500, 1800, 14400, 3600, 1382400, "DDR5", 28000, 25.0e6,
+       AC::kAccEnergyPublic},
+      {5, "HPC6", "Eni S.p.A.", "Italy", "", "HPE", "Industry", 2024,
+       477900, 606970, 3143520, "AMD Optimized 3rd Gen EPYC 64C 2GHz",
+       "AMD Instinct MI250X", "", 8461, 3472, 13888, 3472, 1778000,
+       "DDR4", 60000, 0, AC::kAccPublicCountsPower},
+      {6, "Supercomputer Fugaku", "RIKEN R-CCS", "Japan", "Kansai", "Fujitsu",
+       "Research", 2020, 442010, 537212, 7630848, "A64FX 48C 2.2GHz",
+       "", "", 29899, 158976, 0, 158976, 5087232, "HBM2", 150000, 0,
+       AC::kCpuOpen},
+      {7, "Alps", "CSCS", "Switzerland", "Lugano", "HPE", "Research", 2024,
+       434900, 574840, 2121600, "NVIDIA Grace 72C 3.1GHz",
+       "NVIDIA GH200 Superchip", "", 7124, 2688, 10752, 10752, 1376000,
+       "HBM3", 75000, 0, AC::kAccPublicCountsPower},
+      {8, "LUMI", "EuroHPC/CSC", "Finland", "Kajaani", "HPE", "Research",
+       2022, 379700, 531510, 2752704, "AMD Optimized 3rd Gen EPYC 64C",
+       "AMD Instinct MI250X", "", 7107, 2978, 11912, 2978, 1525000,
+       "DDR4", 117000, 0, AC::kAccPublicCountsPower},
+      {9, "Leonardo", "EuroHPC/CINECA", "Italy", "Bologna", "EVIDEN",
+       "Research", 2022, 241200, 306310, 1824768,
+       "Xeon Platinum 8358 32C 2.6GHz", "NVIDIA A100 SXM4 64 GB", "",
+       7494, 3456, 13824, 3456, 1769000, "DDR4", 106000, 0,
+       AC::kAccPublicCountsPower},
+      {10, "Tuolumne", "LLNL", "United States", "California", "HPE",
+       "Research", 2024, 208100, 288880, 1161216,
+       "AMD 4th Gen EPYC 24C 1.8GHz", "AMD Instinct MI300A", "",
+       3387, 1152, 4608, 1152, 589824, "HBM3", 21000, 0,
+       AC::kAccPublicCountsPower},
+      {11, "MareNostrum 5 ACC", "EuroHPC/BSC", "Spain", "", "EVIDEN",
+       "Research", 2023, 175300, 249440, 663040,
+       "Xeon Platinum 8460Y+ 40C 2.3GHz", "NVIDIA H100 64GB", "",
+       4159, 1120, 4480, 2240, 573440, "DDR5", 26000, 0,
+       AC::kAccPublicCountsPower},
+      {12, "Eos NVIDIA DGX SuperPOD", "NVIDIA Corporation",
+       "United States", "California", "Nvidia", "Industry", 2023,
+       121400, 188650, 485888, "Xeon Platinum 8480C 56C 3.8GHz",
+       "NVIDIA H100", "", 3100, 576, 4608, 1152, 1179648, "DDR5",
+       18000, 0, AC::kAccPublicCountsDark},
+      {13, "Venado", "DOE/NNSA/LANL", "United States", "New Mexico", "HPE",
+       "Research", 2024, 98510, 130440, 481440, "NVIDIA Grace 72C 3.4GHz",
+       "NVIDIA GH200 Superchip", "", 1662, 640, 2560, 2560, 460000,
+       "HBM3", 9000, 0, AC::kAccPowerOnly},
+      {14, "Sierra", "DOE/NNSA/LLNL", "United States", "California", "IBM",
+       "Research", 2018, 94640, 125712, 1572480, "IBM POWER9 22C 3.1GHz",
+       "NVIDIA Volta GV100", "NVIDIA V100", 7438, 4320, 17280, 8640,
+       1382400, "DDR4", 154000, 0, AC::kAccPublicCountsPower},
+      {15, "Sunway TaihuLight", "NSCC in Wuxi", "China", "Wuxi", "NRCPC",
+       "Research", 2016, 93015, 125436, 10649600,
+       "Sunway SW26010 260C 1.45GHz", "", "", 15371, 40960, 0, 40960,
+       1310720, "DDR3", 20000, 0, AC::kCpuExoticDark},
+      {16, "CHIE-3", "SoftBank Corp.", "Japan", "", "Nvidia", "Industry",
+       2024, 91940, 129720, 328320, "Xeon Platinum 8480C 56C 2GHz",
+       "NVIDIA H100", "", 2800, 510, 4080, 1020, 522240, "DDR5", 8200,
+       17.5e6, AC::kAccEnergyPublic},
+      {17, "CHIE-2", "SoftBank Corp.", "Japan", "", "Nvidia", "Industry",
+       2024, 84986, 118190, 302064, "Xeon Platinum 8480C 56C 2GHz",
+       "NVIDIA H100", "", 2610, 470, 3760, 940, 481280, "DDR5", 7500,
+       16.0e6, AC::kAccEnergyPublic},
+      {18, "JETI - JUPITER Exascale Transition Instrument",
+       "EuroHPC/FZJ", "Germany", "", "EVIDEN", "Research", 2024,
+       83140, 94000, 391680, "NVIDIA Grace 72C 3.1GHz",
+       "NVIDIA GH200 Superchip", "", 1311, 480, 1920, 1920, 276480,
+       "HBM3", 11000, 0, AC::kAccPublicCountsPower},
+      {19, "Perlmutter", "DOE/SC/LBNL/NERSC", "United States",
+       "California", "HPE", "Research", 2021, 79230, 113000, 888832,
+       "AMD EPYC 7763 64C 2.45GHz", "NVIDIA A100 SXM4 40 GB", "",
+       2589, 3072, 6144, 4608, 2100000, "DDR4", 44000, 0, AC::kAccOpen},
+      {20, "El Dorado", "Sandia National Laboratories", "United States",
+       "New Mexico", "HPE", "Research", 2024, 67100, 92540, 383040,
+       "AMD 4th Gen EPYC 24C 1.8GHz", "AMD Instinct MI300A", "",
+       1202, 384, 1536, 384, 196608, "HBM3", 7000, 0, AC::kAccOpen},
+      {23, "Selene", "NVIDIA Corporation", "United States", "California",
+       "Nvidia", "Industry", 2020, 63460, 79215, 555520,
+       "AMD EPYC 7742 64C 2.25GHz", "NVIDIA A100", "", 2646, 560, 4480,
+       1120, 1146880, "DDR4", 14000, 0, AC::kAccOpen},
+      {24, "Tianhe-2A", "NSCC Guangzhou", "China", "Guangdong", "NUDT",
+       "Research", 2018, 61445, 100679, 4981760,
+       "Intel Xeon E5-2692v2 12C 2.2GHz", "Matrix-2000", "Matrix-2000",
+       18482, 17792, 35584, 35584, 2277376, "DDR3", 19000, 0,
+       AC::kAccPublicCountsPower},
+      {26, "Explorer-WUS3", "Microsoft Azure", "United States",
+       "Washington", "Microsoft", "Industry", 2024, 46080, 60130,
+       175680, "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "",
+       1450, 270, 2160, 540, 207360, "DDR5", 3400, 21.0e6,
+       AC::kAccEnergyPublic},
+      {33, "JUWELS Booster Module", "FZJ", "Germany", "", "EVIDEN",
+       "Research", 2020, 44120, 70980, 449280,
+       "AMD EPYC 7402 24C 2.8GHz", "NVIDIA A100", "", 1764, 936, 3744,
+       1872, 479232, "DDR4", 14000, 0, AC::kAccOpen},
+      {38, "Shaheen III - CPU", "KAUST", "Saudi Arabia", "", "HPE",
+       "Research", 2023, 35660, 45250, 876544,
+       "AMD EPYC 9654 96C 2.4GHz", "", "", 5271, 4565, 0, 9130,
+       3505152, "DDR5", 40000, 0, AC::kCpuOpen},
+      {47, "Polaris", "DOE/SC/Argonne", "United States", "Illinois",
+       "HPE", "Research", 2021, 25810, 34160, 259520,
+       "AMD EPYC 7543P 32C 2.8GHz", "NVIDIA A100", "", 1640, 560, 2240,
+       560, 286720, "DDR4", 8000, 0, AC::kAccOpen},
+      {52, "Frontera", "TACC/Univ. of Texas", "United States", "Texas",
+       "Dell EMC", "Academic", 2019, 23516, 38746, 448448,
+       "Xeon Platinum 8280 28C 2.7GHz", "", "", 5100, 8008, 0, 16016,
+       1537536, "DDR4", 66000, 0, AC::kCpuOpen},
+      {62, "ARCHER2", "EPSRC/EPCC", "United Kingdom", "", "HPE",
+       "Academic", 2020, 19540, 25800, 750080,
+       "AMD EPYC 7742 64C 2.25GHz", "", "", 3050, 5860, 0, 11720,
+       1500160, "DDR4", 45000, 0, AC::kCpuOpen},
+      {64, "SuperMUC-NG", "Leibniz Rechenzentrum", "Germany", "Bavaria",
+       "Lenovo", "Academic", 2018, 19477, 26874, 305856,
+       "Xeon Platinum 8174 24C 3.1GHz", "", "", 2900, 6372, 0, 12744,
+       719232, "DDR4", 52000, 0, AC::kCpuOpen},
+      {81, "Pioneer-WUS2", "Microsoft Azure", "United States",
+       "Washington", "Microsoft", "Industry", 2024, 14820, 19660,
+       54000, "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "",
+       480, 84, 672, 168, 64512, "DDR5", 1100, 7.6e6,
+       AC::kAccEnergyPublic},
+      {82, "Pioneer-WEU", "Microsoft Azure", "Netherlands", "",
+       "Microsoft", "Industry", 2024, 14720, 19530, 53640,
+       "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "", 477, 84, 672,
+       168, 64512, "DDR5", 1100, 7.5e6, AC::kAccEnergyPublic},
+      {83, "Pioneer-EUS", "Microsoft Azure", "United States", "Virginia",
+       "Microsoft", "Industry", 2024, 14640, 19400, 53280,
+       "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "", 474, 84, 672,
+       168, 64512, "DDR5", 1100, 7.4e6, AC::kAccEnergyPublic},
+      {84, "Pioneer-SCUS", "Microsoft Azure", "United States", "Texas",
+       "Microsoft", "Industry", 2024, 14560, 19300, 53040,
+       "Xeon Platinum 8480C 48C 2GHz", "NVIDIA H100", "", 472, 84, 672,
+       168, 64512, "DDR5", 1100, 7.3e6, AC::kAccEnergyPublic},
+      {101, "Tera-1000-2", "CEA", "France", "", "EVIDEN", "Government",
+       2017, 11965, 23396, 561408, "Xeon Phi 7250 68C 1.4GHz", "", "",
+       3178, 8256, 0, 8256, 792576, "DDR4", 24000, 0, AC::kCpuOpen},
+      {110, "Stampede2", "TACC/Univ. of Texas", "United States", "Texas",
+       "Dell EMC", "Academic", 2017, 10680, 18309, 367024,
+       "Xeon Phi 7250 68C 1.4GHz", "", "", 3300, 5397, 0, 5397,
+       518112, "DDR4", 20000, 0, AC::kCpuOpen},
+  };
+  std::vector<NamedSystem> out;
+  out.reserve(std::size(specs));
+  for (const auto& s : specs) out.push_back(make(s));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<NamedSystem>& named_systems() {
+  static const std::vector<NamedSystem> kSystems = build();
+  return kSystems;
+}
+
+}  // namespace easyc::top500

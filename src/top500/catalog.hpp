@@ -1,0 +1,27 @@
+// Named flagship systems of the November-2024 Top500 list.
+//
+// The top of the list is dominated by individually well-documented
+// machines; embedding them (with published specs) anchors the synthetic
+// dataset to reality and lets the per-system contrasts the paper calls
+// out emerge from the model itself:
+//   * LUMI vs Leonardo: 4.3x operational difference (grid intensity),
+//   * Frontier vs El Capitan: 2.6x embodied difference (accelerators
+//     and storage capacity).
+#pragma once
+
+#include <vector>
+
+#include "top500/categories.hpp"
+#include "top500/record.hpp"
+
+namespace easyc::top500 {
+
+struct NamedSystem {
+  SystemRecord record;        ///< masks unset; generator derives them
+  AccessCategory category;
+};
+
+/// All named systems, ascending by rank.
+const std::vector<NamedSystem>& named_systems();
+
+}  // namespace easyc::top500

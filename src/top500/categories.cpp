@@ -1,0 +1,58 @@
+#include "top500/categories.hpp"
+
+#include "util/error.hpp"
+
+namespace easyc::top500 {
+
+std::string category_name(AccessCategory c) {
+  switch (c) {
+    case AccessCategory::kAccOpen: return "acc-open";
+    case AccessCategory::kAccOpenVague: return "acc-open-vague";
+    case AccessCategory::kAccPublicCountsPower: return "acc-public-counts+power";
+    case AccessCategory::kAccPublicCountsDark: return "acc-public-counts-dark";
+    case AccessCategory::kAccPowerOnly: return "acc-power-only";
+    case AccessCategory::kAccEnergyPublic: return "acc-energy-public";
+    case AccessCategory::kAccDark: return "acc-dark";
+    case AccessCategory::kCpuOpen: return "cpu-open";
+    case AccessCategory::kCpuExoticRevealed: return "cpu-exotic-revealed";
+    case AccessCategory::kCpuExoticDark: return "cpu-exotic-dark";
+  }
+  return "unknown";
+}
+
+int category_quota(AccessCategory c) {
+  switch (c) {
+    case AccessCategory::kAccOpen: return 23;
+    case AccessCategory::kAccOpenVague: return 8;
+    case AccessCategory::kAccPublicCountsPower: return 12;
+    case AccessCategory::kAccPublicCountsDark: return 91;
+    case AccessCategory::kAccPowerOnly: return 58;
+    case AccessCategory::kAccEnergyPublic: return 8;
+    case AccessCategory::kAccDark: return 10;
+    case AccessCategory::kCpuOpen: return 260;
+    case AccessCategory::kCpuExoticRevealed: return 10;
+    case AccessCategory::kCpuExoticDark: return 20;
+  }
+  EASYC_REQUIRE(false, "unreachable category");
+  return 0;
+}
+
+bool category_is_accelerated(AccessCategory c) {
+  switch (c) {
+    case AccessCategory::kAccOpen:
+    case AccessCategory::kAccOpenVague:
+    case AccessCategory::kAccPublicCountsPower:
+    case AccessCategory::kAccPublicCountsDark:
+    case AccessCategory::kAccPowerOnly:
+    case AccessCategory::kAccEnergyPublic:
+    case AccessCategory::kAccDark:
+      return true;
+    case AccessCategory::kCpuOpen:
+    case AccessCategory::kCpuExoticRevealed:
+    case AccessCategory::kCpuExoticDark:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace easyc::top500

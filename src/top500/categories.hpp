@@ -1,0 +1,71 @@
+// Data-access categories.
+//
+// Every Top500 entry falls into one of ten empirical data-availability
+// patterns; the category fixes its disclosure masks. Quotas per
+// category are derived so the dataset reproduces, *exactly*, the
+// paper's Table I missingness counts and the coverage results:
+//
+//   operational coverage:  391/500 (Top500.org),  490/500 (+public)
+//   embodied coverage:     283/500 (Top500.org),  404/500 (+public)
+//
+// Derivation (A = accelerated, C = CPU-only; see DESIGN.md):
+//   op uncovered (Top500.org)  = b + d + e            = 91+8+10 = 109
+//   op uncovered (+public)     = e                    = 10
+//   emb covered  (Top500.org)  = (C - X_t) + a1       = 260+23  = 283
+//   emb covered  (+public)     = (C - X_p) + a1+a2+bp+b
+//                              = 270 + 23+8+12+91     = 404
+//   nodes missing (Top500.org) = (A - a1 - a2) + X_t  = 179+30  = 209
+//   nodes missing (+public)    = (c-10) + d + e + X_p = 66+20   = 86
+//   gpus  missing (+public)    = c + d + e + g_c      = 76+10   = 86
+#pragma once
+
+#include <string>
+
+namespace easyc::top500 {
+
+enum class AccessCategory {
+  /// Accelerated; node/GPU counts on Top500.org; accelerator string
+  /// resolves against the hardware catalog. (a1 = 23)
+  kAccOpen,
+  /// Accelerated; counts on Top500.org but only a vague accelerator
+  /// string ("NVIDIA GPU"); strict policy declines, the +public
+  /// approximate policy covers it. (a2 = 8)
+  kAccOpenVague,
+  /// Accelerated; HPL power on Top500.org; counts appear only in public
+  /// sources (El Capitan pattern: op from the list, embodied only with
+  /// public info). (bp = 12)
+  kAccPublicCountsPower,
+  /// Accelerated; dark on Top500.org; public sources reveal counts
+  /// (Eos pattern). (b = 91)
+  kAccPublicCountsDark,
+  /// Accelerated; power on Top500.org; counts never public (Venado
+  /// pattern: operational always, embodied never). (c = 58, of which 10
+  /// get node counts — but not GPU counts — from public sources)
+  kAccPowerOnly,
+  /// Accelerated; dark on Top500.org; public sources reveal annual
+  /// energy (Azure Eagle pattern: op only with public info, embodied
+  /// never). (d = 8)
+  kAccEnergyPublic,
+  /// Accelerated; nothing beyond the structural row, ever. These are
+  /// the 10 systems interpolated for operational carbon. (e = 10)
+  kAccDark,
+  /// CPU-only, mainstream processor: both models work from Top500.org
+  /// data alone (the ranks-151-500 population). (260)
+  kCpuOpen,
+  /// CPU-only, exotic device; public sources reveal the device identity
+  /// and node count. (10)
+  kCpuExoticRevealed,
+  /// CPU-only, exotic device, never documented (Sunway TaihuLight
+  /// pattern: embodied only by interpolation). (20)
+  kCpuExoticDark,
+};
+
+std::string category_name(AccessCategory c);
+
+/// Quota of systems per category (sums to 500).
+int category_quota(AccessCategory c);
+
+/// True for categories describing accelerated systems.
+bool category_is_accelerated(AccessCategory c);
+
+}  // namespace easyc::top500

@@ -1,0 +1,746 @@
+#include "top500/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "top500/catalog.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace easyc::top500 {
+
+namespace {
+
+using util::Rng;
+
+// ---------------------------------------------------------------------
+// Performance curve: log-log interpolation through November-2024 anchor
+// points (rank, Rmax TFlop/s).
+// ---------------------------------------------------------------------
+
+double rmax_curve(int rank) {
+  static const std::pair<double, double> kAnchors[] = {
+      {1, 1742000},  {2, 1353000}, {3, 1012000}, {4, 561200}, {6, 442010},
+      {8, 379700},   {10, 208100}, {15, 93015},  {20, 67100}, {25, 52000},
+      {30, 46000},   {40, 36000},  {50, 30000},  {75, 17500}, {100, 12000},
+      {150, 7900},   {200, 5600},  {250, 4600},  {300, 3900}, {350, 3400},
+      {400, 3000},   {450, 2650},  {500, 2310},
+  };
+  const double r = static_cast<double>(rank);
+  if (r <= kAnchors[0].first) return kAnchors[0].second;
+  for (size_t i = 1; i < std::size(kAnchors); ++i) {
+    if (r <= kAnchors[i].first) {
+      const auto& [x0, y0] = kAnchors[i - 1];
+      const auto& [x1, y1] = kAnchors[i];
+      const double t = (std::log(r) - std::log(x0)) /
+                       (std::log(x1) - std::log(x0));
+      return std::exp(std::log(y0) + t * (std::log(y1) - std::log(y0)));
+    }
+  }
+  return kAnchors[std::size(kAnchors) - 1].second;
+}
+
+// ---------------------------------------------------------------------
+// Hardware era tables.
+// ---------------------------------------------------------------------
+
+struct GpuChoice {
+  const char* model;
+  double hpl_tf_per_gpu;  ///< delivered HPL TFlop/s per accelerator
+  double gflops_per_watt; ///< system-level HPL efficiency
+};
+
+GpuChoice pick_gpu(Rng& rng, int year) {
+  if (year >= 2024) {
+    static const GpuChoice c[] = {{"NVIDIA GH200 Superchip", 34, 60},
+                                  {"NVIDIA H100", 26, 55},
+                                  {"NVIDIA H200", 30, 58},
+                                  {"AMD Instinct MI300A", 39, 50},
+                                  {"AMD Instinct MI250X", 35, 42}};
+    return c[rng.weighted_index(std::vector<double>{0.28, 0.38, 0.10,
+                                                    0.12, 0.12})];
+  }
+  if (year >= 2022) {
+    static const GpuChoice c[] = {{"NVIDIA H100", 26, 52},
+                                  {"NVIDIA A100 SXM4 80 GB", 14.5, 26},
+                                  {"AMD Instinct MI250X", 35, 40}};
+    return c[rng.weighted_index(std::vector<double>{0.45, 0.35, 0.20})];
+  }
+  if (year >= 2020) {
+    static const GpuChoice c[] = {{"NVIDIA A100", 14.0, 24},
+                                  {"NVIDIA Tesla V100", 5.5, 12}};
+    return c[rng.weighted_index(std::vector<double>{0.7, 0.3})];
+  }
+  static const GpuChoice c[] = {{"NVIDIA Tesla V100", 5.5, 11},
+                                {"NVIDIA Tesla P100", 3.5, 7}};
+  return c[rng.weighted_index(std::vector<double>{0.7, 0.3})];
+}
+
+struct CpuChoice {
+  const char* model;
+  int cores;
+  double hpl_gf_per_core;
+  double gflops_per_watt;  ///< CPU-only system efficiency
+};
+
+CpuChoice pick_cpu(Rng& rng, int year) {
+  if (year >= 2023) {
+    static const CpuChoice c[] = {
+        {"AMD EPYC 9654 96C 2.4GHz", 96, 30, 9.0},
+        {"Xeon Platinum 8480+ 56C 2GHz", 56, 32, 8.0},
+        {"AMD EPYC 9554 64C 3.1GHz", 64, 33, 8.5}};
+    return c[rng.weighted_index(std::vector<double>{0.4, 0.35, 0.25})];
+  }
+  if (year >= 2020) {
+    static const CpuChoice c[] = {
+        {"AMD EPYC 7763 64C 2.45GHz", 64, 24, 6.5},
+        {"AMD EPYC 7742 64C 2.25GHz", 64, 22, 6.0},
+        {"Xeon Platinum 8380 40C 2.3GHz", 40, 26, 5.5},
+        {"Xeon Gold 6348 28C 2.6GHz", 28, 25, 5.0}};
+    return c[rng.weighted_index(std::vector<double>{0.3, 0.25, 0.25, 0.2})];
+  }
+  if (year >= 2017) {
+    static const CpuChoice c[] = {
+        {"Xeon Platinum 8280 28C 2.7GHz", 28, 18, 5.2},
+        {"Xeon Gold 6148 20C 2.4GHz", 20, 16, 4.8},
+        {"AMD EPYC 7601 32C 2.2GHz", 32, 14, 4.6}};
+    return c[rng.weighted_index(std::vector<double>{0.4, 0.4, 0.2})];
+  }
+  static const CpuChoice c[] = {
+      {"Xeon E5-2690v3 12C 2.6GHz", 12, 12, 4.0},
+      {"Xeon E5-2680v3 12C 2.5GHz", 12, 11, 3.8}};
+  return c[rng.weighted_index(std::vector<double>{0.5, 0.5})];
+}
+
+const char* pick_exotic_cpu(Rng& rng) {
+  static const char* kNames[] = {
+      "Sunway SW26010-Pro 390C 2.25GHz",
+      "ShenWei SW3232 32C 2.8GHz",
+      "Custom Manycore DSP 512C 1.6GHz",
+      "Vector Coprocessor VX-8 64C 2GHz",
+  };
+  return kNames[rng.uniform_int(0, std::size(kNames) - 1)];
+}
+
+// Geography tables: {country, region pool}.
+struct GeoChoice {
+  const char* country;
+  std::vector<const char*> regions;  ///< may be empty
+};
+
+const std::vector<GeoChoice>& geo_table() {
+  static const std::vector<GeoChoice> kGeo = {
+      {"United States",
+       {"California", "Tennessee", "Illinois", "New Mexico", "Washington",
+        "Texas", "Iowa", "Virginia", "Ohio", "Colorado", "New York",
+        "Massachusetts", "Florida", "Idaho", "Mississippi"}},
+      {"China", {"Guangdong", "Wuxi"}},
+      {"Germany", {"Bavaria"}},
+      {"Japan", {"Kyushu", "Hokuriku"}},
+      {"France", {}},
+      {"United Kingdom", {}},
+      {"South Korea", {}},
+      {"Italy", {"Bologna"}},
+      // Quebec (28 g) and Alberta (510 g) are omitted from the synthetic
+      // pool: against Canada's 171 g average they would produce per-
+      // system refinements of -84% / +198%, past the +/-77.5% extreme
+      // the paper reports for ACI refinement.
+      {"Canada", {"Ontario"}},
+      {"Netherlands", {}},
+      {"Spain", {}},
+      {"Brazil", {}},
+      {"Australia", {"Western Australia"}},
+      {"Saudi Arabia", {}},
+      {"Sweden", {}},
+      {"Poland", {}},
+      {"India", {}},
+      {"Norway", {}},
+      {"Finland", {"Kajaani"}},
+      {"Ireland", {}},
+      {"Singapore", {}},
+      {"Taiwan", {}},
+      {"Switzerland", {"Lugano"}},
+      {"Russia", {}},
+      {"Czech Republic", {}},
+      {"Austria", {}},
+      {"Luxembourg", {}},
+      {"Morocco", {}},
+      {"Thailand", {}},
+      {"United Arab Emirates", {}},
+  };
+  return kGeo;
+}
+
+GeoChoice pick_geo(Rng& rng, AccessCategory cat) {
+  const auto& geo = geo_table();
+  std::vector<double> w(geo.size(), 0.0);
+  if (cat == AccessCategory::kCpuExoticDark ||
+      cat == AccessCategory::kCpuExoticRevealed) {
+    // Exotic devices cluster in Chinese national centres.
+    for (size_t i = 0; i < geo.size(); ++i) {
+      if (std::string_view(geo[i].country) == "China") w[i] = 0.8;
+      else if (std::string_view(geo[i].country) == "Japan") w[i] = 0.2;
+    }
+  } else if (cat == AccessCategory::kAccPublicCountsDark ||
+             cat == AccessCategory::kAccEnergyPublic ||
+             cat == AccessCategory::kAccDark) {
+    // Cloud/industry AI clusters: US-heavy.
+    static const std::map<std::string_view, double> kW = {
+        {"United States", 0.45}, {"Japan", 0.10},  {"China", 0.08},
+        {"South Korea", 0.07},   {"United Kingdom", 0.05},
+        {"Germany", 0.05},       {"France", 0.04}, {"Saudi Arabia", 0.03},
+        {"Singapore", 0.03},     {"Taiwan", 0.03}, {"Australia", 0.02},
+        {"Netherlands", 0.02},   {"Sweden", 0.02}, {"India", 0.01},
+    };
+    for (size_t i = 0; i < geo.size(); ++i) {
+      auto it = kW.find(geo[i].country);
+      w[i] = it == kW.end() ? 0.002 : it->second;
+    }
+  } else {
+    static const std::map<std::string_view, double> kW = {
+        {"United States", 0.26}, {"China", 0.14},  {"Germany", 0.09},
+        {"Japan", 0.09},         {"France", 0.06}, {"United Kingdom", 0.04},
+        {"Italy", 0.04},         {"South Korea", 0.04}, {"Canada", 0.03},
+        {"Netherlands", 0.03},   {"Spain", 0.02},  {"Brazil", 0.02},
+        {"Australia", 0.02},     {"Saudi Arabia", 0.02}, {"Sweden", 0.02},
+        {"Poland", 0.015},       {"India", 0.015}, {"Norway", 0.01},
+        {"Finland", 0.01},       {"Ireland", 0.01},
+    };
+    for (size_t i = 0; i < geo.size(); ++i) {
+      auto it = kW.find(geo[i].country);
+      w[i] = it == kW.end() ? 0.005 : it->second;
+    }
+  }
+  return geo[rng.weighted_index(w)];
+}
+
+int pick_year(Rng& rng, int rank, bool accelerated) {
+  // Newer systems dominate the top of the list; a multi-petaflop rank
+  // can only be held by hardware of a compatible era (an old V100 or
+  // CPU-only machine physically cannot sit at rank 30 of this list).
+  if (rank <= 100) {
+    if (!accelerated && rank <= 80) return 2023 + (rng.bernoulli(0.5) ? 1 : 0);
+    static const int y[] = {2022, 2023, 2024};
+    return y[rng.weighted_index(std::vector<double>{0.25, 0.35, 0.4})];
+  }
+  if (rank <= 200) {
+    static const int y[] = {2019, 2020, 2021, 2022, 2023, 2024};
+    return y[rng.weighted_index(
+        std::vector<double>{0.08, 0.12, 0.15, 0.2, 0.25, 0.2})];
+  }
+  static const int y[] = {2016, 2017, 2018, 2019, 2020, 2021, 2022, 2023};
+  return y[rng.weighted_index(
+      std::vector<double>{0.05, 0.08, 0.12, 0.15, 0.2, 0.15, 0.15, 0.1})];
+}
+
+const char* pick_vendor(Rng& rng) {
+  static const char* kVendors[] = {"HPE",    "Lenovo", "EVIDEN", "Dell EMC",
+                                   "Nvidia", "Inspur", "Sugon",  "Fujitsu",
+                                   "NEC",    "IBM",    "Penguin", "MEGWARE"};
+  static const std::vector<double> kW = {0.22, 0.2, 0.1, 0.12, 0.07, 0.06,
+                                         0.06, 0.05, 0.04, 0.03, 0.03, 0.02};
+  return kVendors[rng.weighted_index(kW)];
+}
+
+// ---------------------------------------------------------------------
+// Category placement over non-named ranks.
+// ---------------------------------------------------------------------
+
+double category_rank_weight(AccessCategory cat, int rank) {
+  const double r = rank;
+  switch (cat) {
+    case AccessCategory::kAccDark:
+      // Anonymous industry systems cluster surprisingly high — the
+      // paper's Fig. 5 gap at ranks 26-100.
+      return (r >= 26 && r <= 150) ? 8.0 : (r <= 350 ? 0.4 : 0.1);
+    case AccessCategory::kAccPublicCountsDark:
+      return (r <= 150) ? 8.0 : (r <= 350 ? 0.6 : 0.15);
+    case AccessCategory::kAccEnergyPublic:
+      return (r >= 26 && r <= 120) ? 1.0 : 0.1;
+    case AccessCategory::kAccPowerOnly:
+      return (r <= 150) ? 4.0 : 0.8;
+    case AccessCategory::kAccOpen:
+    case AccessCategory::kAccOpenVague:
+      return (r <= 150) ? 2.0 : (r <= 320 ? 0.8 : 0.25);
+    case AccessCategory::kAccPublicCountsPower:
+      return r <= 60 ? 1.0 : 0.2;
+    case AccessCategory::kCpuExoticRevealed:
+    case AccessCategory::kCpuExoticDark:
+      return (r >= 100) ? 1.0 : 0.02;
+    case AccessCategory::kCpuOpen:
+      // The ranks-151-500 population; nearly absent from the top where
+      // multi-petaflop performance requires accelerators.
+      return r <= 50 ? 0.01 : (r <= 150 ? 0.15 : 1.0);
+  }
+  return 1.0;
+}
+
+// ---------------------------------------------------------------------
+// Synthesis of one synthetic record.
+// ---------------------------------------------------------------------
+
+SystemRecord synthesize(Rng& rng, int rank, AccessCategory cat,
+                        const GeneratorConfig& cfg) {
+  SystemRecord r;
+  r.rank = rank;
+  r.year = pick_year(rng, rank, category_is_accelerated(cat));
+  const auto geo = pick_geo(rng, cat);
+  r.country = geo.country;
+  if (!geo.regions.empty() && rng.bernoulli(0.6)) {
+    r.truth.region =
+        geo.regions[rng.uniform_int(0, geo.regions.size() - 1)];
+  }
+  r.vendor = pick_vendor(rng);
+
+  const bool accelerated = category_is_accelerated(cat);
+  const bool industry = cat == AccessCategory::kAccPublicCountsDark ||
+                        cat == AccessCategory::kAccEnergyPublic ||
+                        cat == AccessCategory::kAccDark;
+  r.segment = industry
+                  ? (rng.bernoulli(0.7) ? "Industry" : "Government")
+                  : (rng.bernoulli(0.5) ? "Research" : "Academic");
+  if (industry && rng.bernoulli(0.45)) {
+    r.name = "";  // anonymous listing, common in the real list's tail
+    r.site = r.segment;
+  } else {
+    r.name = (accelerated ? "SynthAccel-" : "SynthHPC-") +
+             std::to_string(rank);
+    r.site = r.segment + " site " + std::to_string(rank);
+  }
+
+  r.rmax_tflops = rmax_curve(rank) * rng.uniform(0.97, 1.03);
+
+  if (accelerated) {
+    const GpuChoice gpu = pick_gpu(rng, r.year);
+    const CpuChoice host = pick_cpu(rng, std::max(r.year, 2020));
+    const bool vague = cat == AccessCategory::kAccOpenVague;
+    r.processor = host.model;
+    r.accelerator = vague ? "NVIDIA GPU" : gpu.model;
+    r.accelerator_public = gpu.model;
+    r.rpeak_tflops = r.rmax_tflops / rng.uniform(0.60, 0.75);
+
+    const long long gpn = rng.bernoulli(0.6) ? 4 : 8;
+    long long gpus = std::max<long long>(
+        8, std::llround(r.rmax_tflops / gpu.hpl_tf_per_gpu));
+    gpus = (gpus / gpn + 1) * gpn;  // whole nodes
+    r.truth.gpus = gpus;
+    r.truth.nodes = gpus / gpn;
+    const long long sockets = rng.bernoulli(0.55) ? 1 : 2;
+    r.truth.cpus = r.truth.nodes * sockets;
+    r.total_cores = r.truth.cpus * host.cores + r.truth.gpus * 104;
+
+    const double gfw = gpu.gflops_per_watt * rng.log_normal(0.0, 0.08);
+    r.truth.power_kw = cfg.power_scale * r.rmax_tflops / gfw * 1000.0 /
+                       1000.0;  // TF / (GF/W) = kW
+  } else {
+    const bool exotic = cat == AccessCategory::kCpuExoticDark ||
+                        cat == AccessCategory::kCpuExoticRevealed;
+    if (exotic) {
+      r.processor = pick_exotic_cpu(rng);
+      r.processor_public = rng.bernoulli(0.5)
+                               ? "Hygon Dhyana 7185 32C 2GHz"
+                               : "Phytium FT-2000+ 64C 2.2GHz";
+      r.rpeak_tflops = r.rmax_tflops / rng.uniform(0.55, 0.7);
+      const double gf_per_core = rng.uniform(8.0, 14.0);
+      r.total_cores =
+          std::llround(r.rmax_tflops * 1000.0 / gf_per_core);
+      const long long cores_per_pkg = 256;
+      r.truth.cpus =
+          std::max<long long>(1, r.total_cores / cores_per_pkg);
+      r.truth.nodes = r.truth.cpus;
+      const double gfw = rng.uniform(4.0, 7.0);
+      r.truth.power_kw = cfg.power_scale * r.rmax_tflops / gfw;
+    } else {
+      const CpuChoice cpu = pick_cpu(rng, r.year);
+      r.processor = cpu.model;
+      r.rpeak_tflops = r.rmax_tflops / rng.uniform(0.65, 0.8);
+      r.total_cores = std::llround(r.rmax_tflops * 1000.0 /
+                                   (cpu.hpl_gf_per_core *
+                                    rng.uniform(0.9, 1.1)));
+      r.truth.cpus =
+          std::max<long long>(2, r.total_cores / cpu.cores);
+      r.truth.nodes = std::max<long long>(1, r.truth.cpus / 2);
+      const double gfw = cpu.gflops_per_watt * rng.log_normal(0.0, 0.12);
+      r.truth.power_kw = cfg.power_scale * r.rmax_tflops / gfw;
+    }
+  }
+
+  // Memory, flash, utilization ground truth.
+  double mem_per_node = r.year >= 2023 ? 768 : (r.year >= 2019 ? 512 : 256);
+  mem_per_node *= rng.bernoulli(0.3) ? 2.0 : 1.0;
+  r.truth.memory_gb = mem_per_node * static_cast<double>(r.truth.nodes);
+  r.truth.memory_type =
+      r.year >= 2023 ? "DDR5" : (r.year >= 2016 ? "DDR4" : "DDR3");
+  r.truth.ssd_tb = cfg.storage_scale * rng.uniform(6.0, 20.0) *
+                   static_cast<double>(r.truth.nodes);
+  r.truth.utilization = rng.uniform(0.62, 0.92);
+  r.truth.annual_energy_kwh = 0.0;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Disclosure assignment (quota-exact).
+// ---------------------------------------------------------------------
+
+// Deterministically pick k indices from `pool` with weights; removes
+// picked entries from the pool.
+std::vector<size_t> pick_k(Rng& rng, std::vector<size_t>& pool, size_t k,
+                           const std::vector<double>& weights_by_index) {
+  EASYC_REQUIRE(k <= pool.size(), "quota exceeds candidate pool");
+  std::vector<size_t> picked;
+  picked.reserve(k);
+  for (size_t n = 0; n < k; ++n) {
+    std::vector<double> w;
+    w.reserve(pool.size());
+    for (size_t idx : pool) w.push_back(weights_by_index[idx]);
+    const size_t j = rng.weighted_index(w);
+    picked.push_back(pool[j]);
+    pool.erase(pool.begin() + static_cast<long>(j));
+  }
+  return picked;
+}
+
+void assign_base_disclosure(Rng& rng, SystemRecord& r, AccessCategory cat) {
+  Disclosure& t = r.top500;
+  Disclosure& p = r.with_public;
+  t = Disclosure{};
+  p = Disclosure{};
+
+  switch (cat) {
+    case AccessCategory::kAccOpen:
+    case AccessCategory::kAccOpenVague:
+      t.power = rng.bernoulli(0.7);
+      t.nodes = t.gpus = true;
+      break;
+    case AccessCategory::kAccPublicCountsPower:
+      t.power = true;
+      break;
+    case AccessCategory::kAccPublicCountsDark:
+    case AccessCategory::kAccEnergyPublic:
+    case AccessCategory::kAccDark:
+      break;  // dark on Top500.org
+    case AccessCategory::kAccPowerOnly:
+      t.power = true;
+      break;
+    case AccessCategory::kCpuOpen:
+      t.power = rng.bernoulli(0.65);
+      t.nodes = t.gpus = true;  // gpus = "known to be none"
+      break;
+    case AccessCategory::kCpuExoticRevealed:
+    case AccessCategory::kCpuExoticDark:
+      t.power = rng.bernoulli(0.8);
+      break;
+  }
+
+  // Public mask starts as a superset of the Top500 mask.
+  p = t;
+  p.region = !r.truth.region.empty();
+  switch (cat) {
+    case AccessCategory::kAccOpen:
+      p.accelerator_identity = true;
+      break;
+    case AccessCategory::kAccOpenVague:
+      p.accelerator_identity = rng.bernoulli(0.6);
+      break;
+    case AccessCategory::kAccPublicCountsPower:
+    case AccessCategory::kAccPublicCountsDark:
+      p.nodes = p.gpus = true;
+      p.accelerator_identity = rng.bernoulli(0.8);
+      break;
+    case AccessCategory::kAccPowerOnly:
+      break;  // node-count reveal handled by sub-quota
+    case AccessCategory::kAccEnergyPublic:
+      p.annual_energy = true;
+      break;
+    case AccessCategory::kAccDark:
+      p.region = false;  // nothing public at all
+      break;
+    case AccessCategory::kCpuOpen:
+      break;
+    case AccessCategory::kCpuExoticRevealed:
+      p.nodes = p.gpus = true;
+      p.processor_identity = true;
+      break;
+    case AccessCategory::kCpuExoticDark:
+      break;  // gpus bookkeeping reveal handled by sub-quota
+  }
+}
+
+void assign_item_flags(Rng& rng, SystemRecord& r) {
+  auto& it = r.item_reported;
+  it.fill(true);
+  // Indices follow top500_data_items() order.
+  it[0] = !r.name.empty() || rng.bernoulli(0.5);   // Site
+  it[1] = rng.bernoulli(0.99);                     // Manufacturer
+  it[4] = rng.bernoulli(0.97);                     // Segment
+  it[5] = rng.bernoulli(0.45);                     // Application Area
+  it[7] = r.is_accelerated() ? r.top500.gpus : true;  // Accelerator Cores
+  it[10] = rng.bernoulli(0.88);                    // Nmax
+  it[11] = rng.bernoulli(0.45);                    // Nhalf
+  it[12] = r.top500.power;                         // HPL Power
+  it[13] = rng.bernoulli(0.15);                    // Power Source
+  it[14] = r.top500.memory;                        // Memory
+  it[16] = rng.bernoulli(0.96);                    // Interconnect
+  it[18] = rng.bernoulli(0.4);                     // Compiler
+}
+
+}  // namespace
+
+GeneratedList generate_list(const GeneratorConfig& cfg) {
+  EASYC_REQUIRE(cfg.list_size == 500,
+                "the access-category quotas are defined for a 500-entry "
+                "list; resize quotas before changing list_size");
+  Rng rng(cfg.seed);
+
+  // --- 1. place named systems ---
+  std::vector<SystemRecord> records(500);
+  std::vector<AccessCategory> cats(500, AccessCategory::kCpuOpen);
+  std::vector<bool> taken(501, false);
+  std::map<AccessCategory, int> remaining;
+  for (auto c : {AccessCategory::kAccOpen, AccessCategory::kAccOpenVague,
+                 AccessCategory::kAccPublicCountsPower,
+                 AccessCategory::kAccPublicCountsDark,
+                 AccessCategory::kAccPowerOnly,
+                 AccessCategory::kAccEnergyPublic, AccessCategory::kAccDark,
+                 AccessCategory::kCpuOpen,
+                 AccessCategory::kCpuExoticRevealed,
+                 AccessCategory::kCpuExoticDark}) {
+    remaining[c] = category_quota(c);
+  }
+
+  for (const auto& named : named_systems()) {
+    const int rank = named.record.rank;
+    EASYC_REQUIRE(rank >= 1 && rank <= 500, "named rank out of range");
+    EASYC_REQUIRE(!taken[rank], "duplicate named rank");
+    taken[rank] = true;
+    records[rank - 1] = named.record;
+    cats[rank - 1] = named.category;
+    remaining[named.category] -= 1;
+    EASYC_REQUIRE(remaining[named.category] >= 0,
+                  "named systems exceed category quota");
+  }
+
+  // --- 2. distribute categories over open ranks ---
+  std::vector<size_t> open;  // 0-based indices of unoccupied ranks
+  for (int i = 0; i < 500; ++i) {
+    if (!taken[i + 1]) open.push_back(static_cast<size_t>(i));
+  }
+  // Weight table per index for each category (computed on demand).
+  auto weights_for = [&](AccessCategory c) {
+    std::vector<double> w(500, 0.0);
+    for (size_t idx : open) {
+      w[idx] = category_rank_weight(c, static_cast<int>(idx) + 1);
+    }
+    return w;
+  };
+  // Assign scarce categories first so their rank preferences are
+  // honored; kCpuOpen absorbs the remainder.
+  for (auto c : {AccessCategory::kAccEnergyPublic, AccessCategory::kAccDark,
+                 AccessCategory::kAccPublicCountsPower,
+                 AccessCategory::kAccPublicCountsDark,
+                 AccessCategory::kAccPowerOnly, AccessCategory::kAccOpen,
+                 AccessCategory::kAccOpenVague,
+                 AccessCategory::kCpuExoticRevealed,
+                 AccessCategory::kCpuExoticDark}) {
+    const auto w = weights_for(c);
+    const auto chosen = pick_k(rng, open, remaining[c], w);
+    for (size_t idx : chosen) cats[idx] = c;
+    remaining[c] = 0;
+  }
+  for (size_t idx : open) cats[idx] = AccessCategory::kCpuOpen;
+
+  // --- 3. synthesize the non-named records ---
+  for (int i = 0; i < 500; ++i) {
+    if (!taken[i + 1]) {
+      records[i] = synthesize(rng, i + 1, cats[i], cfg);
+    }
+  }
+
+  // Enforce the list ordering invariant (Rmax non-increasing). Clamp to
+  // exactly the previous value (ties are legal on the real list); a
+  // multiplicative clamp would decay below the natural curve and then
+  // drag every following rank down with it.
+  for (int i = 1; i < 500; ++i) {
+    if (records[i].rmax_tflops > records[i - 1].rmax_tflops) {
+      records[i].rmax_tflops = records[i - 1].rmax_tflops;
+      records[i].rpeak_tflops =
+          std::max(records[i].rpeak_tflops, records[i].rmax_tflops);
+    }
+  }
+
+  // --- 4. disclosure masks ---
+  for (int i = 0; i < 500; ++i) {
+    assign_base_disclosure(rng, records[i], cats[i]);
+  }
+  // Named flagship systems all publish HPL power on the list (their
+  // Table-II operational values exist in the Top500.org column), except
+  // those whose category is defined by *not* reporting power.
+  for (const auto& named : named_systems()) {
+    const auto c = named.category;
+    if (c == AccessCategory::kAccPublicCountsDark ||
+        c == AccessCategory::kAccEnergyPublic ||
+        c == AccessCategory::kAccDark) {
+      continue;
+    }
+    records[named.record.rank - 1].top500.power = true;
+    records[named.record.rank - 1].with_public.power = true;
+  }
+
+  // Sub-quota: 10 kAccPowerOnly systems get node counts (but not GPU
+  // counts) from public sources.
+  {
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 1.0);
+    for (size_t i = 0; i < 500; ++i) {
+      if (cats[i] == AccessCategory::kAccPowerOnly) pool.push_back(i);
+    }
+    for (size_t idx : pick_k(rng, pool, 10, w)) {
+      records[idx].with_public.nodes = true;
+    }
+  }
+  // Sub-quota: 10 kCpuExoticDark systems are publicly confirmed
+  // CPU-only ("# GPUs" becomes known) without any node-count reveal.
+  {
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 1.0);
+    for (size_t i = 0; i < 500; ++i) {
+      if (cats[i] == AccessCategory::kCpuExoticDark) pool.push_back(i);
+    }
+    for (size_t idx : pick_k(rng, pool, 10, w)) {
+      records[idx].with_public.gpus = true;
+    }
+  }
+
+  // Quota: memory capacity on Top500.org for exactly 1 system (Table I:
+  // 499 incomplete), and via public sources for 208 (292 incomplete).
+  {
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 0.0);
+    for (size_t i = 0; i < 500; ++i) {
+      if (cats[i] == AccessCategory::kCpuOpen) pool.push_back(i);
+      w[i] = 1.0;
+    }
+    const auto one = pick_k(rng, pool, 1, w);
+    records[one[0]].top500.memory = true;
+    records[one[0]].with_public.memory = true;
+    // Public sources document its memory type too, keeping the Table I
+    // "Memory Type" public count identical to "Memory Capacity" (292).
+    records[one[0]].with_public.memory_type = true;
+  }
+  {
+    // Public memory reveals favour open research systems; the famous
+    // top of the list is always documented (vendor press releases,
+    // site pages), so ranks <= 30 are included deterministically.
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 0.0);
+    int already = 0;
+    for (size_t i = 0; i < 500; ++i) {
+      if (records[i].with_public.memory) {
+        ++already;
+        continue;
+      }
+      const bool openish = cats[i] != AccessCategory::kAccDark &&
+                           cats[i] != AccessCategory::kAccEnergyPublic &&
+                           cats[i] != AccessCategory::kCpuExoticDark;
+      if (!openish) continue;
+      if (records[i].rank <= 30) {
+        records[i].with_public.memory = true;
+        records[i].with_public.memory_type = true;
+        ++already;
+        continue;
+      }
+      pool.push_back(i);
+      w[i] = (records[i].segment == "Research" ||
+              records[i].segment == "Academic")
+                 ? 2.0
+                 : 0.5;
+    }
+    for (size_t idx : pick_k(rng, pool, 208 - already, w)) {
+      records[idx].with_public.memory = true;
+      records[idx].with_public.memory_type = true;
+    }
+  }
+  // Memory *type* is public for the 208-memory set except the single
+  // Top500.org-memory system (Table I: 292 incomplete for both).
+  // (Handled above: the Top500.org-memory system keeps memory_type
+  // false unless it was also picked into the public set.)
+
+  // Quota: SSD capacity public for 50 systems (450 incomplete). The
+  // leadership systems' parallel filesystems are well documented
+  // (Frontier's Orion, El Capitan's Rabbit), so ranks <= 30 among the
+  // memory-documented set are included deterministically.
+  {
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 1.0);
+    int already = 0;
+    for (size_t i = 0; i < 500; ++i) {
+      if (!records[i].with_public.memory) continue;  // subset of documented
+      if (records[i].rank <= 30) {
+        records[i].with_public.ssd = true;
+        ++already;
+        continue;
+      }
+      pool.push_back(i);
+    }
+    for (size_t idx : pick_k(rng, pool, 50 - already, w)) {
+      records[idx].with_public.ssd = true;
+    }
+  }
+  // Quota: utilization public for 3 systems (497 incomplete).
+  {
+    std::vector<size_t> pool;
+    std::vector<double> w(500, 1.0);
+    for (size_t i = 0; i < 500; ++i) {
+      if (cats[i] == AccessCategory::kCpuOpen &&
+          records[i].segment == "Academic") {
+        pool.push_back(i);
+      }
+    }
+    for (size_t idx : pick_k(rng, pool, 3, w)) {
+      records[idx].with_public.utilization = true;
+    }
+  }
+
+  // --- 5. Fig.-2 item bookkeeping ---
+  for (auto& r : records) assign_item_flags(rng, r);
+
+  return {std::move(records), std::move(cats)};
+}
+
+std::vector<SystemRecord> generate_records(const GeneratorConfig& cfg) {
+  return generate_list(cfg).records;
+}
+
+SystemRecord synthesize_entrant(Rng& rng, int rank, AccessCategory category,
+                                int year_offset, double perf_scale,
+                                const GeneratorConfig& cfg) {
+  SystemRecord r = synthesize(rng, rank, category, cfg);
+  r.year += year_offset;
+  r.rmax_tflops *= perf_scale;
+  r.rpeak_tflops *= perf_scale;
+  // Performance scaling carries through to size and power: the same
+  // efficiency point delivers more FLOPS with proportionally more
+  // hardware.
+  r.truth.power_kw *= perf_scale;
+  r.total_cores = static_cast<long long>(r.total_cores * perf_scale);
+  const long long node_scale_base = r.truth.nodes;
+  r.truth.nodes = std::max<long long>(
+      1, static_cast<long long>(node_scale_base * perf_scale));
+  const double node_ratio =
+      static_cast<double>(r.truth.nodes) / node_scale_base;
+  r.truth.cpus = std::max<long long>(
+      1, static_cast<long long>(r.truth.cpus * node_ratio));
+  if (r.truth.gpus > 0) {
+    r.truth.gpus = std::max<long long>(
+        1, static_cast<long long>(r.truth.gpus * node_ratio));
+  }
+  r.truth.memory_gb *= node_ratio;
+  r.truth.ssd_tb *= node_ratio;
+  assign_base_disclosure(rng, r, category);
+  assign_item_flags(rng, r);
+  return r;
+}
+
+}  // namespace easyc::top500

@@ -1,0 +1,198 @@
+#include "top500/import.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hw/cpu.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::top500 {
+
+namespace {
+
+// Normalize a header cell: lower-case, strip bracketed units and
+// parenthesized units, collapse punctuation to single spaces.
+std::string normalize_header(std::string_view raw) {
+  std::string out;
+  bool in_bracket = false;
+  for (char c : raw) {
+    if (c == '[' || c == '(') in_bracket = true;
+    else if (c == ']' || c == ')') in_bracket = false;
+    else if (!in_bracket) {
+      if (c == '-' || c == '_' || c == '/' || c == '.') c = ' ';
+      out.push_back(static_cast<char>(std::tolower(
+          static_cast<unsigned char>(c))));
+    }
+  }
+  // Collapse runs of spaces and trim.
+  std::string collapsed;
+  bool prev_space = true;
+  for (char c : out) {
+    if (c == ' ') {
+      if (!prev_space) collapsed.push_back(' ');
+      prev_space = true;
+    } else {
+      collapsed.push_back(c);
+      prev_space = false;
+    }
+  }
+  while (!collapsed.empty() && collapsed.back() == ' ') collapsed.pop_back();
+  return collapsed;
+}
+
+// Aliases per logical column, normalized form.
+const std::map<std::string, std::vector<std::string>>& alias_table() {
+  static const std::map<std::string, std::vector<std::string>> kAliases = {
+      {"rank", {"rank"}},
+      {"name", {"name", "computer", "system"}},
+      {"site", {"site"}},
+      {"manufacturer", {"manufacturer", "vendor"}},
+      {"country", {"country"}},
+      {"year", {"year"}},
+      {"segment", {"segment"}},
+      {"total_cores", {"total cores", "cores"}},
+      {"accel_cores",
+       {"accelerator co processor cores", "accelerator cores"}},
+      {"rmax", {"rmax", "hpl rmax"}},
+      {"rpeak", {"rpeak"}},
+      {"power", {"power", "power kw"}},
+      {"processor", {"processor"}},
+      {"cores_per_socket", {"cores per socket"}},
+      {"accelerator", {"accelerator co processor", "accelerator"}},
+      {"memory", {"memory"}},
+  };
+  return kAliases;
+}
+
+}  // namespace
+
+std::optional<size_t> find_column(const util::CsvTable& table,
+                                  std::string_view logical_name) {
+  auto it = alias_table().find(std::string(logical_name));
+  EASYC_REQUIRE(it != alias_table().end(), "unknown logical column name");
+  for (size_t c = 0; c < table.header().size(); ++c) {
+    const std::string norm = normalize_header(table.header()[c]);
+    for (const auto& alias : it->second) {
+      if (norm == alias) return c;
+    }
+  }
+  return std::nullopt;
+}
+
+ImportResult import_top500_csv(const util::CsvTable& table) {
+  auto require = [&](const char* name) {
+    auto c = find_column(table, name);
+    if (!c) {
+      throw util::ParseError(std::string("Top500 export lacks a '") + name +
+                             "' column");
+    }
+    return *c;
+  };
+  const size_t col_rank = require("rank");
+  const size_t col_country = require("country");
+  const size_t col_cores = require("total_cores");
+  const size_t col_rmax = require("rmax");
+  const size_t col_processor = require("processor");
+  const auto col_name = find_column(table, "name");
+  const auto col_site = find_column(table, "site");
+  const auto col_manufacturer = find_column(table, "manufacturer");
+  const auto col_year = find_column(table, "year");
+  const auto col_segment = find_column(table, "segment");
+  const auto col_rpeak = find_column(table, "rpeak");
+  const auto col_power = find_column(table, "power");
+  const auto col_accel = find_column(table, "accelerator");
+  const auto col_accel_cores = find_column(table, "accel_cores");
+  const auto col_cps = find_column(table, "cores_per_socket");
+  const auto col_memory = find_column(table, "memory");
+
+  ImportResult out;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    auto cell = [&](std::optional<size_t> c) -> std::string {
+      return c ? std::string(util::trim(table.cell(row, *c))) : std::string();
+    };
+    auto num = [&](std::optional<size_t> c) {
+      return c ? util::parse_double(table.cell(row, *c)) : std::nullopt;
+    };
+    SystemRecord r;
+    const auto rank = util::parse_int(table.cell(row, col_rank));
+    if (!rank || *rank <= 0) {
+      out.stats.warnings.push_back("row " + std::to_string(row + 1) +
+                                   ": unparseable rank, skipped");
+      continue;
+    }
+    r.rank = static_cast<int>(*rank);
+    r.name = cell(col_name);
+    r.site = cell(col_site);
+    r.vendor = cell(col_manufacturer);
+    r.country = table.cell(row, col_country);
+    r.segment = cell(col_segment);
+    const auto year = num(col_year);
+    r.year = year ? static_cast<int>(*year) : 2020;
+    const auto rmax = util::parse_double(table.cell(row, col_rmax));
+    const auto cores = util::parse_int(table.cell(row, col_cores));
+    if (!rmax || !cores) {
+      out.stats.warnings.push_back("row " + std::to_string(row + 1) +
+                                   ": missing rmax or cores, skipped");
+      continue;
+    }
+    r.rmax_tflops = *rmax;
+    r.rpeak_tflops = num(col_rpeak).value_or(*rmax);
+    r.total_cores = *cores;
+    r.processor = table.cell(row, col_processor);
+    r.accelerator = cell(col_accel);
+    if (util::iequals(r.accelerator, "none")) r.accelerator.clear();
+
+    // Disclosure: what this export actually carries.
+    if (auto power = num(col_power); power && *power > 0) {
+      r.truth.power_kw = *power;
+      r.top500.power = true;
+      ++out.stats.with_power;
+    }
+    // Package counts from cores-per-socket (the Table-I "# of CPUs
+    // incomplete: 0" derivation).
+    if (auto cps = num(col_cps); cps && *cps > 0) {
+      r.truth.cpus = std::max<long long>(
+          1, static_cast<long long>(*cores / *cps));
+      ++out.stats.with_cores_per_socket;
+    } else if (auto spec = hw::find_cpu(r.processor);
+               spec && spec->cores > 0) {
+      r.truth.cpus =
+          std::max<long long>(1, *cores / spec->cores);
+    } else {
+      r.truth.cpus = std::max<long long>(1, *cores / 64);  // era prior
+    }
+    if (auto mem = num(col_memory); mem && *mem > 0) {
+      r.truth.memory_gb = *mem;  // export lists GB
+      r.top500.memory = true;
+    }
+    if (!r.accelerator.empty()) ++out.stats.with_accelerator;
+    (void)col_accel_cores;  // accelerator *device* counts are not
+                            // derivable from accelerator cores alone —
+                            // the paper's central embodied-carbon gap.
+
+    r.with_public = r.top500;
+    r.item_reported.fill(false);
+    r.item_reported[2] = true;                       // country
+    r.item_reported[6] = true;                       // total cores
+    r.item_reported[8] = true;                       // rmax
+    r.item_reported[12] = r.top500.power;
+    r.item_reported[14] = r.top500.memory;
+    r.item_reported[15] = true;                      // processor
+
+    out.records.push_back(std::move(r));
+    ++out.stats.systems;
+  }
+
+  std::stable_sort(out.records.begin(), out.records.end(),
+                   [](const SystemRecord& a, const SystemRecord& b) {
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+ImportResult import_top500_file(const std::string& path) {
+  return import_top500_csv(util::CsvTable::read_file(path));
+}
+
+}  // namespace easyc::top500

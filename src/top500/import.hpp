@@ -1,0 +1,58 @@
+// Importer for the official Top500.org list export format.
+//
+// The real assessment workflow starts from the XLSX/CSV export that
+// top500.org offers, whose columns look like
+//
+//   Rank, Name, Computer, Site, Manufacturer, Country, Year, Segment,
+//   Total Cores, Accelerator/Co-Processor Cores, Rmax [TFlop/s],
+//   Rpeak [TFlop/s], Power (kW), Processor, Cores per Socket,
+//   Accelerator/Co-Processor, Interconnect, ...
+//
+// This module maps such a file onto `SystemRecord`s: structural fields
+// are copied, the Top500.org disclosure mask is set from which cells are
+// non-empty, and derivable quantities (CPU package counts from cores per
+// socket) are filled the way EasyC's Table I assumes. Ground-truth
+// fields that the export cannot know stay zero and undisclosed — the
+// resulting records run through the Baseline scenario exactly like the
+// synthetic ones.
+//
+// Header matching is forgiving: case-insensitive, ignores bracketed
+// units ("Rmax [TFlop/s]" == "rmax"), and accepts the common aliases
+// across list editions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "top500/record.hpp"
+#include "util/csv.hpp"
+
+namespace easyc::top500 {
+
+struct ImportStats {
+  int systems = 0;
+  int with_power = 0;
+  int with_accelerator = 0;
+  int with_cores_per_socket = 0;
+  std::vector<std::string> warnings;  ///< per-row recoverable problems
+};
+
+struct ImportResult {
+  std::vector<SystemRecord> records;
+  ImportStats stats;
+};
+
+/// Import from a parsed CSV table. Throws ParseError when mandatory
+/// columns (rank, country, total cores, rmax, processor) are absent;
+/// malformed optional cells produce warnings, not failures.
+ImportResult import_top500_csv(const util::CsvTable& table);
+
+/// Convenience: read + import a file.
+ImportResult import_top500_file(const std::string& path);
+
+/// Locate a column by fuzzy name ("Rmax [TFlop/s]" matches "rmax");
+/// returns npos-equivalent nullopt when absent. Exposed for tests.
+std::optional<size_t> find_column(const util::CsvTable& table,
+                                  std::string_view logical_name);
+
+}  // namespace easyc::top500

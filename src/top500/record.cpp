@@ -1,0 +1,250 @@
+#include "top500/record.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::top500 {
+
+std::string scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kTop500Org: return "Top500.org";
+    case Scenario::kTop500PlusPublic: return "Top500.org + public info";
+    case Scenario::kFullKnowledge: return "full knowledge";
+  }
+  return "unknown";
+}
+
+const std::array<std::string, kNumTop500DataItems>& top500_data_items() {
+  static const std::array<std::string, kNumTop500DataItems> kItems = {
+      "Site",          "Manufacturer",   "Country",
+      "Year",          "Segment",        "Application Area",
+      "Total Cores",   "Accelerator Cores", "Rmax",
+      "Rpeak",         "Nmax",           "Nhalf",
+      "HPL Power",     "Power Source",   "Memory",
+      "Processor",     "Interconnect",   "Operating System",
+      "Compiler",
+  };
+  return kItems;
+}
+
+int SystemRecord::num_items_missing() const {
+  int n = 0;
+  for (bool b : item_reported) {
+    if (!b) ++n;
+  }
+  return n;
+}
+
+model::Inputs to_inputs(const SystemRecord& r, Scenario scenario) {
+  model::Inputs in;
+  in.name = r.name;
+  in.country = r.country;
+  in.rmax_tflops = r.rmax_tflops;
+  in.rpeak_tflops = r.rpeak_tflops;
+  in.total_cores = r.total_cores;
+  in.processor = r.processor;
+  in.accelerator = r.accelerator;
+  in.operation_year = r.year;  // Table I: operation year never missing
+
+  if (scenario == Scenario::kFullKnowledge) {
+    in.region = r.truth.region;
+    if (!r.processor_public.empty()) in.processor = r.processor_public;
+    if (!r.accelerator_public.empty()) in.accelerator = r.accelerator_public;
+    if (r.truth.power_kw > 0) in.power_kw = r.truth.power_kw;
+    in.num_nodes = r.truth.nodes;
+    if (r.is_accelerated()) in.num_gpus = r.truth.gpus;
+    in.num_cpus = r.truth.cpus;
+    if (r.truth.memory_gb > 0) in.memory_gb = r.truth.memory_gb;
+    if (!r.truth.memory_type.empty()) in.memory_type = r.truth.memory_type;
+    if (r.truth.ssd_tb > 0) in.ssd_tb = r.truth.ssd_tb;
+    in.utilization = r.truth.utilization;
+    if (r.truth.annual_energy_kwh > 0) {
+      in.annual_energy_kwh = r.truth.annual_energy_kwh;
+    }
+    return in;
+  }
+
+  const Disclosure& d =
+      scenario == Scenario::kTop500Org ? r.top500 : r.with_public;
+
+  if (scenario == Scenario::kTop500PlusPublic) {
+    if (d.processor_identity && !r.processor_public.empty()) {
+      in.processor = r.processor_public;
+    }
+    if (d.accelerator_identity && !r.accelerator_public.empty()) {
+      in.accelerator = r.accelerator_public;
+    }
+    if (d.region) in.region = r.truth.region;
+  }
+
+  if (d.power && r.truth.power_kw > 0) in.power_kw = r.truth.power_kw;
+  if (d.nodes) in.num_nodes = r.truth.nodes;
+  if (d.gpus && r.is_accelerated()) in.num_gpus = r.truth.gpus;
+  // "# of CPUs" is never missing (paper Table I): package counts are
+  // derivable from total cores + sockets for every listed system.
+  in.num_cpus = r.truth.cpus;
+  if (d.memory && r.truth.memory_gb > 0) in.memory_gb = r.truth.memory_gb;
+  if (d.memory_type && !r.truth.memory_type.empty()) {
+    in.memory_type = r.truth.memory_type;
+  }
+  if (d.ssd && r.truth.ssd_tb > 0) in.ssd_tb = r.truth.ssd_tb;
+  if (d.utilization) in.utilization = r.truth.utilization;
+  if (d.annual_energy && r.truth.annual_energy_kwh > 0) {
+    in.annual_energy_kwh = r.truth.annual_energy_kwh;
+  }
+  return in;
+}
+
+namespace {
+
+std::string flags_to_string(const Disclosure& d) {
+  std::string s;
+  auto put = [&s](bool b) { s.push_back(b ? '1' : '0'); };
+  put(d.power);
+  put(d.nodes);
+  put(d.gpus);
+  put(d.memory);
+  put(d.memory_type);
+  put(d.ssd);
+  put(d.utilization);
+  put(d.annual_energy);
+  put(d.region);
+  put(d.processor_identity);
+  put(d.accelerator_identity);
+  return s;
+}
+
+Disclosure flags_from_string(const std::string& s) {
+  if (s.size() != 11) {
+    throw util::ParseError("disclosure mask must have 11 bits, got '" + s +
+                           "'");
+  }
+  Disclosure d;
+  size_t i = 0;
+  auto get = [&]() { return s[i++] == '1'; };
+  d.power = get();
+  d.nodes = get();
+  d.gpus = get();
+  d.memory = get();
+  d.memory_type = get();
+  d.ssd = get();
+  d.utilization = get();
+  d.annual_energy = get();
+  d.region = get();
+  d.processor_identity = get();
+  d.accelerator_identity = get();
+  return d;
+}
+
+std::string items_to_string(
+    const std::array<bool, kNumTop500DataItems>& items) {
+  std::string s;
+  for (bool b : items) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::array<bool, kNumTop500DataItems> items_from_string(
+    const std::string& s) {
+  if (s.size() != kNumTop500DataItems) {
+    throw util::ParseError("item mask must have 19 bits");
+  }
+  std::array<bool, kNumTop500DataItems> out{};
+  for (int i = 0; i < kNumTop500DataItems; ++i) out[i] = s[i] == '1';
+  return out;
+}
+
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "rank",        "name",         "site",        "country",
+      "vendor",      "segment",      "year",        "rmax_tflops",
+      "rpeak_tflops","total_cores",  "processor",   "processor_public",
+      "accelerator", "accelerator_public",
+      "power_kw",    "nodes",        "gpus",        "cpus",
+      "memory_gb",   "memory_type",  "ssd_tb",      "utilization",
+      "annual_energy_kwh",           "region",
+      "mask_top500", "mask_public",  "items_reported",
+  };
+  return kHeader;
+}
+
+}  // namespace
+
+util::CsvTable to_csv(const std::vector<SystemRecord>& records) {
+  util::CsvTable t(csv_header());
+  for (const auto& r : records) {
+    t.add_row({
+        std::to_string(r.rank),
+        r.name,
+        r.site,
+        r.country,
+        r.vendor,
+        r.segment,
+        std::to_string(r.year),
+        util::format_double(r.rmax_tflops, 4),
+        util::format_double(r.rpeak_tflops, 4),
+        std::to_string(r.total_cores),
+        r.processor,
+        r.processor_public,
+        r.accelerator,
+        r.accelerator_public,
+        util::format_double(r.truth.power_kw, 3),
+        std::to_string(r.truth.nodes),
+        std::to_string(r.truth.gpus),
+        std::to_string(r.truth.cpus),
+        util::format_double(r.truth.memory_gb, 1),
+        r.truth.memory_type,
+        util::format_double(r.truth.ssd_tb, 2),
+        util::format_double(r.truth.utilization, 4),
+        util::format_double(r.truth.annual_energy_kwh, 1),
+        r.truth.region,
+        flags_to_string(r.top500),
+        flags_to_string(r.with_public),
+        items_to_string(r.item_reported),
+    });
+  }
+  return t;
+}
+
+std::vector<SystemRecord> from_csv(const util::CsvTable& t) {
+  std::vector<SystemRecord> out;
+  out.reserve(t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    SystemRecord r;
+    auto num = [&](const char* col) {
+      auto v = t.cell_double(i, col);
+      if (!v) throw util::ParseError(std::string("bad numeric field ") + col);
+      return *v;
+    };
+    r.rank = static_cast<int>(num("rank"));
+    r.name = t.cell(i, "name");
+    r.site = t.cell(i, "site");
+    r.country = t.cell(i, "country");
+    r.vendor = t.cell(i, "vendor");
+    r.segment = t.cell(i, "segment");
+    r.year = static_cast<int>(num("year"));
+    r.rmax_tflops = num("rmax_tflops");
+    r.rpeak_tflops = num("rpeak_tflops");
+    r.total_cores = static_cast<long long>(num("total_cores"));
+    r.processor = t.cell(i, "processor");
+    r.processor_public = t.cell(i, "processor_public");
+    r.accelerator = t.cell(i, "accelerator");
+    r.accelerator_public = t.cell(i, "accelerator_public");
+    r.truth.power_kw = num("power_kw");
+    r.truth.nodes = static_cast<long long>(num("nodes"));
+    r.truth.gpus = static_cast<long long>(num("gpus"));
+    r.truth.cpus = static_cast<long long>(num("cpus"));
+    r.truth.memory_gb = num("memory_gb");
+    r.truth.memory_type = t.cell(i, "memory_type");
+    r.truth.ssd_tb = num("ssd_tb");
+    r.truth.utilization = num("utilization");
+    r.truth.annual_energy_kwh = num("annual_energy_kwh");
+    r.truth.region = t.cell(i, "region");
+    r.top500 = flags_from_string(t.cell(i, "mask_top500"));
+    r.with_public = flags_from_string(t.cell(i, "mask_public"));
+    r.item_reported = items_from_string(t.cell(i, "items_reported"));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace easyc::top500

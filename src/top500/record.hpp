@@ -1,0 +1,108 @@
+// Top500 system records with per-field data-availability modeling.
+//
+// The paper's central experimental variable is *which data is available
+// from which source*. Each record therefore carries:
+//   * the structural/performance fields every Top500 entry has,
+//   * ground truth for the EasyC metrics (what the machine really is),
+//   * two disclosure masks — what Top500.org discloses, and what
+//     Top500.org plus other public sources disclose (a superset),
+//   * the Fig.-2 bookkeeping of which of the 19 Top500.org data items
+//     the entry reports.
+//
+// `to_inputs(record, scenario)` projects a record onto `model::Inputs`,
+// hiding everything the scenario's sources do not disclose. The same
+// record yields different model coverage under different scenarios —
+// exactly the paper's Figs. 4-6.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "easyc/inputs.hpp"
+#include "util/csv.hpp"
+
+namespace easyc::top500 {
+
+/// Data-input scenarios from the paper.
+enum class Scenario {
+  kTop500Org,        ///< Baseline: Top500.org fields only
+  kTop500PlusPublic, ///< Baseline + other public web sources
+  kFullKnowledge,    ///< everything (ground truth; upper bound, not in paper)
+};
+
+std::string scenario_name(Scenario s);
+
+/// Per-source availability of each EasyC-relevant field.
+struct Disclosure {
+  bool power = false;        ///< HPL power figure
+  bool nodes = false;        ///< # compute nodes
+  bool gpus = false;         ///< # accelerators
+  bool memory = false;       ///< total memory capacity
+  bool memory_type = false;
+  bool ssd = false;          ///< flash capacity
+  bool utilization = false;
+  bool annual_energy = false;
+  bool region = false;           ///< sub-national grid region known
+  bool processor_identity = false;   ///< refined CPU identity published
+  bool accelerator_identity = false; ///< refined accelerator identity
+};
+
+/// The 19 Top500.org data items tracked by the paper's Fig. 2.
+inline constexpr int kNumTop500DataItems = 19;
+const std::array<std::string, kNumTop500DataItems>& top500_data_items();
+
+/// What the machine actually is — the generator's ground truth. Real
+/// deployments would not have this struct; it exists so the missingness
+/// model can hide known values per scenario.
+struct GroundTruth {
+  double power_kw = 0.0;          ///< average HPL power
+  long long nodes = 0;
+  long long gpus = 0;             ///< 0 for CPU-only systems
+  long long cpus = 0;             ///< CPU packages
+  double memory_gb = 0.0;
+  std::string memory_type;        ///< "DDR4", "HBM3", ...
+  double ssd_tb = 0.0;
+  double utilization = 0.8;
+  double annual_energy_kwh = 0.0; ///< metered facility energy
+  std::string region;             ///< sub-national region, "" if n/a
+};
+
+struct SystemRecord {
+  int rank = 0;
+  std::string name;
+  std::string site;
+  std::string country;
+  std::string vendor;
+  std::string segment;            ///< Research / Industry / Government...
+  int year = 2020;                ///< installation year
+  double rmax_tflops = 0.0;
+  double rpeak_tflops = 0.0;
+  long long total_cores = 0;
+  std::string processor;          ///< string as listed on Top500.org
+  std::string processor_public;   ///< refined identity from public sources
+  std::string accelerator;        ///< "" = CPU-only
+  std::string accelerator_public;
+
+  GroundTruth truth;
+  Disclosure top500;              ///< what Top500.org discloses
+  Disclosure with_public;         ///< superset: + other public sources
+
+  /// Fig.-2 bookkeeping: item i reported on Top500.org?
+  std::array<bool, kNumTop500DataItems> item_reported{};
+
+  bool is_accelerated() const { return !accelerator.empty(); }
+
+  /// Count of unreported Top500.org items (Fig. 2 x-axis).
+  int num_items_missing() const;
+};
+
+/// Project a record onto EasyC model inputs under a data scenario.
+model::Inputs to_inputs(const SystemRecord& record, Scenario scenario);
+
+/// CSV round trip for the full dataset (all fields incl. truth + masks).
+util::CsvTable to_csv(const std::vector<SystemRecord>& records);
+std::vector<SystemRecord> from_csv(const util::CsvTable& table);
+
+}  // namespace easyc::top500

@@ -1,0 +1,91 @@
+#include "util/args.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         bool takes_value) {
+  EASYC_REQUIRE(!name.empty() && name[0] != '-',
+                "declare flags without leading dashes");
+  specs_[name] = {help, takes_value};
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  values_.clear();
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw ParseError("unknown flag --" + name);
+    }
+    if (!it->second.takes_value) {
+      if (inline_value) {
+        throw ParseError("flag --" + name + " takes no value");
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw ParseError("flag --" + name + " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> ArgParser::get_double(const std::string& name) const {
+  auto v = get(name);
+  if (!v) return std::nullopt;
+  auto d = parse_double(*v);
+  if (!d) throw ParseError("flag --" + name + " expects a number, got '" +
+                           *v + "'");
+  return d;
+}
+
+std::optional<long long> ArgParser::get_int(const std::string& name) const {
+  auto v = get(name);
+  if (!v) return std::nullopt;
+  auto n = parse_int(*v);
+  if (!n) throw ParseError("flag --" + name + " expects an integer, got '" +
+                           *v + "'");
+  return n;
+}
+
+std::string ArgParser::usage(const std::string& argv0) const {
+  std::string out = description_ + "\n\nUsage: " + argv0 + " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name + (spec.takes_value ? " <value>" : "") + "\n      " +
+           spec.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace easyc::util

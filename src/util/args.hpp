@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for the CLI tools.
+//
+// Supports --flag=value, --flag value, and boolean --flag forms, with
+// typed accessors and an auto-generated usage string. Unknown flags are
+// an error (catching typos beats silently ignoring them).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace easyc::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Declare a flag. `help` appears in usage(); flags are matched by
+  /// their long name only ("--name").
+  void add_flag(const std::string& name, const std::string& help,
+                bool takes_value = true);
+
+  /// Parse argv. Throws ParseError on unknown flags or a missing value.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::optional<double> get_double(const std::string& name) const;
+  std::optional<long long> get_int(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& argv0) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool takes_value = true;
+  };
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace easyc::util

@@ -1,0 +1,174 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  size_t digits = 0;
+  for (char c : s) {
+    if ((c >= '0' && c <= '9')) ++digits;
+    else if (c != '.' && c != '-' && c != '+' && c != ',' && c != '%' &&
+             c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return digits > 0;
+}
+
+std::string pad(const std::string& s, size_t width, bool right_align) {
+  if (s.size() >= width) return s;
+  std::string fill(width - s.size(), ' ');
+  return right_align ? fill + s : s + fill;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EASYC_REQUIRE(!header_.empty(), "table must have at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  EASYC_REQUIRE(row.size() == header_.size(),
+                "table row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  const size_t ncols = header_.size();
+  std::vector<size_t> width(ncols);
+  std::vector<bool> numeric(ncols, true);
+  for (size_t c = 0; c < ncols; ++c) {
+    width[c] = header_[c].size();
+    bool any_data = false;
+    for (const auto& r : rows_) {
+      width[c] = std::max(width[c], r[c].size());
+      if (!r[c].empty()) {
+        any_data = true;
+        if (!looks_numeric(r[c])) numeric[c] = false;
+      }
+    }
+    if (!any_data) numeric[c] = false;
+  }
+
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& r, bool align_numeric) {
+    for (size_t c = 0; c < ncols; ++c) {
+      if (c > 0) out += "  ";
+      out += pad(r[c], width[c], align_numeric && numeric[c]);
+    }
+    // Trim trailing spaces for clean diffs.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit(header_, false);
+  std::string rule;
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c > 0) rule += "  ";
+    rule += std::string(width[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& r : rows_) emit(r, true);
+  return out;
+}
+
+std::string bar_chart(const std::vector<Bar>& bars, int width,
+                      const std::string& title) {
+  EASYC_REQUIRE(width > 0, "bar chart width must be positive");
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  if (bars.empty()) return out + "(no data)\n";
+
+  double maxabs = 0.0;
+  size_t label_w = 0;
+  for (const auto& b : bars) {
+    maxabs = std::max(maxabs, std::fabs(b.value));
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (maxabs == 0.0) maxabs = 1.0;
+  for (const auto& b : bars) {
+    const int n = static_cast<int>(
+        std::lround(std::fabs(b.value) / maxabs * width));
+    out += pad(b.label, label_w, false);
+    out += " |";
+    out += std::string(static_cast<size_t>(n), b.value < 0 ? '-' : '#');
+    out += " " + format_double(b.value, 2) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_grid(const std::vector<double>& xs,
+                        const std::vector<std::vector<double>>& series,
+                        const std::vector<char>& glyphs, int width, int height,
+                        const std::string& title) {
+  EASYC_REQUIRE(width > 8 && height > 2, "plot must be at least 9x3");
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  if (xs.empty()) return out + "(no data)\n";
+
+  double xmin = xs.front();
+  double xmax = xs.front();
+  for (double x : xs) {
+    xmin = std::min(xmin, x);
+    xmax = std::max(xmax, x);
+  }
+  double ymin = 0.0;  // carbon axes start at zero, matching the paper
+  double ymax = 0.0;
+  for (const auto& s : series) {
+    for (double y : s) {
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  for (size_t si = 0; si < series.size(); ++si) {
+    const auto& ys = series[si];
+    for (size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+      const int col = static_cast<int>(
+          std::lround((xs[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int row = static_cast<int>(
+          std::lround((ys[i] - ymin) / (ymax - ymin) * (height - 1)));
+      const int r = height - 1 - std::clamp(row, 0, height - 1);
+      grid[static_cast<size_t>(r)][static_cast<size_t>(std::clamp(
+          col, 0, width - 1))] = glyphs[si];
+    }
+  }
+  out += "  y: " + format_double(ymin, 1) + " .. " + format_double(ymax, 1) +
+         "\n";
+  for (const auto& line : grid) out += " |" + line + "\n";
+  out += " +" + std::string(static_cast<size_t>(width), '-') + "\n";
+  out += "  x: " + format_double(xmin, 1) + " .. " + format_double(xmax, 1) +
+         "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string series_plot(const std::vector<double>& xs,
+                        const std::vector<double>& ys, int width, int height,
+                        const std::string& title) {
+  return render_grid(xs, {ys}, {'*'}, width, height, title);
+}
+
+std::string dual_series_plot(const std::vector<double>& xs,
+                             const std::vector<double>& ys1,
+                             const std::vector<double>& ys2, int width,
+                             int height, const std::string& title) {
+  return render_grid(xs, {ys1, ys2}, {'*', 'o'}, width, height, title);
+}
+
+}  // namespace easyc::util

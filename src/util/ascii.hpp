@@ -1,0 +1,51 @@
+// Plain-text renderers for the report layer: aligned tables, horizontal
+// bar charts, and rank-series sparkline plots. Every figure in the paper
+// is emitted both as CSV (machine-readable) and through these renderers
+// (human-readable benchmark output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace easyc::util {
+
+/// Column-aligned text table. Numeric-looking cells are right-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Render with a header underline and 2-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One labelled bar.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Horizontal bar chart scaled to `width` characters; prints the value
+/// after each bar. Negative values render leftward with '-' fill.
+std::string bar_chart(const std::vector<Bar>& bars, int width = 50,
+                      const std::string& title = "");
+
+/// A y-vs-x line/scatter rendered into a character grid; used for the
+/// carbon-vs-rank figures. `height` rows, `width` cols.
+std::string series_plot(const std::vector<double>& xs,
+                        const std::vector<double>& ys, int width = 72,
+                        int height = 16, const std::string& title = "");
+
+/// Two overlaid series sharing axes ('*' and 'o').
+std::string dual_series_plot(const std::vector<double>& xs,
+                             const std::vector<double>& ys1,
+                             const std::vector<double>& ys2, int width = 72,
+                             int height = 16, const std::string& title = "");
+
+}  // namespace easyc::util

@@ -1,0 +1,190 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::util {
+
+namespace {
+
+// State machine over the raw text; handles CRLF and quoted fields with
+// doubled-quote escapes.
+std::vector<std::vector<std::string>> parse_rows(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);  // stray quote inside unquoted field
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // swallow; the '\n' ends the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EASYC_REQUIRE(!header_.empty(), "CSV header must have at least one column");
+}
+
+CsvTable CsvTable::parse(std::string_view text, bool strict) {
+  auto rows = parse_rows(text);
+  if (rows.empty()) throw ParseError("CSV input has no header row");
+  CsvTable t(std::move(rows.front()));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    auto& r = rows[i];
+    if (r.size() != t.header_.size()) {
+      if (strict) {
+        throw ParseError("row " + std::to_string(i) + " has " +
+                         std::to_string(r.size()) + " fields, expected " +
+                         std::to_string(t.header_.size()));
+      }
+      r.resize(t.header_.size());
+    }
+    t.rows_.push_back(std::move(r));
+  }
+  return t;
+}
+
+CsvTable CsvTable::read_file(const std::string& path, bool strict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open CSV file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), strict);
+}
+
+std::optional<size_t> CsvTable::column(std::string_view name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t CsvTable::column_or_throw(std::string_view name) const {
+  auto c = column(name);
+  if (!c) throw LookupError("no CSV column named '" + std::string(name) + "'");
+  return *c;
+}
+
+const std::vector<std::string>& CsvTable::row(size_t r) const {
+  EASYC_REQUIRE(r < rows_.size(), "CSV row index out of range");
+  return rows_[r];
+}
+
+const std::string& CsvTable::cell(size_t r, size_t c) const {
+  EASYC_REQUIRE(r < rows_.size(), "CSV row index out of range");
+  EASYC_REQUIRE(c < header_.size(), "CSV column index out of range");
+  return rows_[r][c];
+}
+
+const std::string& CsvTable::cell(size_t r, std::string_view col) const {
+  return cell(r, column_or_throw(col));
+}
+
+std::optional<double> CsvTable::cell_double(size_t r,
+                                            std::string_view col) const {
+  return parse_double(cell(r, col));
+}
+
+std::optional<long long> CsvTable::cell_int(size_t r,
+                                            std::string_view col) const {
+  return parse_int(cell(r, col));
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  EASYC_REQUIRE(row.size() == header_.size(),
+                "CSV row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(csv_escape(r[i]));
+    }
+    out.push_back('\n');
+  };
+  emit_row(header_);
+  for (const auto& r : rows_) emit_row(r);
+  return out;
+}
+
+void CsvTable::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << to_string();
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace easyc::util

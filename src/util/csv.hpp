@@ -1,0 +1,66 @@
+// Minimal RFC-4180-style CSV reader/writer.
+//
+// The Top500 dataset and every figure/table emitted by the benchmark
+// harness round-trips through this layer, so it supports quoted fields,
+// embedded separators/quotes/newlines, and header-indexed access.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easyc::util {
+
+/// An in-memory CSV table: one header row plus data rows. All fields are
+/// stored as strings; typed access goes through the accessors below.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Parse CSV text. Throws ParseError on structural problems (unclosed
+  /// quote, row arity mismatch when `strict` is true).
+  static CsvTable parse(std::string_view text, bool strict = true);
+
+  /// Read a file from disk. Throws ParseError if unreadable.
+  static CsvTable read_file(const std::string& path, bool strict = true);
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+  /// Column index for `name`; nullopt if absent. Case-sensitive.
+  std::optional<size_t> column(std::string_view name) const;
+
+  /// Column index for `name`; throws LookupError if absent.
+  size_t column_or_throw(std::string_view name) const;
+
+  const std::vector<std::string>& row(size_t r) const;
+
+  /// Raw cell text ("" for empty).
+  const std::string& cell(size_t r, size_t c) const;
+  const std::string& cell(size_t r, std::string_view col) const;
+
+  /// Typed accessors: empty or malformed cells yield nullopt.
+  std::optional<double> cell_double(size_t r, std::string_view col) const;
+  std::optional<long long> cell_int(size_t r, std::string_view col) const;
+
+  /// Append a row; must match header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Serialize with proper quoting; ends with a trailing newline.
+  std::string to_string() const;
+
+  /// Write to disk. Throws Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single field if it contains a separator, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+}  // namespace easyc::util

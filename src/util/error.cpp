@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace easyc::util {
+
+void require_failed(const char* expr, const char* file, int line,
+                    std::string_view msg) {
+  std::fprintf(stderr, "EASYC_REQUIRE failed: %s\n  at %s:%d\n  %.*s\n", expr,
+               file, line, static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace easyc::util

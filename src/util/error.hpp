@@ -1,0 +1,56 @@
+// Error handling primitives shared across the EasyC libraries.
+//
+// The library follows C++ Core Guidelines E.2/E.3: errors that a caller
+// can reasonably be expected to handle are reported with exceptions
+// derived from `easyc::util::Error`; programming errors (precondition
+// violations) abort via EASYC_REQUIRE in all build types so that model
+// results are never silently computed from invalid inputs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace easyc::util {
+
+/// Base class for all recoverable EasyC errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file (CSV, dataset) cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Raised when a carbon-model input fails validation (e.g. negative
+/// power draw, unknown country code, zero node count).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+/// Raised when a lookup into one of the knowledge bases (hardware
+/// catalog, grid-intensity table) does not match any entry.
+class LookupError : public Error {
+ public:
+  explicit LookupError(const std::string& what) : Error("lookup error: " + what) {}
+};
+
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 std::string_view msg);
+
+}  // namespace easyc::util
+
+/// Precondition check: active in every build type. `msg` may use
+/// stream-free plain strings only; prefer describing the violated
+/// contract, not the call site.
+#define EASYC_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::easyc::util::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,50 @@
+// Small string utilities used by the CSV layer, the catalogs, and the
+// report renderers. All functions are pure and allocation-conscious.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easyc::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split `s` on `sep`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Lower-case an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Upper-case an ASCII string.
+std::string to_upper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if the lower-cased forms match.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive substring test.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Parse a double; empty/invalid input -> nullopt. Accepts surrounding
+/// whitespace and thousands-free decimal notation only.
+std::optional<double> parse_double(std::string_view s);
+
+/// Parse a non-negative integer; empty/invalid input -> nullopt.
+std::optional<long long> parse_int(std::string_view s);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Format a double with `digits` significant decimal places, no
+/// scientific notation, trailing zeros trimmed ("12.50" -> "12.5").
+std::string format_double(double v, int digits = 2);
+
+/// Format an integer with thousands separators: 1234567 -> "1,234,567".
+std::string with_commas(long long v);
+
+}  // namespace easyc::util

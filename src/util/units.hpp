@@ -1,0 +1,62 @@
+// Unit conversions used throughout the carbon models.
+//
+// Internal convention (documented on every public API):
+//   power            kW
+//   energy           kWh
+//   carbon intensity gCO2e / kWh
+//   carbon mass      kgCO2e at component level, MT CO2e (metric tons) at
+//                    system/fleet level
+//   performance      TFlop/s (Top500 Rmax convention); PFlop/s in the
+//                    perf-per-carbon projection, matching the paper's axes
+#pragma once
+
+namespace easyc::util {
+
+inline constexpr double kHoursPerYear = 8760.0;
+inline constexpr double kKgPerMetricTon = 1000.0;
+inline constexpr double kGramsPerKg = 1000.0;
+inline constexpr double kTFlopsPerPFlop = 1000.0;
+
+/// grams -> metric tons
+constexpr double g_to_mt(double grams) {
+  return grams / (kGramsPerKg * kKgPerMetricTon);
+}
+
+/// kilograms -> metric tons
+constexpr double kg_to_mt(double kg) { return kg / kKgPerMetricTon; }
+
+/// kW drawn continuously for a year -> kWh
+constexpr double kw_year_to_kwh(double kw) { return kw * kHoursPerYear; }
+
+/// Energy (kWh) at a grid intensity (gCO2e/kWh) -> MT CO2e
+constexpr double kwh_to_mtco2e(double kwh, double aci_g_per_kwh) {
+  return g_to_mt(kwh * aci_g_per_kwh);
+}
+
+// --- Equivalence constants (US EPA GHG equivalences, 2024 revision) ---
+
+/// Annual emissions of a typical gasoline-powered passenger vehicle.
+/// The paper's own arithmetic implies ~4.28 MT/vehicle
+/// (1.39e6 MT / 325k vehicles); we embed that derived constant so that
+/// the equivalence figures reproduce the paper's rounding.
+inline constexpr double kMtCo2ePerVehicleYear = 4.28;
+
+/// Grams CO2e per vehicle-mile (paper: 1.39e6 MT == 3.5e9 miles).
+inline constexpr double kGCo2ePerVehicleMile = 397.0;
+
+/// Annual emissions of an average home's electricity use, MT CO2e.
+inline constexpr double kMtCo2ePerHomeYear = 4.31;
+
+constexpr double mtco2e_to_vehicle_years(double mt) {
+  return mt / kMtCo2ePerVehicleYear;
+}
+
+constexpr double mtco2e_to_vehicle_miles(double mt) {
+  return mt * 1.0e6 / kGCo2ePerVehicleMile;
+}
+
+constexpr double mtco2e_to_home_years(double mt) {
+  return mt / kMtCo2ePerHomeYear;
+}
+
+}  // namespace easyc::util

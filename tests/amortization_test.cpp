@@ -1,0 +1,79 @@
+#include "easyc/amortization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easyc::model {
+namespace {
+
+OperationalResult op_result(double mt) {
+  OperationalResult r;
+  r.mt_co2e = mt;
+  return r;
+}
+
+EmbodiedBreakdown emb_result(double mt) {
+  EmbodiedBreakdown b;
+  b.total_mt = mt;
+  return b;
+}
+
+TEST(Annualize, SpreadsEmbodiedOverServiceLife) {
+  const auto f = annualize(op_result(6000), emb_result(12000), {6.0});
+  EXPECT_DOUBLE_EQ(f.operational_mt, 6000);
+  EXPECT_DOUBLE_EQ(f.embodied_amortized_mt, 2000);
+  EXPECT_DOUBLE_EQ(f.total_mt, 8000);
+  EXPECT_DOUBLE_EQ(f.embodied_share, 0.25);
+}
+
+TEST(Annualize, ShortLifeRaisesEmbodiedShare) {
+  const auto long_life = annualize(op_result(1000), emb_result(6000), {6.0});
+  const auto short_life = annualize(op_result(1000), emb_result(6000), {3.0});
+  EXPECT_GT(short_life.embodied_share, long_life.embodied_share);
+}
+
+TEST(Annualize, ZeroTotalsYieldZeroShare) {
+  const auto f = annualize(op_result(0), emb_result(0));
+  EXPECT_DOUBLE_EQ(f.embodied_share, 0.0);
+}
+
+TEST(Annualize, InvalidServiceLifeAborts) {
+  EXPECT_DEATH(annualize(op_result(1), emb_result(1), {0.0}), "positive");
+}
+
+TEST(Payback, BasicRatio) {
+  // New machine saves 500 MT/yr at 2000 MT embodied: 4-year payback.
+  EXPECT_DOUBLE_EQ(replacement_payback_years(1500, 1000, 2000), 4.0);
+}
+
+TEST(Payback, NoSavingsNeverPaysBack) {
+  EXPECT_TRUE(std::isinf(replacement_payback_years(1000, 1000, 500)));
+  EXPECT_TRUE(std::isinf(replacement_payback_years(1000, 1200, 500)));
+}
+
+TEST(Payback, FreeEmbodiedPaysBackImmediately) {
+  EXPECT_DOUBLE_EQ(replacement_payback_years(1000, 500, 0), 0.0);
+}
+
+TEST(Payback, NegativeInputsAbort) {
+  EXPECT_DEATH(replacement_payback_years(-1, 0, 0), "non-negative");
+}
+
+// Property: payback is monotone in embodied cost and anti-monotone in
+// savings.
+class PaybackSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PaybackSweep, MonotoneInEmbodied) {
+  const double emb = GetParam();
+  EXPECT_LE(replacement_payback_years(1000, 600, emb),
+            replacement_payback_years(1000, 600, emb + 100));
+  EXPECT_GE(replacement_payback_years(1000, 600, emb),
+            replacement_payback_years(1000, 500, emb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PaybackSweep,
+                         ::testing::Values(0.0, 100.0, 1000.0, 10000.0));
+
+}  // namespace
+}  // namespace easyc::model

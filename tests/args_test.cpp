@@ -1,0 +1,94 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace easyc::util {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test tool");
+  p.add_flag("name", "a string flag");
+  p.add_flag("count", "an integer flag");
+  p.add_flag("rate", "a double flag");
+  p.add_flag("verbose", "a boolean flag", /*takes_value=*/false);
+  return p;
+}
+
+TEST(Args, EqualsAndSpaceForms) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--name=alpha", "--count", "42"};
+  p.parse(4, argv);
+  EXPECT_EQ(*p.get("name"), "alpha");
+  EXPECT_EQ(*p.get_int("count"), 42);
+  EXPECT_FALSE(p.get("rate").has_value());
+}
+
+TEST(Args, BooleanFlag) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--verbose"};
+  p.parse(2, argv);
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("name"));
+}
+
+TEST(Args, PositionalArguments) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "input.csv", "--name=x", "more"};
+  p.parse(4, argv);
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"input.csv", "more"}));
+}
+
+TEST(Args, UnknownFlagThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--nmae=typo"};
+  EXPECT_THROW(p.parse(2, argv), ParseError);
+}
+
+TEST(Args, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--name"};
+  EXPECT_THROW(p.parse(2, argv), ParseError);
+}
+
+TEST(Args, BooleanWithValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  EXPECT_THROW(p.parse(2, argv), ParseError);
+}
+
+TEST(Args, TypedAccessorsValidate) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "--rate=1.5", "--count=abc"};
+  p.parse(3, argv);
+  EXPECT_DOUBLE_EQ(*p.get_double("rate"), 1.5);
+  EXPECT_THROW(p.get_int("count"), ParseError);
+}
+
+TEST(Args, ReparseResetsState) {
+  auto p = make_parser();
+  const char* argv1[] = {"tool", "--name=a", "pos"};
+  p.parse(3, argv1);
+  const char* argv2[] = {"tool", "--count=1"};
+  p.parse(2, argv2);
+  EXPECT_FALSE(p.has("name"));
+  EXPECT_TRUE(p.positional().empty());
+}
+
+TEST(Args, UsageListsFlags) {
+  auto p = make_parser();
+  const auto u = p.usage("tool");
+  EXPECT_NE(u.find("--name <value>"), std::string::npos);
+  EXPECT_NE(u.find("--verbose\n"), std::string::npos);
+  EXPECT_NE(u.find("test tool"), std::string::npos);
+}
+
+TEST(Args, DeclaringDashedFlagAborts) {
+  ArgParser p("x");
+  EXPECT_DEATH(p.add_flag("--bad", "nope"), "without leading dashes");
+}
+
+}  // namespace
+}  // namespace easyc::util

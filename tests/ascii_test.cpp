@@ -1,0 +1,77 @@
+#include "util/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easyc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "20"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric column right-aligned: " 1" appears under "20"-width column.
+  EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+TEST(TextTable, MixedColumnNotNumericAligned) {
+  TextTable t({"c"});
+  t.add_row({"12"});
+  t.add_row({"abc"});
+  const std::string out = t.render();
+  // "12 " (left aligned) rather than " 12".
+  EXPECT_NE(out.find("12\n"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToWidth) {
+  const std::string out = bar_chart({{"a", 10.0}, {"b", 5.0}}, 10, "title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // max bar full
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(BarChart, NegativeValuesUseDashes) {
+  const std::string out = bar_chart({{"down", -4.0}, {"up", 4.0}}, 8);
+  EXPECT_NE(out.find("--------"), std::string::npos);
+}
+
+TEST(BarChart, EmptyAndZero) {
+  EXPECT_NE(bar_chart({}, 10).find("(no data)"), std::string::npos);
+  // All-zero values must not divide by zero.
+  const std::string out = bar_chart({{"z", 0.0}}, 10);
+  EXPECT_NE(out.find("z"), std::string::npos);
+}
+
+TEST(SeriesPlot, ContainsAxesAndGlyphs) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {10, 20, 15, 40, 5};
+  const std::string out = series_plot(xs, ys, 20, 8, "plot");
+  EXPECT_NE(out.find("plot"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("x: 1 .. 5"), std::string::npos);
+}
+
+TEST(SeriesPlot, EmptyInput) {
+  EXPECT_NE(series_plot({}, {}, 20, 8).find("(no data)"),
+            std::string::npos);
+}
+
+TEST(DualSeriesPlot, BothGlyphsPresent) {
+  std::vector<double> xs = {1, 2, 3};
+  const std::string out =
+      dual_series_plot(xs, {1, 2, 3}, {3, 2, 1}, 20, 8);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(SeriesPlot, ConstantSeriesDoesNotCrash) {
+  std::vector<double> xs = {1, 2, 3};
+  std::vector<double> ys = {5, 5, 5};
+  EXPECT_FALSE(series_plot(xs, ys, 20, 8).empty());
+}
+
+}  // namespace
+}  // namespace easyc::util

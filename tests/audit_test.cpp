@@ -1,0 +1,116 @@
+#include "analysis/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "top500/generator.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+using top500::SystemRecord;
+
+std::vector<SystemRecord> small_valid_list() {
+  std::vector<SystemRecord> recs(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& r = recs[i];
+    r.rank = i + 1;
+    r.name = "sys" + std::to_string(i);
+    r.country = "Germany";
+    r.year = 2022;
+    r.rmax_tflops = 1000.0 * (3 - i);
+    r.rpeak_tflops = r.rmax_tflops * 1.4;
+    r.total_cores = 50000;
+    r.processor = "AMD EPYC 7763 64C";
+    r.truth.power_kw = r.rmax_tflops / 8.0;
+    r.truth.nodes = 400;
+    r.truth.cpus = 800;
+  }
+  return recs;
+}
+
+TEST(Audit, GeneratedListIsClean) {
+  const auto list = top500::generate_list();
+  const auto report = audit_records(list.records);
+  EXPECT_EQ(report.errors, 0) << render_audit(report);
+  EXPECT_EQ(report.warnings, 0) << render_audit(report);
+}
+
+TEST(Audit, CleanSmallList) {
+  const auto report = audit_records(small_valid_list());
+  EXPECT_TRUE(report.clean()) << render_audit(report);
+  EXPECT_EQ(render_audit(report), "audit: clean\n");
+}
+
+TEST(Audit, EmptyListIsAnError) {
+  const auto report = audit_records({});
+  EXPECT_EQ(report.errors, 1);
+}
+
+TEST(Audit, DetectsUnsortedRmax) {
+  auto recs = small_valid_list();
+  recs[2].rmax_tflops = 5000;  // bigger than rank 1
+  const auto report = audit_records(recs);
+  EXPECT_GE(report.errors, 1);
+  EXPECT_NE(render_audit(report).find("sorted"), std::string::npos);
+}
+
+TEST(Audit, DetectsDuplicateRank) {
+  auto recs = small_valid_list();
+  recs[1].rank = 1;
+  EXPECT_GE(audit_records(recs).errors, 1);
+}
+
+TEST(Audit, DetectsRmaxAboveRpeak) {
+  auto recs = small_valid_list();
+  recs[0].rpeak_tflops = recs[0].rmax_tflops * 0.9;
+  const auto report = audit_records(recs);
+  EXPECT_NE(render_audit(report).find("Rpeak"), std::string::npos);
+}
+
+TEST(Audit, FlagsImplausibleEfficiency) {
+  auto recs = small_valid_list();
+  recs[0].truth.power_kw = recs[0].rmax_tflops / 500.0;  // 500 GF/W
+  const auto report = audit_records(recs);
+  EXPECT_GE(report.warnings, 1);
+  EXPECT_NE(render_audit(report).find("envelope"), std::string::npos);
+}
+
+TEST(Audit, FlagsUnknownCountry) {
+  auto recs = small_valid_list();
+  recs[1].country = "Atlantis";
+  const auto report = audit_records(recs);
+  EXPECT_GE(report.warnings, 1);
+  EXPECT_NE(render_audit(report).find("Atlantis"), std::string::npos);
+}
+
+TEST(Audit, FlagsCpuOnlyWithGpus) {
+  auto recs = small_valid_list();
+  recs[0].truth.gpus = 100;  // accelerator string empty
+  EXPECT_GE(audit_records(recs).errors, 1);
+}
+
+TEST(Audit, FlagsNonDivisibleGpuCount) {
+  auto recs = small_valid_list();
+  recs[0].accelerator = "NVIDIA H100";
+  recs[0].truth.gpus = 1001;
+  recs[0].truth.nodes = 400;
+  EXPECT_GE(audit_records(recs).warnings, 1);
+}
+
+TEST(Audit, FlagsMorePackagesThanCores) {
+  auto recs = small_valid_list();
+  recs[0].truth.cpus = recs[0].total_cores + 1;
+  EXPECT_GE(audit_records(recs).errors, 1);
+}
+
+TEST(Audit, YearRangeConfigurable) {
+  auto recs = small_valid_list();
+  recs[0].year = 2031;
+  AuditOptions opt;
+  EXPECT_GE(audit_records(recs, opt).warnings, 1);
+  opt.max_year = 2035;
+  EXPECT_TRUE(audit_records(recs, opt).clean());
+}
+
+}  // namespace
+}  // namespace easyc::analysis

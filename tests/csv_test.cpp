@@ -1,0 +1,111 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace easyc::util {
+namespace {
+
+TEST(CsvParse, SimpleTable) {
+  auto t = CsvTable::parse("a,b,c\n1,2,3\n4,5,6\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.cell(0, "a"), "1");
+  EXPECT_EQ(t.cell(1, "c"), "6");
+}
+
+TEST(CsvParse, QuotedFieldsWithSeparatorsAndNewlines) {
+  auto t = CsvTable::parse("name,notes\n\"Doe, Jane\",\"line1\nline2\"\n");
+  EXPECT_EQ(t.cell(0, "name"), "Doe, Jane");
+  EXPECT_EQ(t.cell(0, "notes"), "line1\nline2");
+}
+
+TEST(CsvParse, DoubledQuoteEscape) {
+  auto t = CsvTable::parse("x\n\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.cell(0, 0), "he said \"hi\"");
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  auto t = CsvTable::parse("a,b\r\n1,2\r\n");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, "b"), "2");
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  auto t = CsvTable::parse("a,b\n1,2");
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.cell(0, "b"), "2");
+}
+
+TEST(CsvParse, StrictArityMismatchThrows) {
+  EXPECT_THROW(CsvTable::parse("a,b\n1\n"), ParseError);
+}
+
+TEST(CsvParse, LenientArityPads) {
+  auto t = CsvTable::parse("a,b\n1\n", /*strict=*/false);
+  EXPECT_EQ(t.cell(0, "b"), "");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CsvTable::parse("a\n\"oops\n"), ParseError);
+}
+
+TEST(CsvParse, EmptyInputThrows) {
+  EXPECT_THROW(CsvTable::parse(""), ParseError);
+}
+
+TEST(CsvColumns, LookupAndThrow) {
+  auto t = CsvTable::parse("x,y\n1,2\n");
+  EXPECT_EQ(t.column("y"), 1u);
+  EXPECT_FALSE(t.column("z").has_value());
+  EXPECT_THROW(t.column_or_throw("z"), LookupError);
+}
+
+TEST(CsvTyped, DoubleAndIntAccessors) {
+  auto t = CsvTable::parse("v,w\n1.5,\nx,7\n");
+  EXPECT_DOUBLE_EQ(*t.cell_double(0, "v"), 1.5);
+  EXPECT_FALSE(t.cell_double(0, "w").has_value());  // empty
+  EXPECT_FALSE(t.cell_double(1, "v").has_value());  // malformed
+  EXPECT_EQ(*t.cell_int(1, "w"), 7);
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRoundTrip, ParseSerializeParseIsIdentity) {
+  CsvTable t({"name", "value", "notes"});
+  t.add_row({"plain", "1", ""});
+  t.add_row({"with,comma", "2", "quote\"inside"});
+  t.add_row({"multi\nline", "3", "  spaces kept  "});
+  auto again = CsvTable::parse(t.to_string());
+  ASSERT_EQ(again.num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_cols(); ++c) {
+      EXPECT_EQ(again.cell(r, c), t.cell(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(CsvFile, WriteAndReadBack) {
+  CsvTable t({"a", "b"});
+  t.add_row({"1", "x,y"});
+  const std::string path = ::testing::TempDir() + "/easyc_csv_test.csv";
+  t.write_file(path);
+  auto back = CsvTable::read_file(path);
+  EXPECT_EQ(back.cell(0, "b"), "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(CsvTable::read_file("/nonexistent/easyc.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace easyc::util

@@ -1,0 +1,213 @@
+#include "easyc/embodied.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easyc::model {
+namespace {
+
+Inputs cpu_system() {
+  Inputs in;
+  in.name = "cpusys";
+  in.country = "France";
+  in.rmax_tflops = 5000;
+  in.rpeak_tflops = 7000;
+  in.total_cores = 128000;
+  in.processor = "AMD EPYC 7763 64C 2.45GHz";
+  in.operation_year = 2021;
+  return in;
+}
+
+Inputs gpu_system() {
+  Inputs in = cpu_system();
+  in.name = "gpusys";
+  in.accelerator = "NVIDIA A100 SXM4 80 GB";
+  in.num_nodes = 500;
+  in.num_cpus = 1000;
+  in.num_gpus = 2000;
+  return in;
+}
+
+TEST(Breakdown, ComponentsSumToTotal) {
+  auto r = assess_embodied(gpu_system());
+  ASSERT_TRUE(r.ok());
+  const auto& b = r.value();
+  EXPECT_NEAR(b.total_mt,
+              b.cpu_mt + b.gpu_mt + b.memory_mt + b.storage_mt +
+                  b.platform_mt + b.interconnect_mt,
+              1e-9);
+  EXPECT_GT(b.cpu_mt, 0);
+  EXPECT_GT(b.gpu_mt, 0);
+  EXPECT_GT(b.memory_mt, 0);
+  EXPECT_GT(b.storage_mt, 0);
+  EXPECT_GT(b.platform_mt, 0);
+  EXPECT_GT(b.interconnect_mt, 0);
+}
+
+TEST(CpuOnly, AssessableFromCoresAndCatalogCpu) {
+  // The paper's ranks-151-500 finding: CPU-only systems need only the
+  // Top500.org core counts.
+  auto r = assess_embodied(cpu_system());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().gpu_mt, 0.0);
+  EXPECT_TRUE(r.value().used_memory_default);
+  EXPECT_TRUE(r.value().used_storage_default);
+}
+
+TEST(CpuOnly, ExoticDeviceDeclines) {
+  Inputs in = cpu_system();
+  in.processor = "Sunway SW26010 260C 1.45GHz";
+  auto r = assess_embodied(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.reasons_joined().find("not in catalog"), std::string::npos);
+}
+
+TEST(CpuOnly, UnknownButMainstreamUsesGenericSilicon) {
+  Inputs in = cpu_system();
+  in.processor = "Intel Xeon Platinum 9993 48C";  // not a catalog part
+  in.num_cpus = 2000;
+  auto r = assess_embodied(in);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Accelerated, NeedsGpuCount) {
+  Inputs in = gpu_system();
+  in.num_gpus.reset();
+  auto r = assess_embodied(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.reasons_joined().find("GPU count"), std::string::npos);
+}
+
+TEST(Accelerated, StrictPolicyDeclinesUnknownAccelerator) {
+  Inputs in = gpu_system();
+  in.accelerator = "NVIDIA GPU";  // vague string
+  EmbodiedOptions strict;
+  strict.accelerator_policy = AcceleratorPolicy::kStrict;
+  EXPECT_FALSE(assess_embodied(in, strict).ok());
+}
+
+TEST(Accelerated, ApproximatePolicyUsesProxyAndFlagsIt) {
+  Inputs in = gpu_system();
+  in.accelerator = "NVIDIA GPU";
+  EmbodiedOptions approx;
+  approx.accelerator_policy =
+      AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  auto r = assess_embodied(in, approx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().used_gpu_proxy);
+}
+
+TEST(Accelerated, ProxyUnderestimatesBespokeSilicon) {
+  // The paper: approximating novel accelerators with mainstream GPUs
+  // produces systematic underestimates. MI300A (9.2 cm2 + HBM3) vs the
+  // A100-class proxy of its era.
+  Inputs real = gpu_system();
+  real.operation_year = 2021;
+  real.accelerator = "AMD Instinct MI250X";
+  auto exact = assess_embodied(real);
+  Inputs hidden = real;
+  hidden.accelerator = "Unknown Accelerator X";
+  EmbodiedOptions approx;
+  approx.accelerator_policy =
+      AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  auto proxied = assess_embodied(hidden, approx);
+  ASSERT_TRUE(exact.ok() && proxied.ok());
+  EXPECT_LT(proxied.value().gpu_mt, exact.value().gpu_mt);
+}
+
+TEST(Memory, ReportedCapacityOverridesDefault) {
+  Inputs in = gpu_system();
+  in.memory_gb = 1.0e6;
+  in.memory_type = "HBM3";
+  auto with_data = assess_embodied(in);
+  ASSERT_TRUE(with_data.ok());
+  EXPECT_FALSE(with_data.value().used_memory_default);
+  // HBM3 at 0.88 kg/GB: 1e6 GB -> 880 MT.
+  EXPECT_NEAR(with_data.value().memory_mt, 880.0, 1.0);
+}
+
+TEST(Storage, ReportedCapacityOverridesDefault) {
+  Inputs in = gpu_system();
+  in.ssd_tb = 10000;
+  auto r = assess_embodied(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().used_storage_default);
+  EXPECT_NEAR(r.value().storage_mt, 10000 * 130.0 / 1000.0, 1e-6);
+}
+
+TEST(Storage, DefaultIsCappedForHugeNodeCounts) {
+  Inputs in = cpu_system();
+  in.num_nodes = 150000;
+  in.num_cpus = 150000;
+  EmbodiedOptions opt;
+  auto r = assess_embodied(in, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r.value().storage_mt,
+            opt.default_ssd_cap_tb * 130.0 / 1000.0 + 1e-9);
+}
+
+TEST(Counts, DualSocketPriorWhenOnlyNodesKnown) {
+  Inputs in = cpu_system();
+  in.num_nodes = 1000;  // no num_cpus
+  auto with_nodes = assess_embodied(in);
+  Inputs in2 = cpu_system();
+  in2.num_nodes = 1000;
+  in2.num_cpus = 2000;
+  auto with_both = assess_embodied(in2);
+  ASSERT_TRUE(with_nodes.ok() && with_both.ok());
+  EXPECT_NEAR(with_nodes.value().cpu_mt, with_both.value().cpu_mt, 1e-9);
+}
+
+// Property: embodied carbon is monotone in system size.
+class ScaleSweep : public ::testing::TestWithParam<long long> {};
+
+TEST_P(ScaleSweep, CarbonGrowsWithNodeCount) {
+  Inputs small = gpu_system();
+  small.num_nodes = GetParam();
+  small.num_cpus = 2 * GetParam();
+  small.num_gpus = 4 * GetParam();
+  Inputs big = gpu_system();
+  big.num_nodes = 2 * GetParam();
+  big.num_cpus = 4 * GetParam();
+  big.num_gpus = 8 * GetParam();
+  auto s = assess_embodied(small);
+  auto b = assess_embodied(big);
+  ASSERT_TRUE(s.ok() && b.ok());
+  EXPECT_GT(b.value().total_mt, s.value().total_mt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScaleSweep,
+                         ::testing::Values(10LL, 100LL, 1000LL, 5000LL));
+
+TEST(FabSiting, CleanFabReducesSiliconCarbon) {
+  EmbodiedOptions clean;
+  clean.fab_aci_kg_kwh = 0.05;
+  EmbodiedOptions dirty;
+  dirty.fab_aci_kg_kwh = 0.8;
+  auto c = assess_embodied(gpu_system(), clean);
+  auto d = assess_embodied(gpu_system(), dirty);
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_LT(c.value().gpu_mt, d.value().gpu_mt);
+  EXPECT_LT(c.value().cpu_mt, d.value().cpu_mt);
+  // Memory/storage coefficients are independent of the logic fab knob.
+  EXPECT_DOUBLE_EQ(c.value().memory_mt, d.value().memory_mt);
+}
+
+TEST(Platform, DenseBladesLighterThanGpuChassis) {
+  // Per-node platform carbon must scale with node composition.
+  Inputs blade = cpu_system();
+  blade.processor = "A64FX 48C 2.2GHz";
+  blade.total_cores = 48 * 10000;
+  blade.num_nodes = 10000;
+  blade.num_cpus = 10000;
+  Inputs chassis = gpu_system();
+  chassis.num_nodes = 10000;
+  chassis.num_cpus = 20000;
+  chassis.num_gpus = 80000;
+  auto b = assess_embodied(blade);
+  auto c = assess_embodied(chassis);
+  ASSERT_TRUE(b.ok() && c.ok());
+  EXPECT_LT(b.value().platform_mt, c.value().platform_mt);
+}
+
+}  // namespace
+}  // namespace easyc::model

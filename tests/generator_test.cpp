@@ -1,0 +1,294 @@
+#include "top500/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "top500/catalog.hpp"
+
+namespace easyc::top500 {
+namespace {
+
+const GeneratedList& list() {
+  static const GeneratedList kList = generate_list();
+  return kList;
+}
+
+TEST(Catalog, NamedSystemsAreWellFormed) {
+  std::set<int> ranks;
+  for (const auto& n : named_systems()) {
+    EXPECT_TRUE(ranks.insert(n.record.rank).second)
+        << "duplicate rank " << n.record.rank;
+    EXPECT_GE(n.record.rank, 1);
+    EXPECT_LE(n.record.rank, 500);
+    EXPECT_FALSE(n.record.name.empty());
+    EXPECT_GE(n.record.rpeak_tflops, n.record.rmax_tflops);
+    EXPECT_GT(n.record.truth.power_kw, 0);
+    EXPECT_GT(n.record.truth.nodes, 0);
+    EXPECT_EQ(category_is_accelerated(n.category),
+              n.record.is_accelerated())
+        << n.record.name;
+  }
+  EXPECT_GE(named_systems().size(), 30u);
+}
+
+TEST(Catalog, FlagshipsPresent) {
+  std::map<int, std::string> by_rank;
+  for (const auto& n : named_systems()) by_rank[n.record.rank] = n.record.name;
+  EXPECT_EQ(by_rank[1], "El Capitan");
+  EXPECT_EQ(by_rank[2], "Frontier");
+  EXPECT_EQ(by_rank[3], "Aurora");
+  EXPECT_EQ(by_rank[6], "Supercomputer Fugaku");
+  EXPECT_EQ(by_rank[8], "LUMI");
+  EXPECT_EQ(by_rank[15], "Sunway TaihuLight");
+}
+
+TEST(Generator, ProducesExactly500RankedRecords) {
+  const auto& l = list();
+  ASSERT_EQ(l.records.size(), 500u);
+  ASSERT_EQ(l.categories.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(l.records[i].rank, i + 1);
+}
+
+TEST(Generator, RmaxNonIncreasing) {
+  const auto& r = list().records;
+  for (size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LE(r[i].rmax_tflops, r[i - 1].rmax_tflops) << "rank " << i + 1;
+  }
+  EXPECT_GT(r.front().rmax_tflops, 1.0e6);  // exascale top
+  EXPECT_GT(r.back().rmax_tflops, 1000.0);  // petaflop floor
+}
+
+TEST(Generator, DeterministicForSeed) {
+  auto a = generate_list();
+  auto b = generate_list();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].name, b.records[i].name);
+    EXPECT_DOUBLE_EQ(a.records[i].rmax_tflops, b.records[i].rmax_tflops);
+    EXPECT_DOUBLE_EQ(a.records[i].truth.power_kw,
+                     b.records[i].truth.power_kw);
+    EXPECT_EQ(a.categories[i], b.categories[i]);
+  }
+  EXPECT_EQ(to_csv(a.records).to_string(), to_csv(b.records).to_string());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig other;
+  other.seed = 0xdeadbeef;
+  auto a = generate_list();
+  auto b = generate_list(other);
+  int diff = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    if (a.records[i].truth.power_kw != b.records[i].truth.power_kw) ++diff;
+  }
+  EXPECT_GT(diff, 300);  // synthetic records resampled
+}
+
+TEST(Generator, CategoryQuotasExact) {
+  std::map<AccessCategory, int> counts;
+  for (auto c : list().categories) ++counts[c];
+  for (auto c : {AccessCategory::kAccOpen, AccessCategory::kAccOpenVague,
+                 AccessCategory::kAccPublicCountsPower,
+                 AccessCategory::kAccPublicCountsDark,
+                 AccessCategory::kAccPowerOnly,
+                 AccessCategory::kAccEnergyPublic, AccessCategory::kAccDark,
+                 AccessCategory::kCpuOpen,
+                 AccessCategory::kCpuExoticRevealed,
+                 AccessCategory::kCpuExoticDark}) {
+    EXPECT_EQ(counts[c], category_quota(c)) << category_name(c);
+  }
+}
+
+TEST(Generator, QuotasSumTo500) {
+  int total = 0;
+  for (auto c : {AccessCategory::kAccOpen, AccessCategory::kAccOpenVague,
+                 AccessCategory::kAccPublicCountsPower,
+                 AccessCategory::kAccPublicCountsDark,
+                 AccessCategory::kAccPowerOnly,
+                 AccessCategory::kAccEnergyPublic, AccessCategory::kAccDark,
+                 AccessCategory::kCpuOpen,
+                 AccessCategory::kCpuExoticRevealed,
+                 AccessCategory::kCpuExoticDark}) {
+    total += category_quota(c);
+  }
+  EXPECT_EQ(total, 500);
+}
+
+// Table I missingness counts, exact (the paper's headline data table).
+struct GapCase {
+  int metric_index;  // in model::all_metrics() order
+  int top500_missing;
+  int public_missing;
+};
+
+class TableOneQuota : public ::testing::TestWithParam<GapCase> {};
+
+TEST_P(TableOneQuota, MatchesPaperExactly) {
+  const auto& recs = list().records;
+  const auto& c = GetParam();
+  int t500 = 0, pub = 0;
+  for (const auto& r : recs) {
+    auto count = [&](const Disclosure& d, int* out) {
+      bool present = true;
+      switch (c.metric_index) {
+        case 1: present = d.nodes; break;
+        case 2: present = d.gpus; break;
+        case 4: present = d.memory; break;
+        case 5: present = d.memory_type; break;
+        case 6: present = d.ssd; break;
+        case 7: present = d.utilization; break;
+        case 8: present = d.annual_energy; break;
+        default: present = true;
+      }
+      if (!present) ++*out;
+    };
+    count(r.top500, &t500);
+    count(r.with_public, &pub);
+  }
+  EXPECT_EQ(t500, c.top500_missing);
+  EXPECT_EQ(pub, c.public_missing);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, TableOneQuota,
+    ::testing::Values(GapCase{0, 0, 0},       // operation year
+                      GapCase{1, 209, 86},    // nodes
+                      GapCase{2, 209, 86},    // gpus
+                      GapCase{3, 0, 0},       // cpus
+                      GapCase{4, 499, 292},   // memory capacity
+                      GapCase{5, 500, 292},   // memory type
+                      GapCase{6, 500, 450},   // ssd
+                      GapCase{7, 500, 497},   // utilization
+                      GapCase{8, 500, 492})); // annual energy
+
+TEST(Generator, PublicMaskIsSupersetOfTop500Mask) {
+  for (const auto& r : list().records) {
+    auto implies = [](bool t, bool p) { return !t || p; };
+    EXPECT_TRUE(implies(r.top500.power, r.with_public.power)) << r.rank;
+    EXPECT_TRUE(implies(r.top500.nodes, r.with_public.nodes)) << r.rank;
+    EXPECT_TRUE(implies(r.top500.gpus, r.with_public.gpus)) << r.rank;
+    EXPECT_TRUE(implies(r.top500.memory, r.with_public.memory)) << r.rank;
+    EXPECT_TRUE(implies(r.top500.ssd, r.with_public.ssd)) << r.rank;
+  }
+}
+
+TEST(Generator, GroundTruthPhysicallyPlausible) {
+  for (const auto& r : list().records) {
+    EXPECT_GT(r.truth.power_kw, 10) << r.rank;
+    EXPECT_LT(r.truth.power_kw, 60000) << r.rank;
+    EXPECT_GT(r.truth.nodes, 0) << r.rank;
+    EXPECT_GT(r.truth.cpus, 0) << r.rank;
+    EXPECT_GT(r.total_cores, 1000) << r.rank;
+    EXPECT_GT(r.truth.memory_gb, 0) << r.rank;
+    EXPECT_GT(r.truth.ssd_tb, 0) << r.rank;
+    EXPECT_GE(r.truth.utilization, 0.5) << r.rank;
+    EXPECT_LE(r.truth.utilization, 1.0) << r.rank;
+    if (r.is_accelerated()) {
+      EXPECT_GT(r.truth.gpus, 0) << r.rank;
+      EXPECT_EQ(r.truth.gpus % r.truth.nodes, 0) << r.rank;
+    } else {
+      EXPECT_EQ(r.truth.gpus, 0) << r.rank;
+    }
+    EXPECT_GE(r.year, 2014);
+    EXPECT_LE(r.year, 2024);
+  }
+}
+
+TEST(Generator, EfficiencyWithinHardwareEnvelope) {
+  // GFlops/W sanity. The upper bound is loose: the calibrated
+  // power_scale (annual-average draw vs HPL-peak priors) pushes the
+  // nominal efficiency of the newest synthetic systems past the
+  // HPL-measured record (~65 GF/W in 2024) by design.
+  for (const auto& r : list().records) {
+    const double gfw = r.rmax_tflops / r.truth.power_kw;
+    EXPECT_GT(gfw, 1.8) << r.rank << " " << r.name;
+    EXPECT_LT(gfw, 100.0) << r.rank << " " << r.name;
+  }
+}
+
+TEST(Generator, EnergyPublicSystemsHaveMeteredEnergy) {
+  const auto& l = list();
+  for (size_t i = 0; i < 500; ++i) {
+    if (l.categories[i] == AccessCategory::kAccEnergyPublic) {
+      EXPECT_GT(l.records[i].truth.annual_energy_kwh, 0) << i;
+      EXPECT_TRUE(l.records[i].with_public.annual_energy) << i;
+      EXPECT_FALSE(l.records[i].top500.annual_energy) << i;
+    }
+  }
+}
+
+TEST(Generator, Fig2ItemFlagsConsistentWithDisclosure) {
+  for (const auto& r : list().records) {
+    EXPECT_EQ(r.item_reported[12], r.top500.power) << r.rank;   // HPL Power
+    EXPECT_EQ(r.item_reported[14], r.top500.memory) << r.rank;  // Memory
+    if (r.is_accelerated()) {
+      EXPECT_EQ(r.item_reported[7], r.top500.gpus) << r.rank;
+    }
+  }
+}
+
+TEST(Generator, RejectsUnsupportedListSize) {
+  GeneratorConfig cfg;
+  cfg.list_size = 100;
+  EXPECT_DEATH(generate_list(cfg), "quotas");
+}
+
+TEST(Generator, PowerScaleOnlyAffectsSynthetic) {
+  GeneratorConfig scaled;
+  scaled.power_scale = 0.35;
+  auto a = generate_list();
+  auto b = generate_list(scaled);
+  // Named rank 1 (El Capitan) unchanged; synthetic systems scaled.
+  EXPECT_DOUBLE_EQ(a.records[0].truth.power_kw,
+                   b.records[0].truth.power_kw);
+  double ratio_sum = 0;
+  int n = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    if (a.records[i].name.rfind("Synth", 0) == 0 &&
+        a.records[i].name == b.records[i].name) {
+      ratio_sum += b.records[i].truth.power_kw / a.records[i].truth.power_kw;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 100);
+  EXPECT_NEAR(ratio_sum / n, 0.5, 0.02);  // 0.35 / default 0.70
+}
+
+
+// Property: the quota machinery is seed-independent — Table I counts and
+// the coverage-critical disclosure structure hold for ANY seed.
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSweep, QuotasHoldForEverySeed) {
+  GeneratorConfig cfg;
+  cfg.seed = GetParam();
+  const auto l = generate_list(cfg);
+  int nodes_t500 = 0, nodes_pub = 0, gpus_pub = 0, mem_pub = 0, ssd_pub = 0,
+      util_pub = 0, energy_pub = 0;
+  for (const auto& r : l.records) {
+    if (!r.top500.nodes) ++nodes_t500;
+    if (!r.with_public.nodes) ++nodes_pub;
+    if (!r.with_public.gpus) ++gpus_pub;
+    if (!r.with_public.memory) ++mem_pub;
+    if (!r.with_public.ssd) ++ssd_pub;
+    if (!r.with_public.utilization) ++util_pub;
+    if (!r.with_public.annual_energy) ++energy_pub;
+  }
+  EXPECT_EQ(nodes_t500, 209);
+  EXPECT_EQ(nodes_pub, 86);
+  EXPECT_EQ(gpus_pub, 86);
+  EXPECT_EQ(mem_pub, 292);
+  EXPECT_EQ(ssd_pub, 450);
+  EXPECT_EQ(util_pub, 497);
+  EXPECT_EQ(energy_pub, 492);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull,
+                                           0x123456789abcdefull,
+                                           987654321ull));
+
+}  // namespace
+}  // namespace easyc::top500

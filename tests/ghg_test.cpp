@@ -1,0 +1,137 @@
+#include "ghg/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easyc::ghg {
+namespace {
+
+TEST(Requirements, ManifestIsDataHungry) {
+  // The paper contrasts EasyC's 7 metrics with the GHG protocol's
+  // "hundreds of metrics"; the manifest must be genuinely large.
+  EXPECT_GT(requirements().size(), 150u);
+  EXPECT_GT(num_required_items(), 50u);
+  // And far more than EasyC's nine.
+  EXPECT_GT(num_required_items(), 9u * 5u);
+}
+
+TEST(Requirements, CoverAllThreeScopes) {
+  bool s1 = false, s2 = false, s3 = false;
+  for (const auto& item : requirements()) {
+    if (item.scope == Scope::kScope1) s1 = true;
+    if (item.scope == Scope::kScope2) s2 = true;
+    if (item.scope == Scope::kScope3) s3 = true;
+  }
+  EXPECT_TRUE(s1 && s2 && s3);
+}
+
+Inventory full_inventory() {
+  Inventory inv;
+  for (const auto& item : requirements()) inv[item.key] = 0.0;
+  // A present market-based factor overrides the location factor, so the
+  // baseline inventory must not carry one.
+  inv.erase("s2.grid_aci_market");
+  inv["s1.diesel_litres"] = 10000;          // 26.8 MT
+  inv["s1.refrigerant_kg_leaked"] = 100;    // 143 MT
+  inv["s2.metered_kwh"] = 5.0e7;
+  inv["s2.grid_aci_location"] = 400;        // 20000 MT
+  inv["s3.cpu.count"] = 10000;
+  inv["s3.cpu.mfg_kgco2e"] = 30;            // 300 MT
+  inv["s3.construction_amortized_kgco2e"] = 5.0e5;  // 500 MT
+  return inv;
+}
+
+TEST(Calculator, EmptyInventoryCannotAssess) {
+  ProtocolCalculator calc;
+  Inventory empty;
+  EXPECT_FALSE(calc.can_assess(empty));
+  auto r = calc.assess(empty);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.reasons_joined().find("required data items missing"),
+            std::string::npos);
+}
+
+TEST(Calculator, MissingItemsListShrinksAsDataAdded) {
+  ProtocolCalculator calc;
+  Inventory inv;
+  const size_t all = calc.missing_items(inv).size();
+  inv["s2.metered_kwh"] = 1e6;
+  inv["s2.grid_aci_location"] = 400;
+  EXPECT_EQ(calc.missing_items(inv).size(), all - 2);
+}
+
+TEST(Calculator, FullInventoryComputesScopes) {
+  ProtocolCalculator calc;
+  auto r = calc.assess(full_inventory());
+  ASSERT_TRUE(r.ok());
+  const auto& v = r.value();
+  EXPECT_NEAR(v.scope1_mt, 26.8 + 143.0, 0.5);
+  EXPECT_NEAR(v.scope2_mt, 20000.0, 1.0);
+  EXPECT_NEAR(v.scope3_mt, 800.0, 1.0);
+  EXPECT_NEAR(v.total_mt(), v.scope1_mt + v.scope2_mt + v.scope3_mt, 1e-9);
+}
+
+TEST(Calculator, MarketBasedFactorOverridesLocation) {
+  ProtocolCalculator calc;
+  auto inv = full_inventory();
+  inv["s2.grid_aci_market"] = 0.0;  // 100% renewable contract
+  auto r = calc.assess(inv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().scope2_mt, 0.0, 1e-9);
+}
+
+TEST(Calculator, OnsiteGenerationOffsetsAndClamps) {
+  ProtocolCalculator calc;
+  auto inv = full_inventory();
+  inv["s2.onsite_solar_kwh"] = 1.0e8;  // more than consumption
+  auto r = calc.assess(inv);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().scope2_mt, 0.0);  // never negative
+}
+
+TEST(Calculator, OptionalItemsDoNotGate) {
+  ProtocolCalculator calc;
+  auto inv = full_inventory();
+  // Remove an optional item: assessment must still proceed.
+  inv.erase("s3.staff_commuting_km");
+  EXPECT_TRUE(calc.assess(inv).ok());
+  // Remove a required one: it must not.
+  inv.erase("s3.gpu.count");
+  EXPECT_FALSE(calc.assess(inv).ok());
+}
+
+
+TEST(InventoryOverlap, EasyCMetricsBarelyDentTheProtocol) {
+  // Even a fully-populated EasyC input covers only a small fraction of
+  // the protocol's required items — the paper's Fig.-1 contrast.
+  model::Inputs in;
+  in.name = "overlap";
+  in.country = "Germany";
+  in.total_cores = 100000;
+  in.processor = "AMD EPYC 7763 64C";
+  in.operation_year = 2022;
+  in.num_nodes = 1000;
+  in.num_gpus = 4000;
+  in.num_cpus = 2000;
+  in.memory_gb = 512000;
+  in.memory_type = "DDR4";
+  in.ssd_tb = 9000;
+  in.utilization = 0.8;
+  in.annual_energy_kwh = 1.0e7;
+  const auto overlap = inventory_from_easyc(in);
+  EXPECT_GT(overlap.derivable, 5u);
+  EXPECT_LT(overlap.fraction(), 0.35);
+  EXPECT_EQ(overlap.required_total, num_required_items());
+  // And the partial inventory still cannot drive a full assessment.
+  ProtocolCalculator calc;
+  EXPECT_FALSE(calc.can_assess(overlap.partial));
+}
+
+TEST(InventoryOverlap, EmptyInputsDeriveAlmostNothing) {
+  model::Inputs in;
+  in.name = "bare";
+  const auto overlap = inventory_from_easyc(in);
+  EXPECT_LE(overlap.derivable, 1u);
+}
+
+}  // namespace
+}  // namespace easyc::ghg

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "grid/aci.hpp"
+#include "grid/pue.hpp"
+
+namespace easyc::grid {
+namespace {
+
+TEST(AciDatabase, CountryLookupIsCaseInsensitive) {
+  const auto& db = AciDatabase::builtin();
+  ASSERT_TRUE(db.country_aci("United States"));
+  EXPECT_EQ(*db.country_aci("united states"), *db.country_aci("UNITED STATES"));
+}
+
+TEST(AciDatabase, UnknownCountryReturnsNullopt) {
+  EXPECT_FALSE(AciDatabase::builtin().country_aci("Atlantis").has_value());
+  EXPECT_FALSE(AciDatabase::builtin().country_aci("").has_value());
+}
+
+TEST(AciDatabase, KnownValuesMatchEmbeddedTable) {
+  const auto& db = AciDatabase::builtin();
+  EXPECT_DOUBLE_EQ(*db.country_aci("Finland"), 79);
+  EXPECT_DOUBLE_EQ(*db.country_aci("Italy"), 331);
+  EXPECT_DOUBLE_EQ(*db.country_aci("Norway"), 29);
+  EXPECT_DOUBLE_EQ(*db.country_aci("India"), 713);
+}
+
+TEST(AciDatabase, CleanVsDirtyGridSpreadIsLarge) {
+  // The LUMI-vs-Leonardo contrast (4.3x operational carbon at similar
+  // power) depends on this spread existing.
+  const auto& db = AciDatabase::builtin();
+  EXPECT_GT(*db.country_aci("India") / *db.country_aci("Norway"), 20.0);
+}
+
+TEST(AciDatabase, RegionRefinementLookup) {
+  const auto& db = AciDatabase::builtin();
+  auto refined = db.region_aci("United States", "California");
+  ASSERT_TRUE(refined);
+  EXPECT_LT(*refined, *db.country_aci("United States"));
+  EXPECT_FALSE(db.region_aci("United States", "Narnia").has_value());
+  EXPECT_FALSE(db.region_aci("United States", "").has_value());
+}
+
+TEST(AciDatabase, BestAciPrefersRegion) {
+  const auto& db = AciDatabase::builtin();
+  EXPECT_EQ(*db.best_aci("United States", "California"),
+            *db.region_aci("United States", "California"));
+  EXPECT_EQ(*db.best_aci("United States", "Narnia"),
+            *db.country_aci("United States"));
+  EXPECT_FALSE(db.best_aci("Atlantis", "").has_value());
+}
+
+TEST(AciDatabase, CustomDatabase) {
+  AciDatabase db;
+  EXPECT_EQ(db.size(), 0u);
+  db.add({"Testland", 100.0, false});
+  db.add({"Testland/North", 10.0, true});
+  EXPECT_DOUBLE_EQ(*db.best_aci("Testland", "North"), 10.0);
+  EXPECT_DOUBLE_EQ(*db.best_aci("Testland", "South"), 100.0);
+}
+
+TEST(Pue, FacilityClassOrdering) {
+  EXPECT_LT(default_pue(FacilityClass::kLeadershipLiquidCooled, 2024),
+            default_pue(FacilityClass::kModernDataCenter, 2024));
+  EXPECT_LT(default_pue(FacilityClass::kModernDataCenter, 2024),
+            default_pue(FacilityClass::kLegacyMachineRoom, 2024));
+}
+
+TEST(Pue, ImprovesOverYearsAndClamps) {
+  EXPECT_LE(default_pue(FacilityClass::kLegacyMachineRoom, 2024),
+            default_pue(FacilityClass::kLegacyMachineRoom, 2016));
+  for (int year : {2000, 2015, 2024, 2040}) {
+    for (auto cls : {FacilityClass::kLeadershipLiquidCooled,
+                     FacilityClass::kModernDataCenter,
+                     FacilityClass::kLegacyMachineRoom}) {
+      const double p = default_pue(cls, year);
+      EXPECT_GE(p, 1.03);
+      EXPECT_LE(p, 2.0);
+    }
+  }
+}
+
+TEST(Pue, InferenceBySize) {
+  EXPECT_EQ(infer_facility_class(20000, 2022),
+            FacilityClass::kLeadershipLiquidCooled);
+  EXPECT_EQ(infer_facility_class(1500, 2018),
+            FacilityClass::kModernDataCenter);
+  EXPECT_EQ(infer_facility_class(300, 2016),
+            FacilityClass::kLegacyMachineRoom);
+  // Recent installs are modern even when small.
+  EXPECT_EQ(infer_facility_class(300, 2023),
+            FacilityClass::kModernDataCenter);
+}
+
+}  // namespace
+}  // namespace easyc::grid

@@ -1,0 +1,153 @@
+#include "top500/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/turnover.hpp"
+
+namespace easyc::top500 {
+namespace {
+
+const std::vector<ListEdition>& history() {
+  static const std::vector<ListEdition> kHistory = [] {
+    HistoryConfig cfg;
+    cfg.editions = 5;
+    return generate_history(cfg);
+  }();
+  return kHistory;
+}
+
+TEST(History, EditionCountAndLabels) {
+  const auto& h = history();
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0].label, "Nov 2024");
+  EXPECT_EQ(h[1].label, "Jun 2025");
+  EXPECT_EQ(h[2].label, "Nov 2025");
+  EXPECT_EQ(h[3].label, "Jun 2026");
+  EXPECT_EQ(h[4].label, "Nov 2026");
+}
+
+TEST(History, FirstEditionIsTheBaseList) {
+  const auto& h = history();
+  const auto base = generate_list();
+  ASSERT_EQ(h[0].records.size(), base.records.size());
+  EXPECT_EQ(h[0].num_new, 0);
+  EXPECT_EQ(h[0].records[0].name, base.records[0].name);
+  EXPECT_DOUBLE_EQ(h[0].records[499].rmax_tflops,
+                   base.records[499].rmax_tflops);
+}
+
+TEST(History, EveryEditionIsARanked500List) {
+  for (const auto& e : history()) {
+    ASSERT_EQ(e.records.size(), 500u) << e.label;
+    ASSERT_EQ(e.categories.size(), 500u) << e.label;
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_EQ(e.records[i].rank, i + 1);
+      if (i > 0) {
+        EXPECT_LE(e.records[i].rmax_tflops, e.records[i - 1].rmax_tflops)
+            << e.label << " rank " << i + 1;
+      }
+    }
+  }
+}
+
+TEST(History, ExactlyConfiguredEntrantsPerCycle) {
+  const auto& h = history();
+  for (size_t i = 1; i < h.size(); ++i) {
+    // A flagship entrant can displace only other systems, so every
+    // entrant either survives or was pushed out by a *larger* entrant;
+    // with 48 entrants all above the threshold, all survive.
+    EXPECT_EQ(h[i].num_new, 48) << h[i].label;
+  }
+}
+
+TEST(History, TurnoverDisplacesTheBottom) {
+  const auto& h = history();
+  // The Nov-2024 bottom systems fall off by Nov 2026.
+  std::set<std::string> last_names;
+  for (const auto& r : h.back().records) last_names.insert(r.name);
+  int survivors_of_bottom = 0;
+  for (int i = 400; i < 500; ++i) {
+    if (last_names.count(h[0].records[i].name)) ++survivors_of_bottom;
+  }
+  EXPECT_LT(survivors_of_bottom, 40);
+  // The flagships survive.
+  EXPECT_TRUE(last_names.count("El Capitan"));
+  EXPECT_TRUE(last_names.count("Frontier"));
+}
+
+TEST(History, EntryThresholdRises) {
+  const auto& h = history();
+  EXPECT_GT(h.back().records[499].rmax_tflops,
+            h.front().records[499].rmax_tflops);
+}
+
+TEST(History, Deterministic) {
+  HistoryConfig cfg;
+  cfg.editions = 3;
+  auto a = generate_history(cfg);
+  auto b = generate_history(cfg);
+  for (size_t e = 0; e < a.size(); ++e) {
+    for (size_t i = 0; i < 500; ++i) {
+      ASSERT_EQ(a[e].records[i].name, b[e].records[i].name);
+      ASSERT_DOUBLE_EQ(a[e].records[i].truth.power_kw,
+                       b[e].records[i].truth.power_kw);
+    }
+  }
+}
+
+TEST(History, InvalidConfigAborts) {
+  HistoryConfig cfg;
+  cfg.editions = 0;
+  EXPECT_DEATH(generate_history(cfg), "at least one");
+  cfg.editions = 2;
+  cfg.entrants_per_cycle = 500;
+  EXPECT_DEATH(generate_history(cfg), "survivors");
+}
+
+// --- turnover analysis (the paper's growth-rate derivation) ---
+
+TEST(Turnover, MeasuredGrowthMatchesPaperShape) {
+  const auto report = analysis::analyze_turnover(history());
+  EXPECT_DOUBLE_EQ(report.avg_new_per_cycle, 48.0);
+  // Paper: +5%/cycle operational, +1%/cycle embodied. Shape claims:
+  // operational growth is positive, embodied growth much smaller.
+  EXPECT_GT(report.op_growth_per_cycle, 0.02);
+  EXPECT_LT(report.op_growth_per_cycle, 0.08);
+  EXPECT_GT(report.emb_growth_per_cycle, -0.005);
+  EXPECT_LT(report.emb_growth_per_cycle, 0.03);
+  EXPECT_GT(report.op_growth_per_cycle,
+            3.0 * std::max(report.emb_growth_per_cycle, 0.0));
+}
+
+TEST(Turnover, AnnualizationConsistent) {
+  const auto report = analysis::analyze_turnover(history());
+  EXPECT_NEAR(report.op_growth_annualized,
+              (1 + report.op_growth_per_cycle) *
+                      (1 + report.op_growth_per_cycle) -
+                  1,
+              1e-12);
+}
+
+TEST(Turnover, EditionFootprintsPopulated) {
+  const auto report = analysis::analyze_turnover(history());
+  ASSERT_EQ(report.editions.size(), history().size());
+  for (const auto& e : report.editions) {
+    EXPECT_GT(e.op_total_mt, 1e5) << e.label;
+    EXPECT_GT(e.emb_total_mt, 1e5) << e.label;
+    EXPECT_GT(e.perf_pflops, 1000) << e.label;
+  }
+  // Aggregate performance grows with turnover.
+  EXPECT_GT(report.editions.back().perf_pflops,
+            report.editions.front().perf_pflops);
+}
+
+TEST(Turnover, NeedsTwoEditions) {
+  std::vector<ListEdition> single(history().begin(),
+                                  history().begin() + 1);
+  EXPECT_DEATH(analysis::analyze_turnover(single), "two editions");
+}
+
+}  // namespace
+}  // namespace easyc::top500

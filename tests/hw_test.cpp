@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.hpp"
+#include "hw/cpu.hpp"
+#include "hw/memory.hpp"
+#include "hw/process.hpp"
+
+namespace easyc::hw {
+namespace {
+
+// ---------------------------------------------------------------- process
+
+TEST(ProcessNode, CarbonPerAreaIncreasesAtNewerNodes) {
+  // EUV-era nodes burn more fab energy per area (ACT trend).
+  double prev = 0.0;
+  for (int nm : {65, 28, 14, 7, 5, 3}) {
+    const double cpa = find_process_node(nm).carbon_per_cm2();
+    EXPECT_GT(cpa, prev) << nm;
+    prev = cpa;
+  }
+}
+
+TEST(ProcessNode, FabIntensityScalesEnergyTerm) {
+  const auto node = find_process_node(7);
+  const double clean = node.carbon_per_cm2(0.0);
+  const double dirty = node.carbon_per_cm2(1.0);
+  EXPECT_GT(dirty, clean);
+  // The zero-electricity case still carries gas + materials terms.
+  EXPECT_GT(clean, 0.0);
+}
+
+TEST(ProcessNode, YieldDividesCarbon) {
+  ProcessNode n = find_process_node(5);
+  const double base = n.carbon_per_cm2();
+  n.yield /= 2.0;
+  EXPECT_NEAR(n.carbon_per_cm2(), base * 2.0, 1e-9);
+}
+
+TEST(ProcessNode, NearestLookup) {
+  EXPECT_EQ(find_process_node(6).nm, 7);   // 6nm -> 7nm coefficients
+  EXPECT_EQ(find_process_node(90).nm, 65); // beyond table -> oldest
+  EXPECT_EQ(find_process_node(4).nm, 4);
+}
+
+// ---------------------------------------------------------------- cpu
+
+struct CpuMatchCase {
+  const char* listed;
+  const char* expected_model;
+};
+
+class CpuMatch : public ::testing::TestWithParam<CpuMatchCase> {};
+
+TEST_P(CpuMatch, ResolvesTop500Strings) {
+  auto spec = find_cpu(GetParam().listed);
+  ASSERT_TRUE(spec.has_value()) << GetParam().listed;
+  EXPECT_EQ(spec->model, GetParam().expected_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, CpuMatch,
+    ::testing::Values(
+        CpuMatchCase{"AMD EPYC 9654 96C 2.4GHz", "EPYC 9654"},
+        CpuMatchCase{"AMD EPYC 7763 64C 2.45GHz", "EPYC 7763"},
+        CpuMatchCase{"Xeon Platinum 8480+ 56C 2GHz", "Xeon Platinum 8480+"},
+        CpuMatchCase{"Intel Xeon Platinum 8280 28C", "Xeon Platinum 8280"},
+        CpuMatchCase{"A64FX 48C 2.2GHz", "A64FX"},
+        CpuMatchCase{"NVIDIA Grace 72C 3.1GHz", "Grace CPU 72C"},
+        CpuMatchCase{"IBM POWER9 22C 3.07GHz", "POWER9 22C"},
+        CpuMatchCase{"AMD Optimized 3rd Gen EPYC 64C 2GHz",
+                     "EPYC (Trento) 7A53"},
+        CpuMatchCase{"Hygon Dhyana 7185 32C", "Hygon Dhyana 7185"},
+        CpuMatchCase{"Xeon Phi 7250 68C 1.4GHz", "Xeon Phi 7250"}));
+
+TEST(CpuCatalog, UnknownAndExoticStringsDoNotResolve) {
+  EXPECT_FALSE(find_cpu("Sunway SW26010 260C 1.45GHz").has_value());
+  EXPECT_FALSE(find_cpu("Custom Manycore DSP 512C").has_value());
+  EXPECT_FALSE(find_cpu("").has_value());
+  EXPECT_FALSE(find_cpu("   ").has_value());
+}
+
+TEST(CpuCatalog, SpecificEntriesPrecedeGenericFallback) {
+  // "epyc 9654" must match the exact part, not the "epyc" catch-all.
+  auto spec = find_cpu("amd epyc 9654");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->cores, 96);
+}
+
+TEST(CpuCatalog, AllEntriesPhysicallySane) {
+  for (const auto& c : cpu_catalog()) {
+    EXPECT_GT(c.die_area_cm2, 0.5) << c.model;
+    EXPECT_LT(c.die_area_cm2, 20.0) << c.model;
+    EXPECT_GT(c.tdp_w, 50) << c.model;
+    EXPECT_LT(c.tdp_w, 600) << c.model;
+    EXPECT_GT(c.cores, 0) << c.model;
+    EXPECT_FALSE(c.match_keys.empty()) << c.model;
+  }
+}
+
+TEST(GenericCpu, NewerErasAreDenser) {
+  const auto old_part = generic_server_cpu(2015, 16);
+  const auto new_part = generic_server_cpu(2024, 16);
+  EXPECT_LT(new_part.die_area_cm2, old_part.die_area_cm2);
+  EXPECT_LT(new_part.tdp_w, old_part.tdp_w);
+}
+
+TEST(GenericCpu, AreaAndTdpCapped) {
+  const auto monster = generic_server_cpu(2015, 512);
+  EXPECT_LE(monster.die_area_cm2, 14.0);
+  EXPECT_LE(monster.tdp_w, 400.0);
+}
+
+TEST(MainstreamDetection, ClassifiesFamilies) {
+  EXPECT_TRUE(is_mainstream_server_cpu("AMD EPYC 9654"));
+  EXPECT_TRUE(is_mainstream_server_cpu("Xeon Gold 6148"));
+  EXPECT_TRUE(is_mainstream_server_cpu("IBM POWER10"));
+  EXPECT_TRUE(is_mainstream_server_cpu("Fujitsu A64FX"));
+  EXPECT_FALSE(is_mainstream_server_cpu("Sunway SW26010 260C"));
+  EXPECT_FALSE(is_mainstream_server_cpu("Custom Manycore DSP 512C"));
+}
+
+// ---------------------------------------------------------------- accel
+
+struct AccelMatchCase {
+  const char* listed;
+  const char* expected_model;
+};
+
+class AccelMatch : public ::testing::TestWithParam<AccelMatchCase> {};
+
+TEST_P(AccelMatch, ResolvesTop500Strings) {
+  auto spec = find_accelerator(GetParam().listed);
+  ASSERT_TRUE(spec.has_value()) << GetParam().listed;
+  EXPECT_EQ(spec->model, GetParam().expected_model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, AccelMatch,
+    ::testing::Values(
+        AccelMatchCase{"NVIDIA H100 SXM5 80GB", "H100 SXM"},
+        AccelMatchCase{"NVIDIA A100 SXM4 80 GB", "A100 80GB"},
+        AccelMatchCase{"NVIDIA A100", "A100 40GB"},
+        AccelMatchCase{"NVIDIA GH200 Superchip", "GH200 (H100 die)"},
+        AccelMatchCase{"AMD Instinct MI300A", "MI300A"},
+        AccelMatchCase{"AMD Instinct MI250X", "MI250X"},
+        AccelMatchCase{"Intel Data Center GPU Max 1550",
+                       "Data Center GPU Max 1550"},
+        AccelMatchCase{"NVIDIA Volta GV100", "V100"},
+        AccelMatchCase{"Matrix-3000", "Matrix-3000"},
+        AccelMatchCase{"PEZY-SC3", "PEZY-SC3"}));
+
+TEST(AccelCatalog, VagueOrNoneStringsDoNotResolve) {
+  EXPECT_FALSE(find_accelerator("NVIDIA GPU").has_value());
+  EXPECT_FALSE(find_accelerator("None").has_value());
+  EXPECT_FALSE(find_accelerator("N/A").has_value());
+  EXPECT_FALSE(find_accelerator("").has_value());
+}
+
+TEST(AccelCatalog, EntriesPhysicallySane) {
+  for (const auto& a : accelerator_catalog()) {
+    EXPECT_GT(a.die_area_cm2, 3.0) << a.model;
+    EXPECT_LT(a.die_area_cm2, 20.0) << a.model;
+    EXPECT_GT(a.tdp_w, 50) << a.model;  // T4 is a 70 W inference part
+    EXPECT_LE(a.tdp_w, 1500) << a.model;
+  }
+}
+
+TEST(MainstreamProxy, TracksEra) {
+  EXPECT_EQ(mainstream_gpu_proxy(2024).model, "proxy-H100");
+  EXPECT_EQ(mainstream_gpu_proxy(2021).model, "proxy-A100");
+  EXPECT_EQ(mainstream_gpu_proxy(2018).model, "proxy-V100");
+}
+
+TEST(MainstreamProxy, SmallerThanBespokeHpcParts) {
+  // The paper: proxying novel accelerators with mainstream GPUs
+  // systematically underestimates silicon.
+  const auto proxy = mainstream_gpu_proxy(2023);
+  const auto mi300a = *find_accelerator("AMD Instinct MI300A");
+  const auto max1550 = *find_accelerator("Intel GPU Max 1550");
+  EXPECT_LT(proxy.die_area_cm2, mi300a.die_area_cm2);
+  EXPECT_LT(proxy.die_area_cm2, max1550.die_area_cm2);
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(Memory, ParseTypes) {
+  EXPECT_EQ(parse_memory_type("DDR4"), MemoryType::kDdr4);
+  EXPECT_EQ(parse_memory_type("ddr5 "), MemoryType::kDdr5);
+  EXPECT_EQ(parse_memory_type("HBM2e"), MemoryType::kHbm2e);
+  EXPECT_EQ(parse_memory_type("HBM3E"), MemoryType::kHbm3);
+  EXPECT_EQ(parse_memory_type("optane"), MemoryType::kUnknown);
+}
+
+TEST(Memory, NameRoundTrip) {
+  for (auto t : {MemoryType::kDdr3, MemoryType::kDdr4, MemoryType::kDdr5,
+                 MemoryType::kHbm2, MemoryType::kHbm2e, MemoryType::kHbm3}) {
+    EXPECT_EQ(parse_memory_type(memory_type_name(t)), t);
+  }
+}
+
+TEST(Memory, HbmCarriesStackingPenalty) {
+  EXPECT_GT(memory_spec(MemoryType::kHbm3).embodied_kg_per_gb,
+            memory_spec(MemoryType::kDdr5).embodied_kg_per_gb);
+  EXPECT_GT(memory_spec(MemoryType::kHbm2).embodied_kg_per_gb,
+            memory_spec(MemoryType::kHbm3).embodied_kg_per_gb);
+}
+
+TEST(Memory, NewerDdrGenerationsImprove) {
+  EXPECT_LT(memory_spec(MemoryType::kDdr5).embodied_kg_per_gb,
+            memory_spec(MemoryType::kDdr4).embodied_kg_per_gb);
+  EXPECT_LT(memory_spec(MemoryType::kDdr4).embodied_kg_per_gb,
+            memory_spec(MemoryType::kDdr3).embodied_kg_per_gb);
+}
+
+TEST(Storage, FlashFarHeavierThanDiskPerTb) {
+  const double ssd = storage_spec(StorageClass::kNvmeSsd).embodied_kg_per_tb;
+  const double hdd = storage_spec(StorageClass::kHdd).embodied_kg_per_tb;
+  EXPECT_GT(ssd / hdd, 5.0);
+}
+
+}  // namespace
+}  // namespace easyc::hw

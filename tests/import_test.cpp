@@ -1,0 +1,125 @@
+#include "top500/import.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.hpp"
+#include "util/error.hpp"
+
+namespace easyc::top500 {
+namespace {
+
+// A fragment in the official export's header style.
+const char* kExport =
+    "Rank,Name,Site,Manufacturer,Country,Year,Segment,Total Cores,"
+    "Accelerator/Co-Processor Cores,Rmax [TFlop/s],Rpeak [TFlop/s],"
+    "Power (kW),Processor,Cores per Socket,Accelerator/Co-Processor\n"
+    "1,BigIron,Nat Lab,HPE,United States,2023,Research,1000000,800000,"
+    "500000,700000,15000,AMD EPYC 9654 96C 2.4GHz,96,AMD Instinct MI250X\n"
+    "2,MidBox,Uni,Lenovo,Germany,2021,Academic,250000,,90000,120000,,"
+    "AMD EPYC 7763 64C 2.45GHz,64,None\n"
+    "3,Mystery,,,Japan,2020,Industry,100000,,40000,52000,2200,"
+    "Xeon Platinum 8380 40C,40,NVIDIA GPU\n";
+
+ImportResult import_sample() {
+  return import_top500_csv(util::CsvTable::parse(kExport));
+}
+
+TEST(Import, HeaderMatchingIsForgiving) {
+  auto t = util::CsvTable::parse(kExport);
+  EXPECT_TRUE(find_column(t, "rmax").has_value());
+  EXPECT_TRUE(find_column(t, "power").has_value());
+  EXPECT_TRUE(find_column(t, "accelerator").has_value());
+  EXPECT_TRUE(find_column(t, "cores_per_socket").has_value());
+  EXPECT_FALSE(find_column(t, "memory").has_value());
+}
+
+TEST(Import, RecordsCarryStructuralFields) {
+  const auto r = import_sample();
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.stats.systems, 3);
+  const auto& big = r.records[0];
+  EXPECT_EQ(big.rank, 1);
+  EXPECT_EQ(big.name, "BigIron");
+  EXPECT_EQ(big.country, "United States");
+  EXPECT_DOUBLE_EQ(big.rmax_tflops, 500000);
+  EXPECT_DOUBLE_EQ(big.rpeak_tflops, 700000);
+  EXPECT_EQ(big.total_cores, 1000000);
+  EXPECT_EQ(big.accelerator, "AMD Instinct MI250X");
+}
+
+TEST(Import, DisclosureReflectsPresentCells) {
+  const auto r = import_sample();
+  EXPECT_TRUE(r.records[0].top500.power);
+  EXPECT_FALSE(r.records[1].top500.power);  // empty power cell
+  EXPECT_TRUE(r.records[2].top500.power);
+  EXPECT_EQ(r.stats.with_power, 2);
+  // Node/GPU counts are never in the export — the paper's gap.
+  for (const auto& rec : r.records) {
+    EXPECT_FALSE(rec.top500.nodes);
+    EXPECT_FALSE(rec.top500.gpus);
+    EXPECT_FALSE(rec.top500.ssd);
+  }
+}
+
+TEST(Import, CpuPackagesDerivedFromCoresPerSocket) {
+  const auto r = import_sample();
+  EXPECT_EQ(r.records[0].truth.cpus, 1000000 / 96);
+  EXPECT_EQ(r.records[1].truth.cpus, 250000 / 64);
+  EXPECT_EQ(r.stats.with_cores_per_socket, 3);
+}
+
+TEST(Import, NoneAcceleratorBecomesCpuOnly) {
+  const auto r = import_sample();
+  EXPECT_FALSE(r.records[1].is_accelerated());
+  EXPECT_TRUE(r.records[2].is_accelerated());
+  EXPECT_EQ(r.stats.with_accelerator, 2);
+}
+
+TEST(Import, ImportedRecordsRunThroughTheBaselineScenario) {
+  const auto r = import_sample();
+  const auto assessments =
+      analysis::assess_scenario(r.records, Scenario::kTop500Org);
+  // BigIron: power reported -> operational works; no GPU count ->
+  // embodied declines (exactly the paper's coverage behaviour).
+  EXPECT_TRUE(assessments[0].operational.ok());
+  EXPECT_FALSE(assessments[0].embodied.ok());
+  // MidBox: CPU-only, catalog CPU + cores -> both sides work.
+  EXPECT_TRUE(assessments[1].operational.ok());
+  EXPECT_TRUE(assessments[1].embodied.ok());
+  // Mystery: vague accelerator + power -> operational only.
+  EXPECT_TRUE(assessments[2].operational.ok());
+  EXPECT_FALSE(assessments[2].embodied.ok());
+}
+
+TEST(Import, BadRowsAreSkippedWithWarnings) {
+  const char* text =
+      "Rank,Country,Total Cores,Rmax,Processor\n"
+      "abc,Germany,1000,50,Xeon\n"
+      "2,Germany,,50,Xeon\n"
+      "3,Germany,1000,75,Xeon\n";
+  const auto r = import_top500_csv(util::CsvTable::parse(text));
+  EXPECT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].rank, 3);
+  EXPECT_EQ(r.stats.warnings.size(), 2u);
+}
+
+TEST(Import, MissingMandatoryColumnThrows) {
+  const char* no_rmax = "Rank,Country,Total Cores,Processor\n";
+  EXPECT_THROW(import_top500_csv(util::CsvTable::parse(no_rmax)),
+               util::ParseError);
+}
+
+TEST(Import, RecordsSortedByRank) {
+  const char* shuffled =
+      "Rank,Country,Total Cores,Rmax,Processor\n"
+      "3,Germany,1000,40,Xeon\n"
+      "1,Germany,3000,100,Xeon\n"
+      "2,Germany,2000,70,Xeon\n";
+  const auto r = import_top500_csv(util::CsvTable::parse(shuffled));
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_EQ(r.records[0].rank, 1);
+  EXPECT_EQ(r.records[2].rank, 3);
+}
+
+}  // namespace
+}  // namespace easyc::top500

@@ -1,0 +1,120 @@
+#include "easyc/inputs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace easyc::model {
+namespace {
+
+Inputs minimal() {
+  Inputs in;
+  in.name = "testsys";
+  in.country = "Germany";
+  in.rmax_tflops = 5000;
+  in.rpeak_tflops = 7000;
+  in.total_cores = 100000;
+  in.processor = "AMD EPYC 7763 64C 2.45GHz";
+  return in;
+}
+
+TEST(Metrics, SevenKeyPlusTwoOptional) {
+  // The paper's central claim: 7 key metrics + 2 optional = 9 tracked.
+  EXPECT_EQ(all_metrics().size(), 9u);
+  int optional = 0;
+  for (auto m : all_metrics()) {
+    if (metric_is_optional(m)) ++optional;
+  }
+  EXPECT_EQ(optional, 2);
+}
+
+TEST(Metrics, NamesMatchPaperTable1Rows) {
+  EXPECT_EQ(metric_name(Metric::kNumComputeNodes), "# of Compute Nodes");
+  EXPECT_EQ(metric_name(Metric::kAnnualPowerConsumed),
+            "Annual Power Consumed (opt.)");
+}
+
+TEST(MissingMetrics, AllMissingOnEmptyInputs) {
+  Inputs in = minimal();
+  EXPECT_EQ(in.num_missing(true), 9);
+  EXPECT_EQ(in.num_missing(false), 7);
+}
+
+TEST(MissingMetrics, FillingFieldsShrinksList) {
+  Inputs in = minimal();
+  in.operation_year = 2022;
+  in.num_nodes = 100;
+  EXPECT_EQ(in.num_missing(true), 7);
+  auto missing = in.missing_metrics(true);
+  for (auto m : missing) {
+    EXPECT_NE(m, Metric::kOperationYear);
+    EXPECT_NE(m, Metric::kNumComputeNodes);
+  }
+}
+
+TEST(Validation, AcceptsReasonableInputs) {
+  Inputs in = minimal();
+  in.operation_year = 2024;
+  in.num_nodes = 1000;
+  in.num_gpus = 4000;
+  in.num_cpus = 2000;
+  in.memory_gb = 512000;
+  in.ssd_tb = 10000;
+  in.utilization = 0.8;
+  in.annual_energy_kwh = 1e7;
+  EXPECT_NO_THROW(in.validate());
+}
+
+struct InvalidCase {
+  const char* label;
+  void (*mutate)(Inputs&);
+};
+
+class ValidationRejects : public ::testing::TestWithParam<InvalidCase> {};
+
+TEST_P(ValidationRejects, Throws) {
+  Inputs in = minimal();
+  GetParam().mutate(in);
+  EXPECT_THROW(in.validate(), util::ValidationError) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ValidationRejects,
+    ::testing::Values(
+        InvalidCase{"negative rmax", [](Inputs& i) { i.rmax_tflops = -1; }},
+        InvalidCase{"zero power", [](Inputs& i) { i.power_kw = 0.0; }},
+        InvalidCase{"negative cores", [](Inputs& i) { i.total_cores = -5; }},
+        InvalidCase{"year before top500",
+                    [](Inputs& i) { i.operation_year = 1980; }},
+        InvalidCase{"year absurd future",
+                    [](Inputs& i) { i.operation_year = 2100; }},
+        InvalidCase{"zero nodes", [](Inputs& i) { i.num_nodes = 0; }},
+        InvalidCase{"negative gpus", [](Inputs& i) { i.num_gpus = -1; }},
+        InvalidCase{"zero memory", [](Inputs& i) { i.memory_gb = 0.0; }},
+        InvalidCase{"zero ssd", [](Inputs& i) { i.ssd_tb = 0.0; }},
+        InvalidCase{"util zero", [](Inputs& i) { i.utilization = 0.0; }},
+        InvalidCase{"util above one",
+                    [](Inputs& i) { i.utilization = 1.2; }},
+        InvalidCase{"zero energy",
+                    [](Inputs& i) { i.annual_energy_kwh = 0.0; }}),
+    [](const auto& param_info) {
+      std::string n = param_info.param.label;
+      for (auto& c : n) {
+        if (c == ' ') c = '_';
+      }
+      return n;
+    });
+
+TEST(HasAccelerator, RecognizesNoneMarkers) {
+  Inputs in = minimal();
+  EXPECT_FALSE(in.has_accelerator());
+  in.accelerator = "None";
+  EXPECT_FALSE(in.has_accelerator());
+  in.accelerator = " n/a ";
+  EXPECT_FALSE(in.has_accelerator());
+  in.accelerator = "NVIDIA H100";
+  EXPECT_TRUE(in.has_accelerator());
+}
+
+}  // namespace
+}  // namespace easyc::model

@@ -1,0 +1,131 @@
+#include "analysis/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace easyc::analysis {
+namespace {
+
+using OptSeries = std::vector<std::optional<double>>;
+
+TEST(Interpolate, PassThroughWhenComplete) {
+  OptSeries s = {1.0, 2.0, 3.0};
+  auto r = interpolate_gaps(s);
+  EXPECT_TRUE(r.interpolated_indices.empty());
+  EXPECT_EQ(r.values, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Interpolate, SingleGapUsesNearestPeers) {
+  OptSeries s = {10.0, std::nullopt, 20.0};
+  auto r = interpolate_gaps(s);
+  ASSERT_EQ(r.interpolated_indices, (std::vector<size_t>{1}));
+  EXPECT_DOUBLE_EQ(r.values[1], 15.0);
+}
+
+TEST(Interpolate, NearestTenPeersFiveEachSide) {
+  // 5 below are 1..5, 5 above are 100..104 -> mean 53.
+  OptSeries s;
+  for (int i = 1; i <= 5; ++i) s.push_back(static_cast<double>(i));
+  s.push_back(std::nullopt);
+  for (int i = 100; i <= 104; ++i) s.push_back(static_cast<double>(i));
+  // Add more entries beyond the window; they must not participate.
+  s.push_back(1e9);
+  auto r = interpolate_gaps(s);
+  EXPECT_DOUBLE_EQ(r.values[5], (1 + 2 + 3 + 4 + 5 + 100 + 101 + 102 + 103 +
+                                 104) / 10.0);
+}
+
+TEST(Interpolate, SkipsIncompletePeers) {
+  // "If the peers are also incomplete, we use the next closest peers."
+  OptSeries s = {7.0, std::nullopt, std::nullopt, std::nullopt, 9.0};
+  InterpolationOptions opt;
+  opt.peers_per_side = 1;
+  auto r = interpolate_gaps(s, opt);
+  for (size_t i : {1, 2, 3}) EXPECT_DOUBLE_EQ(r.values[i], 8.0) << i;
+}
+
+TEST(Interpolate, EdgesUseOneSidedPeers) {
+  OptSeries s = {std::nullopt, 4.0, 6.0, std::nullopt};
+  InterpolationOptions opt;
+  opt.peers_per_side = 2;
+  auto r = interpolate_gaps(s, opt);
+  EXPECT_DOUBLE_EQ(r.values[0], 5.0);  // only above peers
+  EXPECT_DOUBLE_EQ(r.values[3], 5.0);  // only below peers
+}
+
+TEST(Interpolate, AllEmptyAborts) {
+  OptSeries s = {std::nullopt, std::nullopt};
+  EXPECT_DEATH(interpolate_gaps(s), "empty series");
+}
+
+TEST(Interpolate, MedianStrategyRobustToOutlierPeer) {
+  OptSeries s = {1.0, 1.0, std::nullopt, 1.0, 1000.0};
+  InterpolationOptions mean_opt;
+  InterpolationOptions med_opt;
+  med_opt.strategy = InterpolationStrategy::kMedian;
+  const double mean_v = interpolate_gaps(s, mean_opt).values[2];
+  const double med_v = interpolate_gaps(s, med_opt).values[2];
+  EXPECT_GT(mean_v, 200.0);
+  EXPECT_DOUBLE_EQ(med_v, 1.0);
+}
+
+TEST(Interpolate, RankWeightedFavoursCloserPeers) {
+  OptSeries s = {100.0, std::nullopt, 0.0, 0.0, 0.0};
+  InterpolationOptions opt;
+  opt.strategy = InterpolationStrategy::kRankWeighted;
+  opt.peers_per_side = 3;
+  auto r = interpolate_gaps(s, opt);
+  // Closest peer (100 at distance 1) outweighs the three zeros:
+  // 100 / (1 + 1 + 1/2 + 1/3) = 35.3 vs the plain mean's 25.
+  EXPECT_GT(r.values[1], 30.0);
+  InterpolationOptions mean_opt;
+  mean_opt.peers_per_side = 3;
+  EXPECT_GT(r.values[1], interpolate_gaps(s, mean_opt).values[1]);
+}
+
+// Property: interpolated values are bounded by peer extremes for every
+// strategy and window.
+struct BoundCase {
+  InterpolationStrategy strategy;
+  int peers;
+};
+
+class BoundedInterp : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundedInterp, WithinGlobalMinMax) {
+  OptSeries s;
+  double lo = 1e18, hi = -1e18;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 7 == 3 || (i > 40 && i < 52)) {
+      s.push_back(std::nullopt);
+    } else {
+      const double v = 50.0 + 40.0 * std::sin(i * 0.7);
+      s.push_back(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  InterpolationOptions opt;
+  opt.strategy = GetParam().strategy;
+  opt.peers_per_side = GetParam().peers;
+  auto r = interpolate_gaps(s, opt);
+  for (size_t i : r.interpolated_indices) {
+    EXPECT_GE(r.values[i], lo - 1e-9);
+    EXPECT_LE(r.values[i], hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoundedInterp,
+    ::testing::Values(BoundCase{InterpolationStrategy::kMean, 1},
+                      BoundCase{InterpolationStrategy::kMean, 5},
+                      BoundCase{InterpolationStrategy::kMean, 25},
+                      BoundCase{InterpolationStrategy::kMedian, 5},
+                      BoundCase{InterpolationStrategy::kMedian, 10},
+                      BoundCase{InterpolationStrategy::kRankWeighted, 5},
+                      BoundCase{InterpolationStrategy::kRankWeighted, 10}));
+
+}  // namespace
+}  // namespace easyc::analysis

@@ -1,0 +1,93 @@
+#include "grid/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/aci.hpp"
+
+namespace easyc::grid {
+namespace {
+
+TEST(EnergyMix, PureSourcesMatchIpccValues) {
+  EnergyMix coal;
+  coal.coal = 1.0;
+  EXPECT_DOUBLE_EQ(coal.aci_g_kwh(), 820.0);
+  EnergyMix wind;
+  wind.wind = 1.0;
+  EXPECT_DOUBLE_EQ(wind.aci_g_kwh(), 11.0);
+}
+
+TEST(EnergyMix, UnnormalizedSharesAbort) {
+  EnergyMix half;
+  half.coal = 0.5;
+  EXPECT_DEATH(half.aci_g_kwh(), "sum to 1");
+}
+
+TEST(EnergyMix, NationalMixesAreNormalized) {
+  for (const auto& country : mix_countries()) {
+    const auto mix = national_mix(country);
+    ASSERT_TRUE(mix) << country;
+    EXPECT_NEAR(mix->total(), 1.0, 0.01) << country;
+  }
+  EXPECT_FALSE(national_mix("atlantis").has_value());
+}
+
+TEST(EnergyMix, LookupIsCaseInsensitive) {
+  ASSERT_TRUE(national_mix("FRANCE"));
+  EXPECT_DOUBLE_EQ(national_mix("FRANCE")->aci_g_kwh(),
+                   national_mix("france")->aci_g_kwh());
+}
+
+// Property: the bottom-up mix intensity approximates the top-down ACI
+// table (both describe the same 2024 grids). Lifecycle-vs-operational
+// accounting and import/export flows justify a loose tolerance.
+class MixVsTable : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MixVsTable, Approximates) {
+  const char* country = GetParam();
+  const auto mix = national_mix(country);
+  const auto table = AciDatabase::builtin().country_aci(country);
+  ASSERT_TRUE(mix && table);
+  const double computed = mix->aci_g_kwh();
+  EXPECT_GT(computed, *table * 0.55) << country;
+  EXPECT_LT(computed, *table * 1.8) << country;
+}
+
+INSTANTIATE_TEST_SUITE_P(Countries, MixVsTable,
+                         ::testing::Values("United States", "China",
+                                           "Germany", "France", "Japan",
+                                           "Norway", "India", "Australia",
+                                           "Canada", "Brazil"));
+
+TEST(EnergyMix, OrderingMatchesIntuition) {
+  EXPECT_GT(national_mix("india")->aci_g_kwh(),
+            national_mix("germany")->aci_g_kwh());
+  EXPECT_GT(national_mix("germany")->aci_g_kwh(),
+            national_mix("france")->aci_g_kwh());
+  EXPECT_GT(national_mix("france")->aci_g_kwh(),
+            national_mix("norway")->aci_g_kwh());
+}
+
+TEST(EnergyMix, AddingSolarPpaCleansTheMix) {
+  const auto base = *national_mix("united states");
+  const auto with_ppa = base.with_added("solar", 0.30);
+  EXPECT_NEAR(with_ppa.total(), 1.0, 1e-9);
+  EXPECT_LT(with_ppa.aci_g_kwh(), base.aci_g_kwh());
+  // Displacement is proportional: 70% of the old mix + 30% solar.
+  EXPECT_NEAR(with_ppa.aci_g_kwh(),
+              0.7 * base.aci_g_kwh() + 0.3 * SourceIntensities::kSolar,
+              1e-9);
+}
+
+TEST(EnergyMix, AddingCoalDirtiesTheMix) {
+  const auto base = *national_mix("france");
+  EXPECT_GT(base.with_added("coal", 0.2).aci_g_kwh(), base.aci_g_kwh());
+}
+
+TEST(EnergyMix, WithAddedValidates) {
+  const auto base = *national_mix("germany");
+  EXPECT_DEATH(base.with_added("fusion", 0.2), "unknown generation source");
+  EXPECT_DEATH(base.with_added("solar", 1.5), "share");
+}
+
+}  // namespace
+}  // namespace easyc::grid

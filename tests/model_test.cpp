@@ -1,0 +1,126 @@
+#include "easyc/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "easyc/uncertainty.hpp"
+
+namespace easyc::model {
+namespace {
+
+Inputs make_system(int i) {
+  Inputs in;
+  in.name = "sys" + std::to_string(i);
+  in.country = i % 2 == 0 ? "Germany" : "Japan";
+  in.rmax_tflops = 1000.0 + i * 10;
+  in.rpeak_tflops = in.rmax_tflops * 1.4;
+  in.total_cores = 50000 + i * 100;
+  in.processor = "AMD EPYC 7763 64C 2.45GHz";
+  in.operation_year = 2021;
+  in.power_kw = 500.0 + i;
+  in.num_nodes = 400;
+  in.num_cpus = 800;
+  return in;
+}
+
+TEST(EasyCModel, AssessFillsBothSides) {
+  EasyCModel model;
+  auto a = model.assess(make_system(1));
+  EXPECT_EQ(a.name, "sys1");
+  EXPECT_TRUE(a.operational.ok());
+  EXPECT_TRUE(a.embodied.ok());
+}
+
+TEST(EasyCModel, DefaultAssessmentIsFailure) {
+  SystemAssessment a;
+  EXPECT_FALSE(a.operational.ok());
+  EXPECT_FALSE(a.embodied.ok());
+}
+
+TEST(EasyCModel, AssessAllMatchesSerialAssess) {
+  EasyCModel model;
+  std::vector<Inputs> inputs;
+  for (int i = 0; i < 200; ++i) inputs.push_back(make_system(i));
+  auto batch = model.assess_all(inputs);
+  ASSERT_EQ(batch.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto one = model.assess(inputs[i]);
+    ASSERT_EQ(batch[i].operational.ok(), one.operational.ok());
+    EXPECT_DOUBLE_EQ(batch[i].operational.value().mt_co2e,
+                     one.operational.value().mt_co2e);
+    EXPECT_DOUBLE_EQ(batch[i].embodied.value().total_mt,
+                     one.embodied.value().total_mt);
+  }
+}
+
+TEST(Outcome, FailureAccessorsBehave) {
+  auto f = Outcome<int>::failure("nope");
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.reasons().size(), 1u);
+  EXPECT_EQ(f.reasons_joined(), "nope");
+  auto f2 = Outcome<int>::failure(std::vector<std::string>{"a", "b"});
+  EXPECT_EQ(f2.reasons_joined(), "a; b");
+  auto s = Outcome<int>::success(7);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 7);
+  EXPECT_TRUE(s.reasons().empty());
+}
+
+TEST(Uncertainty, DeterministicForSeed) {
+  std::vector<Inputs> fleet;
+  for (int i = 0; i < 20; ++i) fleet.push_back(make_system(i));
+  EasyCOptions opt;
+  PriorRanges ranges;
+  auto a = run_uncertainty(fleet, opt, ranges, 64, 7);
+  auto b = run_uncertainty(fleet, opt, ranges, 64, 7);
+  EXPECT_DOUBLE_EQ(a.operational_mt.mean, b.operational_mt.mean);
+  EXPECT_DOUBLE_EQ(a.embodied_mt.stddev, b.embodied_mt.stddev);
+}
+
+TEST(Uncertainty, ThreadCountDoesNotChangeResults) {
+  std::vector<Inputs> fleet;
+  for (int i = 0; i < 20; ++i) fleet.push_back(make_system(i));
+  EasyCOptions opt;
+  PriorRanges ranges;
+  par::ThreadPool pool2(2);
+  par::ThreadPool pool8(8);
+  auto serial = run_uncertainty(fleet, opt, ranges, 64, 11, nullptr);
+  auto p2 = run_uncertainty(fleet, opt, ranges, 64, 11, &pool2);
+  auto p8 = run_uncertainty(fleet, opt, ranges, 64, 11, &pool8);
+  EXPECT_DOUBLE_EQ(serial.operational_mt.mean, p2.operational_mt.mean);
+  EXPECT_DOUBLE_EQ(serial.operational_mt.mean, p8.operational_mt.mean);
+  EXPECT_DOUBLE_EQ(serial.embodied_mt.p95, p8.embodied_mt.p95);
+}
+
+TEST(Uncertainty, DistributionBracketsPointEstimate) {
+  std::vector<Inputs> fleet;
+  for (int i = 0; i < 20; ++i) fleet.push_back(make_system(i));
+  EasyCOptions opt;
+  EasyCModel model(opt);
+  double point_op = 0.0;
+  for (const auto& in : fleet) {
+    point_op += model.assess(in).operational.value().mt_co2e;
+  }
+  auto u = run_uncertainty(fleet, opt, PriorRanges{}, 256, 3);
+  EXPECT_EQ(u.trials, 256u);
+  EXPECT_LT(u.operational_mt.p05, point_op);
+  EXPECT_GT(u.operational_mt.p95, point_op);
+  EXPECT_NEAR(u.operational_mt.mean, point_op, 0.1 * point_op);
+}
+
+TEST(Uncertainty, WiderPriorsWidenTheDistribution) {
+  std::vector<Inputs> fleet;
+  for (int i = 0; i < 10; ++i) fleet.push_back(make_system(i));
+  EasyCOptions opt;
+  PriorRanges narrow;
+  narrow.utilization_rel = 0.02;
+  narrow.aci_rel = 0.02;
+  PriorRanges wide;
+  wide.utilization_rel = 0.3;
+  wide.aci_rel = 0.3;
+  auto n = run_uncertainty(fleet, opt, narrow, 256, 5);
+  auto w = run_uncertainty(fleet, opt, wide, 256, 5);
+  EXPECT_LT(n.operational_mt.stddev, w.operational_mt.stddev);
+}
+
+}  // namespace
+}  // namespace easyc::model

@@ -1,0 +1,192 @@
+#include "easyc/operational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace easyc::model {
+namespace {
+
+Inputs base_system() {
+  Inputs in;
+  in.name = "opsys";
+  in.country = "Germany";
+  in.rmax_tflops = 10000;
+  in.rpeak_tflops = 14000;
+  in.total_cores = 200000;
+  in.processor = "AMD EPYC 7763 64C 2.45GHz";
+  in.operation_year = 2022;
+  return in;
+}
+
+TEST(EnergyPath, MeteredEnergyWins) {
+  Inputs in = base_system();
+  in.annual_energy_kwh = 5.0e7;
+  in.power_kw = 9999;  // must be ignored
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().path, EnergyPath::kMeteredAnnualEnergy);
+  EXPECT_DOUBLE_EQ(r.value().annual_kwh, 5.0e7);
+  EXPECT_DOUBLE_EQ(r.value().pue, 1.0);  // metered is facility-side
+  // 5e7 kWh x 344 g/kWh (Germany) = 17200 MT
+  EXPECT_NEAR(r.value().mt_co2e, 17200, 1);
+}
+
+TEST(EnergyPath, ReportedPowerSecond) {
+  Inputs in = base_system();
+  in.power_kw = 2000;
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().path, EnergyPath::kReportedPower);
+  EXPECT_DOUBLE_EQ(r.value().it_kw, 2000);
+  EXPECT_GT(r.value().pue, 1.0);
+  // energy = power x util x 8760 x PUE
+  const auto& v = r.value();
+  EXPECT_NEAR(v.annual_kwh,
+              2000 * v.utilization * util::kHoursPerYear * v.pue, 1e-6);
+}
+
+TEST(EnergyPath, ComponentRollupThird) {
+  Inputs in = base_system();
+  in.num_nodes = 1000;
+  in.num_cpus = 2000;
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().path, EnergyPath::kComponentRollup);
+  // 2000 x 280W EPYC-7763 packages plus memory and overhead: order MW.
+  EXPECT_GT(r.value().it_kw, 500);
+  EXPECT_LT(r.value().it_kw, 2000);
+}
+
+TEST(EnergyPath, CoreEstimateLast) {
+  Inputs in = base_system();  // only cores available
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().path, EnergyPath::kCoreCountEstimate);
+  EXPECT_GT(r.value().it_kw, 100);
+}
+
+TEST(Coverage, AcceleratedWithoutPowerOrCountsFails) {
+  Inputs in = base_system();
+  in.accelerator = "NVIDIA H100";
+  auto r = assess_operational(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.reasons_joined().find("no energy path"), std::string::npos);
+}
+
+TEST(Coverage, AcceleratedWithCountsUsesRollup) {
+  Inputs in = base_system();
+  in.accelerator = "NVIDIA H100";
+  in.num_nodes = 500;
+  in.num_cpus = 500;
+  in.num_gpus = 2000;
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().path, EnergyPath::kComponentRollup);
+  // 2000 H100s at 700W dominate: > 1.4 MW IT power.
+  EXPECT_GT(r.value().it_kw, 1400);
+}
+
+TEST(Coverage, AcceleratedRollupNeedsGpuCount) {
+  Inputs in = base_system();
+  in.accelerator = "NVIDIA H100";
+  in.num_nodes = 500;
+  in.num_cpus = 500;
+  auto r = assess_operational(in);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Coverage, UnknownCountryFails) {
+  Inputs in = base_system();
+  in.power_kw = 2000;
+  in.country = "Atlantis";
+  auto r = assess_operational(in);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.reasons_joined().find("grid carbon intensity"),
+            std::string::npos);
+}
+
+TEST(Aci, RegionRefinementApplied) {
+  Inputs in = base_system();
+  in.country = "United States";
+  in.power_kw = 2000;
+  auto national = assess_operational(in);
+  in.region = "California";
+  auto regional = assess_operational(in);
+  ASSERT_TRUE(national.ok() && regional.ok());
+  EXPECT_TRUE(regional.value().aci_region_refined);
+  EXPECT_FALSE(national.value().aci_region_refined);
+  EXPECT_LT(regional.value().mt_co2e, national.value().mt_co2e);
+}
+
+TEST(Options, UtilizationMetricOverridesPrior) {
+  Inputs in = base_system();
+  in.power_kw = 1000;
+  in.utilization = 0.5;
+  auto r = assess_operational(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().utilization, 0.5);
+}
+
+TEST(Options, InvalidUtilizationPriorAborts) {
+  OperationalOptions opt;
+  opt.default_utilization = 0.0;
+  Inputs in = base_system();
+  in.power_kw = 1000;
+  EXPECT_DEATH(assess_operational(in, opt), "utilization");
+}
+
+// Property: carbon is monotone in each continuous driver.
+class PowerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerSweep, CarbonIncreasesWithPower) {
+  Inputs in = base_system();
+  in.power_kw = GetParam();
+  auto lo = assess_operational(in);
+  in.power_kw = GetParam() * 1.5;
+  auto hi = assess_operational(in);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_GT(hi.value().mt_co2e, lo.value().mt_co2e);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PowerSweep,
+                         ::testing::Values(50.0, 200.0, 1000.0, 5000.0,
+                                           20000.0));
+
+class UtilSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilSweep, CarbonIncreasesWithUtilization) {
+  Inputs in = base_system();
+  in.power_kw = 3000;
+  in.utilization = GetParam();
+  auto lo = assess_operational(in);
+  in.utilization = std::min(1.0, GetParam() + 0.1);
+  auto hi = assess_operational(in);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_GT(hi.value().mt_co2e, lo.value().mt_co2e);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UtilSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85));
+
+TEST(Consistency, CarbonScalesLinearlyWithAci) {
+  // Two countries, same system: carbon ratio == ACI ratio.
+  Inputs in = base_system();
+  in.power_kw = 4000;
+  in.country = "Norway";  // 29
+  auto clean = assess_operational(in);
+  in.country = "India";  // 713
+  auto dirty = assess_operational(in);
+  ASSERT_TRUE(clean.ok() && dirty.ok());
+  EXPECT_NEAR(dirty.value().mt_co2e / clean.value().mt_co2e, 713.0 / 29.0,
+              1e-9);
+}
+
+TEST(Validation, InvalidInputsThrowRatherThanFail) {
+  Inputs in = base_system();
+  in.power_kw = -5;
+  EXPECT_THROW(assess_operational(in), util::ValidationError);
+}
+
+}  // namespace
+}  // namespace easyc::model

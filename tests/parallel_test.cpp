@@ -1,0 +1,127 @@
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace easyc::par {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must finish all queued work
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for(pool, 0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [&](size_t i) {
+                     if (i == 57) throw std::runtime_error("bad index");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  ThreadPool pool(4);
+  auto out = parallel_map(pool, 0, 1000,
+                          [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 1000u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  const long long expected = static_cast<long long>(n) * (n - 1) / 2;
+  const long long got = parallel_reduce<long long>(
+      pool, 0, n, 0LL, [](size_t i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const int got = parallel_reduce<int>(
+      pool, 10, 10, 123, [](size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(got, 123);
+}
+
+// Property sweep: results must be independent of pool size.
+class PoolSizeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PoolSizeSweep, ReduceIsDeterministicAcrossPoolSizes) {
+  ThreadPool pool(GetParam());
+  const long long got = parallel_reduce<long long>(
+      pool, 0, 9999, 0LL, [](size_t i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; });
+  EXPECT_EQ(got, 9999LL * 9998 / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+TEST(GlobalPool, IsUsable) {
+  std::atomic<int> n{0};
+  parallel_for(0, 100, [&](size_t) { ++n; });
+  EXPECT_EQ(n.load(), 100);
+}
+
+}  // namespace
+}  // namespace easyc::par

@@ -1,0 +1,89 @@
+#include "analysis/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easyc::analysis {
+namespace {
+
+TEST(Projection, SevenPointsFor2024To2030) {
+  auto p = project(1390, 1880, 9500);
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p.front().year, 2024);
+  EXPECT_EQ(p.back().year, 2030);
+}
+
+TEST(Projection, BaselineYearUnchanged) {
+  auto p = project(1390, 1880, 9500);
+  EXPECT_DOUBLE_EQ(p[0].operational_kmt, 1390);
+  EXPECT_DOUBLE_EQ(p[0].embodied_kmt, 1880);
+  EXPECT_DOUBLE_EQ(p[0].perf_pflops, 9500);
+  EXPECT_DOUBLE_EQ(p[0].ideal_ratio, 9500.0 / 1390.0);
+}
+
+TEST(Projection, PaperGrowthFactorsBy2030) {
+  // Paper: operational ~1.8x 2024 by 2030, embodied ~1.1x.
+  auto p = project(1390, 1880, 9500);
+  EXPECT_NEAR(p.back().operational_kmt / p.front().operational_kmt,
+              std::pow(1.103, 6), 1e-9);
+  EXPECT_NEAR(p.back().operational_kmt / p.front().operational_kmt, 1.8,
+              0.05);
+  EXPECT_NEAR(p.back().embodied_kmt / p.front().embodied_kmt, 1.127, 0.01);
+}
+
+TEST(Projection, RatiosAreConsistent) {
+  auto p = project(1000, 2000, 8000);
+  for (const auto& pt : p) {
+    EXPECT_NEAR(pt.op_ratio, pt.perf_pflops / pt.operational_kmt, 1e-12);
+    EXPECT_NEAR(pt.emb_ratio, pt.perf_pflops / pt.embodied_kmt, 1e-12);
+  }
+}
+
+TEST(Projection, IdealCurveDoublesEvery18Months) {
+  auto p = project(1000, 2000, 8000);
+  // After 3 years: 2 doublings.
+  EXPECT_NEAR(p[3].ideal_ratio / p[0].ideal_ratio, 4.0, 1e-9);
+  EXPECT_NEAR(p[6].ideal_ratio / p[0].ideal_ratio, 16.0, 1e-9);
+}
+
+TEST(Projection, IdealOutpacesProjectedDramatically) {
+  // The paper's Fig. 11 point: actual perf-per-carbon improvement is
+  // far below the Dennard-era 2x/18mo expectation.
+  auto p = project(1390, 1880, 9500);
+  EXPECT_GT(p.back().ideal_ratio / p.back().op_ratio, 5.0);
+  // But the projected ratio does still improve.
+  EXPECT_GT(p.back().op_ratio, p.front().op_ratio);
+}
+
+TEST(Projection, PerfPerCarbonSlopeNearPaperValue) {
+  // ~0.2 PFlop/s per thousand MT per year with the default config.
+  auto p = project(1390, 1880, 9500);
+  const double slope = p[1].op_ratio - p[0].op_ratio;
+  EXPECT_NEAR(slope, 0.2, 0.06);
+}
+
+TEST(Projection, CustomConfigRespected) {
+  ProjectionConfig cfg;
+  cfg.start_year = 2025;
+  cfg.end_year = 2027;
+  cfg.op_growth = 0.5;
+  auto p = project(100, 100, 100, cfg);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[2].operational_kmt, 225.0);
+}
+
+TEST(Projection, InvalidBaselinesAbort) {
+  EXPECT_DEATH(project(0, 1, 1), "positive");
+  EXPECT_DEATH(project(1, -2, 1), "positive");
+}
+
+TEST(Annualize, TwoCyclesPerYear) {
+  // Paper: 5% per list cycle -> 10.25% ~ 10.3%/yr.
+  EXPECT_NEAR(annualize_per_cycle_growth(0.05), 0.1025, 1e-10);
+  EXPECT_NEAR(annualize_per_cycle_growth(0.01), 0.0201, 1e-10);
+  EXPECT_DOUBLE_EQ(annualize_per_cycle_growth(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace easyc::analysis

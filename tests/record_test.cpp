@@ -1,0 +1,171 @@
+#include "top500/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace easyc::top500 {
+namespace {
+
+SystemRecord sample_record() {
+  SystemRecord r;
+  r.rank = 42;
+  r.name = "TestSys";
+  r.site = "Test Lab";
+  r.country = "United States";
+  r.vendor = "HPE";
+  r.segment = "Research";
+  r.year = 2023;
+  r.rmax_tflops = 30000;
+  r.rpeak_tflops = 42000;
+  r.total_cores = 500000;
+  r.processor = "AMD EPYC 9654 96C 2.4GHz";
+  r.processor_public = "";
+  r.accelerator = "NVIDIA GPU";
+  r.accelerator_public = "NVIDIA H100";
+  r.truth.power_kw = 1500;
+  r.truth.nodes = 700;
+  r.truth.gpus = 2800;
+  r.truth.cpus = 1400;
+  r.truth.memory_gb = 537600;
+  r.truth.memory_type = "DDR5";
+  r.truth.ssd_tb = 9000;
+  r.truth.utilization = 0.77;
+  r.truth.annual_energy_kwh = 9.1e6;
+  r.truth.region = "Texas";
+  r.item_reported.fill(true);
+  r.item_reported[14] = false;  // memory
+  return r;
+}
+
+TEST(ToInputs, Top500ScenarioHidesUndisclosedFields) {
+  SystemRecord r = sample_record();
+  r.top500 = Disclosure{};  // nothing disclosed
+  auto in = to_inputs(r, Scenario::kTop500Org);
+  EXPECT_FALSE(in.power_kw.has_value());
+  EXPECT_FALSE(in.num_nodes.has_value());
+  EXPECT_FALSE(in.num_gpus.has_value());
+  EXPECT_FALSE(in.memory_gb.has_value());
+  EXPECT_FALSE(in.ssd_tb.has_value());
+  EXPECT_FALSE(in.annual_energy_kwh.has_value());
+  EXPECT_TRUE(in.region.empty());
+  // Always-available context.
+  EXPECT_EQ(in.name, "TestSys");
+  EXPECT_EQ(*in.operation_year, 2023);
+  EXPECT_EQ(*in.total_cores, 500000);
+  EXPECT_EQ(*in.num_cpus, 1400);  // Table I: # CPUs never missing
+  EXPECT_EQ(in.accelerator, "NVIDIA GPU");  // listed, not refined
+}
+
+TEST(ToInputs, DisclosureFlagsRevealFields) {
+  SystemRecord r = sample_record();
+  r.top500.power = true;
+  r.top500.nodes = true;
+  r.top500.gpus = true;
+  auto in = to_inputs(r, Scenario::kTop500Org);
+  EXPECT_DOUBLE_EQ(*in.power_kw, 1500);
+  EXPECT_EQ(*in.num_nodes, 700);
+  EXPECT_EQ(*in.num_gpus, 2800);
+}
+
+TEST(ToInputs, PublicScenarioAppliesRefinements) {
+  SystemRecord r = sample_record();
+  r.with_public.accelerator_identity = true;
+  r.with_public.region = true;
+  auto in = to_inputs(r, Scenario::kTop500PlusPublic);
+  EXPECT_EQ(in.accelerator, "NVIDIA H100");  // refined identity
+  EXPECT_EQ(in.region, "Texas");
+  // Refinements never leak into the baseline scenario.
+  auto base = to_inputs(r, Scenario::kTop500Org);
+  EXPECT_EQ(base.accelerator, "NVIDIA GPU");
+  EXPECT_TRUE(base.region.empty());
+}
+
+TEST(ToInputs, FullKnowledgeUsesEverything) {
+  SystemRecord r = sample_record();  // masks all false
+  auto in = to_inputs(r, Scenario::kFullKnowledge);
+  EXPECT_DOUBLE_EQ(*in.power_kw, 1500);
+  EXPECT_EQ(*in.num_nodes, 700);
+  EXPECT_DOUBLE_EQ(*in.memory_gb, 537600);
+  EXPECT_EQ(*in.memory_type, "DDR5");
+  EXPECT_DOUBLE_EQ(*in.utilization, 0.77);
+  EXPECT_DOUBLE_EQ(*in.annual_energy_kwh, 9.1e6);
+  EXPECT_EQ(in.accelerator, "NVIDIA H100");
+}
+
+TEST(ToInputs, CpuOnlySystemNeverGetsGpuCount) {
+  SystemRecord r = sample_record();
+  r.accelerator = "";
+  r.accelerator_public = "";
+  r.truth.gpus = 0;
+  r.top500.gpus = true;  // bookkeeping flag ("known to be none")
+  auto in = to_inputs(r, Scenario::kTop500Org);
+  EXPECT_FALSE(in.num_gpus.has_value());
+  EXPECT_FALSE(in.has_accelerator());
+}
+
+TEST(ItemBookkeeping, CountsMissing) {
+  SystemRecord r = sample_record();
+  EXPECT_EQ(r.num_items_missing(), 1);
+  r.item_reported[11] = false;
+  r.item_reported[12] = false;
+  EXPECT_EQ(r.num_items_missing(), 3);
+}
+
+TEST(ItemNames, NineteenItems) {
+  EXPECT_EQ(top500_data_items().size(),
+            static_cast<size_t>(kNumTop500DataItems));
+  EXPECT_EQ(top500_data_items()[14], "Memory");
+  EXPECT_EQ(top500_data_items()[12], "HPL Power");
+}
+
+TEST(CsvRoundTrip, PreservesEveryField) {
+  SystemRecord r = sample_record();
+  r.top500.power = true;
+  r.with_public = r.top500;
+  r.with_public.nodes = true;
+  r.with_public.region = true;
+
+  auto table = to_csv({r});
+  auto back = from_csv(table);
+  ASSERT_EQ(back.size(), 1u);
+  const auto& b = back[0];
+  EXPECT_EQ(b.rank, r.rank);
+  EXPECT_EQ(b.name, r.name);
+  EXPECT_EQ(b.country, r.country);
+  EXPECT_EQ(b.segment, r.segment);
+  EXPECT_EQ(b.year, r.year);
+  EXPECT_DOUBLE_EQ(b.rmax_tflops, r.rmax_tflops);
+  EXPECT_EQ(b.total_cores, r.total_cores);
+  EXPECT_EQ(b.processor, r.processor);
+  EXPECT_EQ(b.accelerator_public, r.accelerator_public);
+  EXPECT_DOUBLE_EQ(b.truth.power_kw, r.truth.power_kw);
+  EXPECT_EQ(b.truth.nodes, r.truth.nodes);
+  EXPECT_EQ(b.truth.memory_type, r.truth.memory_type);
+  EXPECT_DOUBLE_EQ(b.truth.utilization, r.truth.utilization);
+  EXPECT_EQ(b.truth.region, r.truth.region);
+  EXPECT_EQ(b.top500.power, true);
+  EXPECT_EQ(b.top500.nodes, false);
+  EXPECT_EQ(b.with_public.nodes, true);
+  EXPECT_EQ(b.with_public.region, true);
+  EXPECT_EQ(b.item_reported, r.item_reported);
+}
+
+TEST(CsvRoundTrip, BadMaskRejected) {
+  auto table = to_csv({sample_record()});
+  // Corrupt the disclosure mask length via a hand-built table.
+  util::CsvTable bad(table.header());
+  auto row = table.row(0);
+  row[24] = "101";  // mask_top500 must be 11 bits
+  bad.add_row(row);
+  EXPECT_THROW(from_csv(bad), util::ParseError);
+}
+
+TEST(ScenarioNames, Stable) {
+  EXPECT_EQ(scenario_name(Scenario::kTop500Org), "Top500.org");
+  EXPECT_EQ(scenario_name(Scenario::kTop500PlusPublic),
+            "Top500.org + public info");
+}
+
+}  // namespace
+}  // namespace easyc::top500

@@ -1,0 +1,88 @@
+// The report builders must render every figure/table without crashing
+// and carry the paper-vs-measured annotations the benchmarks print.
+#include "report/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/csv.hpp"
+
+namespace easyc::report {
+namespace {
+
+const analysis::PipelineResult& pipeline() {
+  static const analysis::PipelineResult kResult = analysis::run_pipeline();
+  return kResult;
+}
+
+TEST(Reports, EveryFigureRendersNonEmpty) {
+  const auto& r = pipeline();
+  for (const auto& text :
+       {fig02_missingness(r), fig03_carbon_vs_rank_baseline(r),
+        fig04_coverage_bars(r), fig05_op_coverage_ranges(r),
+        fig06_emb_coverage_ranges(r), fig07_totals(r),
+        fig08_full_assessment(r), fig09_sensitivity_diff(r),
+        fig10_projection(r), fig11_perf_per_carbon(r), table1_data_gaps(r),
+        table2_per_system(r, 20), headline_numbers(r)}) {
+    EXPECT_GT(text.size(), 100u);
+  }
+}
+
+TEST(Reports, PaperVsMeasuredAnnotationsPresent) {
+  const auto& r = pipeline();
+  EXPECT_NE(fig04_coverage_bars(r).find("[paper-vs-measured]"),
+            std::string::npos);
+  EXPECT_NE(fig07_totals(r).find("paper=1390000"), std::string::npos);
+  EXPECT_NE(table1_data_gaps(r).find("paper=209"), std::string::npos);
+}
+
+TEST(Reports, Table2RowLimitRespected) {
+  const auto& r = pipeline();
+  const auto small = table2_per_system(r, 5);
+  const auto full = table2_per_system(r, 0);
+  EXPECT_LT(small.size(), full.size());
+  EXPECT_NE(full.find("El Capitan"), std::string::npos);
+  EXPECT_NE(full.find("Supercomputer Fugaku"), std::string::npos);
+}
+
+TEST(Reports, Fig05ListsAllRankRanges) {
+  const auto text = fig05_op_coverage_ranges(pipeline());
+  for (const char* label : {"1-10", "26-50", "451-500", "1-500"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Reports, CsvDumpWritesParseableFiles) {
+  const std::string dir = ::testing::TempDir() + "/easyc_report_csvs";
+  std::filesystem::create_directories(dir);
+  const auto files = write_figure_csvs(pipeline(), dir);
+  EXPECT_GE(files.size(), 3u);
+  for (const auto& f : files) {
+    auto t = util::CsvTable::read_file(f);
+    EXPECT_GT(t.num_rows(), 0u) << f;
+    std::remove(f.c_str());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Reports, Table2CsvHasAllRanks) {
+  const std::string dir = ::testing::TempDir() + "/easyc_report_csvs2";
+  std::filesystem::create_directories(dir);
+  const auto files = write_figure_csvs(pipeline(), dir);
+  bool found = false;
+  for (const auto& f : files) {
+    if (f.find("table2") != std::string::npos) {
+      auto t = util::CsvTable::read_file(f);
+      EXPECT_EQ(t.num_rows(), 500u);
+      found = true;
+    }
+    std::remove(f.c_str());
+  }
+  EXPECT_TRUE(found);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace easyc::report

@@ -1,0 +1,106 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easyc::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("no-op"), "no-op");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Case, LowerUpper) {
+  EXPECT_EQ(to_lower("AMD EPYC 9654"), "amd epyc 9654");
+  EXPECT_EQ(to_upper("hbm2e"), "HBM2E");
+}
+
+TEST(Case, IequalsAndContains) {
+  EXPECT_TRUE(iequals("LUMI", "lumi"));
+  EXPECT_FALSE(iequals("LUMI", "LUMI-C"));
+  EXPECT_TRUE(icontains("NVIDIA H100 SXM", "h100"));
+  EXPECT_FALSE(icontains("NVIDIA A100", "h100"));
+  EXPECT_TRUE(icontains("anything", ""));
+  EXPECT_FALSE(icontains("", "x"));
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("s3.cpu.count", "s3."));
+  EXPECT_FALSE(starts_with("s2.x", "s3."));
+  EXPECT_FALSE(starts_with("s", "s3."));
+}
+
+struct ParseCase {
+  const char* text;
+  bool ok;
+  double value;
+};
+
+class ParseDoubleTest : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(ParseDoubleTest, ParsesOrRejects) {
+  const auto& c = GetParam();
+  auto v = parse_double(c.text);
+  EXPECT_EQ(v.has_value(), c.ok) << c.text;
+  if (c.ok) {
+    EXPECT_DOUBLE_EQ(*v, c.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParseDoubleTest,
+    ::testing::Values(ParseCase{"1.5", true, 1.5},
+                      ParseCase{"  42 ", true, 42.0},
+                      ParseCase{"-3.25", true, -3.25},
+                      ParseCase{"1e3", true, 1000.0},
+                      ParseCase{"", false, 0},
+                      ParseCase{"  ", false, 0},
+                      ParseCase{"abc", false, 0},
+                      ParseCase{"1.5x", false, 0},
+                      ParseCase{"nan", false, 0},
+                      ParseCase{"inf", false, 0}));
+
+TEST(ParseInt, Basic) {
+  EXPECT_EQ(parse_int("123"), 123);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("1.5"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("12a"));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(12.50, 2), "12.5");
+  EXPECT_EQ(format_double(12.0, 2), "12");
+  EXPECT_EQ(format_double(0.125, 2), "0.12");  // round-half-even
+  EXPECT_EQ(format_double(0.126, 2), "0.13");
+  EXPECT_EQ(format_double(-0.0001, 2), "0");   // -0 normalized
+  EXPECT_EQ(format_double(3.14159, 4), "3.1416");
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace easyc::util

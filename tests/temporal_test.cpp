@@ -1,0 +1,114 @@
+#include "grid/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace easyc::grid {
+namespace {
+
+TEST(HourlyProfile, CoversTheYearAndPreservesTheMean) {
+  HourlyAciProfile p(400.0);
+  EXPECT_EQ(p.hours().size(), 8760u);
+  EXPECT_NEAR(p.annual_mean(), 400.0, 1e-9);
+  for (double v : p.hours()) EXPECT_GE(v, 0.0);
+}
+
+TEST(HourlyProfile, HasRealVariation) {
+  HourlyAciProfile p(400.0);
+  EXPECT_LT(p.min(), 380.0);
+  EXPECT_GT(p.max(), 420.0);
+}
+
+TEST(HourlyProfile, FlatShapeIsConstant) {
+  ProfileShape flat;
+  flat.solar_depth = 0;
+  flat.evening_peak = 0;
+  flat.seasonal_amp = 0;
+  flat.weekend_drop = 0;
+  HourlyAciProfile p(300.0, flat);
+  EXPECT_NEAR(p.min(), 300.0, 1e-9);
+  EXPECT_NEAR(p.max(), 300.0, 1e-9);
+}
+
+TEST(HourlyProfile, SolarDipAtMidday) {
+  ProfileShape shape;
+  shape.evening_peak = 0;
+  shape.seasonal_amp = 0;
+  shape.weekend_drop = 0;
+  HourlyAciProfile p(400.0, shape);
+  // Hour 13 of a weekday is below hour 3.
+  EXPECT_LT(p.hours()[13], p.hours()[3]);
+}
+
+TEST(HourlyProfile, FlatLoadMatchesAnnualAverageMethod) {
+  HourlyAciProfile p(450.0);
+  // 1000 kW flat for a year: 8.76 GWh at 450 g/kWh = 3942 MT.
+  EXPECT_NEAR(p.carbon_mt_flat(1000.0), 3942.0, 0.5);
+  std::vector<double> flat_series(24, 1000.0);
+  EXPECT_NEAR(p.average_method_error(flat_series), 0.0, 1e-9);
+}
+
+TEST(HourlyProfile, DaytimeLoadIsCleanerThanAverageSaysOnSolarGrids) {
+  // A solar-heavy grid is cleanest at midday; a daytime-peaking load
+  // therefore emits LESS than the annual-average method claims, i.e.
+  // the average method overestimates (positive error).
+  ProfileShape solar;
+  solar.solar_depth = 0.3;
+  solar.evening_peak = 0.0;
+  solar.seasonal_amp = 0.0;
+  solar.weekend_drop = 0.0;
+  HourlyAciProfile p(350.0, solar);
+  const auto day_load = diurnal_load(1000.0, 0.5);
+  EXPECT_GT(p.average_method_error(day_load), 0.005);
+}
+
+TEST(HourlyProfile, EveningLoadFlipsTheErrorSign) {
+  ProfileShape evening;
+  evening.solar_depth = 0.0;
+  evening.evening_peak = 0.3;
+  evening.seasonal_amp = 0.0;
+  evening.weekend_drop = 0.0;
+  HourlyAciProfile p(350.0, evening);
+  // Load peaking at 15:00-19:00 coincides with dirty evening hours ->
+  // the average method underestimates (negative error).
+  const auto day_load = diurnal_load(1000.0, 0.5);
+  EXPECT_LT(p.average_method_error(day_load), -0.002);
+}
+
+TEST(HourlyProfile, ShiftingSavingsBounds) {
+  HourlyAciProfile p(400.0);
+  const double s = p.shifting_savings(0.3, 8);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 0.3);  // cannot save more than the deferrable share
+  // More deferrable work saves more; a tighter window saves more per
+  // shifted kWh.
+  EXPECT_GT(p.shifting_savings(0.6, 8), s);
+  EXPECT_GT(p.shifting_savings(0.3, 4), p.shifting_savings(0.3, 12));
+  // No deferrable work, no savings; full-day window, no savings.
+  EXPECT_NEAR(p.shifting_savings(0.0, 8), 0.0, 1e-12);
+  EXPECT_NEAR(p.shifting_savings(1.0, 24), 0.0, 1e-9);
+}
+
+TEST(HourlyProfile, InvalidArgumentsAbort) {
+  HourlyAciProfile p(400.0);
+  EXPECT_DEATH(p.shifting_savings(-0.1, 8), "share");
+  EXPECT_DEATH(p.shifting_savings(0.5, 0), "window");
+  EXPECT_DEATH(p.carbon_mt({}), "empty");
+  EXPECT_DEATH(p.carbon_mt({-5.0}), "non-negative");
+}
+
+TEST(DiurnalLoad, MeanAndShape) {
+  const auto load = diurnal_load(800.0, 0.4);
+  ASSERT_EQ(load.size(), 24u);
+  double mean = 0;
+  for (double v : load) mean += v;
+  mean /= 24.0;
+  EXPECT_NEAR(mean, 800.0, 1e-9);
+  // Peak afternoon, trough small hours.
+  EXPECT_GT(load[15], load[3]);
+  EXPECT_DEATH(diurnal_load(0.0, 0.4), "positive");
+}
+
+}  // namespace
+}  // namespace easyc::grid

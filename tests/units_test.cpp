@@ -1,0 +1,50 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/equivalence.hpp"
+
+namespace easyc::util {
+namespace {
+
+TEST(Units, GramToMetricTon) {
+  EXPECT_DOUBLE_EQ(g_to_mt(1.0e6), 1.0);
+  EXPECT_DOUBLE_EQ(kg_to_mt(1000.0), 1.0);
+}
+
+TEST(Units, PowerToAnnualEnergy) {
+  EXPECT_DOUBLE_EQ(kw_year_to_kwh(1.0), 8760.0);
+  EXPECT_DOUBLE_EQ(kw_year_to_kwh(1000.0), 8.76e6);
+}
+
+TEST(Units, EnergyToCarbon) {
+  // 1 GWh at 500 g/kWh = 500 MT.
+  EXPECT_DOUBLE_EQ(kwh_to_mtco2e(1.0e6, 500.0), 500.0);
+  EXPECT_DOUBLE_EQ(kwh_to_mtco2e(0.0, 500.0), 0.0);
+  EXPECT_DOUBLE_EQ(kwh_to_mtco2e(1.0e6, 0.0), 0.0);
+}
+
+TEST(Units, PaperEquivalenceArithmetic) {
+  // The constants must reproduce the paper's rounding: 1.39M MT ->
+  // ~325k vehicles and ~3.5B miles; 1.88M MT -> ~439k vehicles.
+  EXPECT_NEAR(mtco2e_to_vehicle_years(1.39e6), 325000, 2000);
+  EXPECT_NEAR(mtco2e_to_vehicle_miles(1.39e6) / 1e9, 3.5, 0.1);
+  EXPECT_NEAR(mtco2e_to_vehicle_years(1.88e6), 439000, 2000);
+  EXPECT_NEAR(mtco2e_to_vehicle_miles(1.88e6) / 1e9, 4.8, 0.1);
+}
+
+TEST(Equivalence, StructMatchesUnitHelpers) {
+  const auto e = easyc::analysis::equivalences(1.0e6);
+  EXPECT_DOUBLE_EQ(e.vehicles, mtco2e_to_vehicle_years(1.0e6));
+  EXPECT_DOUBLE_EQ(e.vehicle_miles, mtco2e_to_vehicle_miles(1.0e6));
+  EXPECT_DOUBLE_EQ(e.homes, mtco2e_to_home_years(1.0e6));
+}
+
+TEST(Equivalence, DescriptionFormatsLargeNumbers) {
+  const auto d = easyc::analysis::describe_equivalence(1.39e6);
+  EXPECT_NE(d.find("324,"), std::string::npos);  // ~324-325k with commas
+  EXPECT_NE(d.find("billion vehicle miles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easyc::util

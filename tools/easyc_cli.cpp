@@ -1,0 +1,248 @@
+// easyc — command-line carbon assessment for one system or a CSV fleet.
+//
+// Single system (the paper's <1 person-hour workflow):
+//   easyc --name=mysystem --country=Germany --year=2024
+//         --processor="AMD EPYC 9654 96C 2.4GHz" --accelerator="NVIDIA H100"
+//         --nodes=256 --gpus=1024 --cpus=512 --memory-gb=196608
+//         --memory-type=DDR5 --ssd-tb=3500 --cores=98304
+//
+// Fleet mode: --fleet=systems.csv with one system per row (columns match
+// the flag names); emits a per-system CSV report to stdout.
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "analysis/audit.hpp"
+#include "analysis/coverage.hpp"
+#include "analysis/scenario.hpp"
+#include "easyc/amortization.hpp"
+#include "easyc/model.hpp"
+#include "top500/import.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+namespace model = easyc::model;
+namespace util = easyc::util;
+
+void declare_flags(util::ArgParser& args) {
+  args.add_flag("name", "system name");
+  args.add_flag("country", "country (grid intensity lookup)");
+  args.add_flag("region", "sub-national grid region (optional refinement)");
+  args.add_flag("year", "operation year (EasyC metric 1)");
+  args.add_flag("processor", "CPU model string as on Top500.org");
+  args.add_flag("accelerator", "accelerator model string (omit if none)");
+  args.add_flag("cores", "total cores");
+  args.add_flag("rmax", "Rmax in TFlop/s");
+  args.add_flag("power-kw", "measured HPL/system power in kW");
+  args.add_flag("nodes", "# compute nodes (metric 2)");
+  args.add_flag("gpus", "# GPUs (metric 3)");
+  args.add_flag("cpus", "# CPU packages (metric 4)");
+  args.add_flag("memory-gb", "total memory capacity, GB (metric 5)");
+  args.add_flag("memory-type", "DDR3/DDR4/DDR5/HBM2/HBM2e/HBM3 (metric 6)");
+  args.add_flag("ssd-tb", "flash capacity, TB (metric 7)");
+  args.add_flag("utilization", "average utilization in (0,1] (optional)");
+  args.add_flag("annual-kwh", "metered annual energy, kWh (optional)");
+  args.add_flag("service-years", "service life for amortization (default 6)");
+  args.add_flag("approximate-accelerators",
+                "substitute mainstream GPUs for unknown accelerators",
+                /*takes_value=*/false);
+  args.add_flag("fleet", "CSV file of systems (columns = flag names)");
+  args.add_flag("top500",
+                "official Top500.org CSV export: audit it, then report "
+                "EasyC coverage and totals over the list");
+  args.add_flag("help", "show usage", /*takes_value=*/false);
+}
+
+model::Inputs inputs_from_getter(
+    const std::function<std::optional<std::string>(const std::string&)>&
+        get) {
+  model::Inputs in;
+  auto str = [&](const char* key) { return get(key).value_or(""); };
+  auto num = [&](const char* key) -> std::optional<double> {
+    auto v = get(key);
+    if (!v || util::trim(*v).empty()) return std::nullopt;
+    auto d = util::parse_double(*v);
+    if (!d) throw util::ParseError(std::string(key) + ": not a number");
+    return d;
+  };
+  in.name = str("name").empty() ? "unnamed-system" : str("name");
+  in.country = str("country");
+  in.region = str("region");
+  in.processor = str("processor");
+  in.accelerator = str("accelerator");
+  if (auto v = num("year")) in.operation_year = static_cast<int>(*v);
+  if (auto v = num("cores")) in.total_cores = static_cast<long long>(*v);
+  if (auto v = num("rmax")) in.rmax_tflops = *v;
+  if (auto v = num("power-kw")) in.power_kw = *v;
+  if (auto v = num("nodes")) in.num_nodes = static_cast<long long>(*v);
+  if (auto v = num("gpus")) in.num_gpus = static_cast<long long>(*v);
+  if (auto v = num("cpus")) in.num_cpus = static_cast<long long>(*v);
+  if (auto v = num("memory-gb")) in.memory_gb = *v;
+  if (auto s = get("memory-type"); s && !util::trim(*s).empty()) {
+    in.memory_type = *s;
+  }
+  if (auto v = num("ssd-tb")) in.ssd_tb = *v;
+  if (auto v = num("utilization")) in.utilization = *v;
+  if (auto v = num("annual-kwh")) in.annual_energy_kwh = *v;
+  return in;
+}
+
+int assess_single(const model::Inputs& in, const model::EasyCOptions& opt,
+                  double service_years) {
+  const model::EasyCModel easyc(opt);
+  const auto a = easyc.assess(in);
+
+  std::printf("system: %s  (%d of 9 EasyC metrics provided)\n",
+              in.name.c_str(), 9 - in.num_missing());
+  if (a.operational.ok()) {
+    const auto& op = a.operational.value();
+    std::printf("operational: %s MT CO2e/yr  [%s, PUE %.2f, %s g/kWh]\n",
+                util::format_double(op.mt_co2e, 1).c_str(),
+                model::energy_path_name(op.path).c_str(), op.pue,
+                util::format_double(op.aci_g_kwh, 0).c_str());
+  } else {
+    std::printf("operational: no estimate — %s\n",
+                a.operational.reasons_joined().c_str());
+  }
+  if (a.embodied.ok()) {
+    const auto& b = a.embodied.value();
+    std::printf("embodied:    %s MT CO2e  [cpu %s, gpu %s, dram %s, flash "
+                "%s, platform %s, fabric %s]\n",
+                util::format_double(b.total_mt, 1).c_str(),
+                util::format_double(b.cpu_mt, 1).c_str(),
+                util::format_double(b.gpu_mt, 1).c_str(),
+                util::format_double(b.memory_mt, 1).c_str(),
+                util::format_double(b.storage_mt, 1).c_str(),
+                util::format_double(b.platform_mt, 1).c_str(),
+                util::format_double(b.interconnect_mt, 1).c_str());
+  } else {
+    std::printf("embodied:    no estimate — %s\n",
+                a.embodied.reasons_joined().c_str());
+  }
+  if (a.operational.ok() && a.embodied.ok()) {
+    const auto f = model::annualize(a.operational.value(),
+                                    a.embodied.value(), {service_years});
+    std::printf("annualized:  %s MT CO2e/yr over %.0f-year life "
+                "(embodied share %.0f%%)\n",
+                util::format_double(f.total_mt, 1).c_str(), service_years,
+                f.embodied_share * 100);
+  }
+  return (a.operational.ok() || a.embodied.ok()) ? 0 : 2;
+}
+
+int assess_fleet(const std::string& path, const model::EasyCOptions& opt) {
+  const auto table = util::CsvTable::read_file(path);
+  const model::EasyCModel easyc(opt);
+
+  util::CsvTable out({"name", "operational_mt_per_yr", "energy_path",
+                      "embodied_mt", "notes"});
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    auto get = [&](const std::string& key) -> std::optional<std::string> {
+      auto col = table.column(key);
+      if (!col) return std::nullopt;
+      return table.cell(row, *col);
+    };
+    const auto in = inputs_from_getter(get);
+    const auto a = easyc.assess(in);
+    out.add_row(
+        {in.name,
+         a.operational.ok()
+             ? util::format_double(a.operational.value().mt_co2e, 2)
+             : "",
+         a.operational.ok()
+             ? model::energy_path_name(a.operational.value().path)
+             : "",
+         a.embodied.ok()
+             ? util::format_double(a.embodied.value().total_mt, 2)
+             : "",
+         a.operational.ok() && a.embodied.ok()
+             ? ""
+             : (a.operational.reasons_joined() + " " +
+                a.embodied.reasons_joined())});
+  }
+  std::fputs(out.to_string().c_str(), stdout);
+  return 0;
+}
+
+int assess_top500_export(const std::string& path,
+                         const model::EasyCOptions& opt) {
+  const auto imported = easyc::top500::import_top500_file(path);
+  std::printf("imported %d systems (%d with power, %d accelerated)\n",
+              imported.stats.systems, imported.stats.with_power,
+              imported.stats.with_accelerator);
+  for (const auto& w : imported.stats.warnings) {
+    std::printf("  warn: %s\n", w.c_str());
+  }
+
+  const auto audit = easyc::analysis::audit_records(imported.records);
+  std::fputs(easyc::analysis::render_audit(audit).c_str(), stdout);
+  if (audit.errors > 0) {
+    std::fprintf(stderr, "refusing to assess a structurally broken list\n");
+    return 2;
+  }
+
+  auto assessments = easyc::analysis::assess_scenario(
+      imported.records, easyc::top500::Scenario::kTop500Org);
+  // Re-apply caller policy (assess_scenario uses baseline defaults).
+  if (opt.embodied.accelerator_policy !=
+      model::AcceleratorPolicy::kStrict) {
+    std::vector<model::Inputs> inputs;
+    for (const auto& r : imported.records) {
+      inputs.push_back(
+          to_inputs(r, easyc::top500::Scenario::kTop500Org));
+    }
+    assessments = model::EasyCModel(opt).assess_all(inputs);
+  }
+  const auto coverage = easyc::analysis::count_coverage(assessments);
+  double op = 0.0, emb = 0.0;
+  for (const auto& a : assessments) {
+    if (a.operational.ok()) op += a.operational.value().mt_co2e;
+    if (a.embodied.ok()) emb += a.embodied.value().total_mt;
+  }
+  std::printf("coverage: operational %d/%d, embodied %d/%d\n",
+              coverage.operational, coverage.total, coverage.embodied,
+              coverage.total);
+  std::printf("totals over covered systems: %s MT CO2e/yr operational, "
+              "%s MT embodied\n",
+              util::format_double(op, 0).c_str(),
+              util::format_double(emb, 0).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "easyc — carbon-footprint assessment from a few key metrics "
+      "(EasyC model)");
+  declare_flags(args);
+  try {
+    args.parse(argc, argv);
+    if (args.has("help") || argc == 1) {
+      std::fputs(args.usage(argv[0]).c_str(), stdout);
+      return 0;
+    }
+    model::EasyCOptions opt;
+    if (args.has("approximate-accelerators")) {
+      opt.embodied.accelerator_policy =
+          model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+    }
+    if (auto export_path = args.get("top500")) {
+      return assess_top500_export(*export_path, opt);
+    }
+    if (auto fleet = args.get("fleet")) {
+      return assess_fleet(*fleet, opt);
+    }
+    const auto in = inputs_from_getter(
+        [&](const std::string& key) { return args.get(key); });
+    return assess_single(in, opt,
+                         args.get_double("service-years").value_or(6.0));
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
