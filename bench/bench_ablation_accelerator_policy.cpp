@@ -31,7 +31,7 @@ std::string ablation_report() {
     opt.embodied.accelerator_policy = policy;
     int covered = 0;
     for (const auto& rec : r.records) {
-      auto in = to_inputs(rec, easyc::top500::Scenario::kTop500PlusPublic);
+      auto in = to_inputs(rec, easyc::top500::DataVisibility::kTop500PlusPublic);
       if (model::assess_embodied(in, opt.embodied).ok()) ++covered;
     }
     cov.add_row({policy == model::AcceleratorPolicy::kStrict
@@ -48,7 +48,7 @@ std::string ablation_report() {
   approx.accelerator_policy =
       model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
   for (const auto& rec : r.records) {
-    auto in = to_inputs(rec, easyc::top500::Scenario::kFullKnowledge);
+    auto in = to_inputs(rec, easyc::top500::DataVisibility::kFullKnowledge);
     if (!in.has_accelerator() || !in.num_gpus) continue;
     if (!easyc::hw::find_accelerator(in.accelerator)) continue;
     const auto exact = model::assess_embodied(in, approx);
@@ -78,7 +78,7 @@ void BM_StrictVsApproximate(benchmark::State& state) {
           ? model::AcceleratorPolicy::kStrict
           : model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
   auto in = to_inputs(r.records[0],
-                      easyc::top500::Scenario::kTop500PlusPublic);
+                      easyc::top500::DataVisibility::kTop500PlusPublic);
   for (auto _ : state) {
     auto b = model::assess_embodied(in, opt);
     benchmark::DoNotOptimize(&b);

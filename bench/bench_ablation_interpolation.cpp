@@ -40,7 +40,7 @@ std::string ablation_report() {
 
   InterpolationOptions paper_opt;  // 5 per side, mean
   const double ref_emb = easyc::util::sum(
-      easyc::analysis::interpolate_gaps(r.enhanced.embodied, paper_opt)
+      easyc::analysis::interpolate_gaps(r.enhanced().embodied, paper_opt)
           .values);
 
   for (auto strategy :
@@ -51,10 +51,10 @@ std::string ablation_report() {
       opt.strategy = strategy;
       opt.peers_per_side = peers;
       const double op = easyc::util::sum(
-          easyc::analysis::interpolate_gaps(r.enhanced.operational, opt)
+          easyc::analysis::interpolate_gaps(r.enhanced().operational, opt)
               .values);
       const double emb = easyc::util::sum(
-          easyc::analysis::interpolate_gaps(r.enhanced.embodied, opt)
+          easyc::analysis::interpolate_gaps(r.enhanced().embodied, opt)
               .values);
       t.add_row({strategy_name(strategy), std::to_string(peers),
                  easyc::util::format_double(op / 1000.0, 1),
@@ -77,7 +77,7 @@ void BM_Interpolate_Window(benchmark::State& state) {
   InterpolationOptions opt;
   opt.peers_per_side = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    auto filled = easyc::analysis::interpolate_gaps(r.enhanced.embodied, opt);
+    auto filled = easyc::analysis::interpolate_gaps(r.enhanced().embodied, opt);
     benchmark::DoNotOptimize(filled.values.data());
   }
 }

@@ -23,7 +23,7 @@ namespace model = easyc::model;
 std::vector<model::Inputs> full_inputs() {
   std::vector<model::Inputs> out;
   for (const auto& rec : shared_pipeline().records) {
-    out.push_back(to_inputs(rec, easyc::top500::Scenario::kFullKnowledge));
+    out.push_back(to_inputs(rec, easyc::top500::DataVisibility::kFullKnowledge));
   }
   return out;
 }

@@ -23,7 +23,7 @@ std::vector<model::Inputs> enhanced_inputs() {
   std::vector<model::Inputs> inputs;
   for (const auto& rec : r.records) {
     inputs.push_back(
-        to_inputs(rec, easyc::top500::Scenario::kTop500PlusPublic));
+        to_inputs(rec, easyc::top500::DataVisibility::kTop500PlusPublic));
   }
   return inputs;
 }
@@ -33,7 +33,7 @@ std::string ablation_report() {
       "Ablation — Monte-Carlo uncertainty of the fleet totals\n";
   const auto inputs = enhanced_inputs();
   const auto options =
-      easyc::analysis::options_for(easyc::top500::Scenario::kTop500PlusPublic);
+      easyc::analysis::scenarios::enhanced().to_options();
 
   easyc::util::TextTable t({"Trials", "Op mean (kMT)", "Op p05-p95 (kMT)",
                             "Emb mean (kMT)", "Emb p05-p95 (kMT)"});
@@ -77,7 +77,7 @@ std::string ablation_report() {
 void BM_Uncertainty_Trials(benchmark::State& state) {
   static const auto inputs = enhanced_inputs();
   const auto options =
-      easyc::analysis::options_for(easyc::top500::Scenario::kTop500PlusPublic);
+      easyc::analysis::scenarios::enhanced().to_options();
   for (auto _ : state) {
     auto u = model::run_uncertainty(inputs, options, {},
                                     static_cast<size_t>(state.range(0)),

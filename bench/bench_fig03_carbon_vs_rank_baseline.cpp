@@ -9,9 +9,9 @@ using easyc::bench::shared_pipeline;
 
 void BM_AssessBaselineScenario(benchmark::State& state) {
   const auto& r = shared_pipeline();
+  const auto spec = easyc::analysis::scenarios::baseline();
   for (auto _ : state) {
-    auto a = easyc::analysis::assess_scenario(
-        r.records, easyc::top500::Scenario::kTop500Org);
+    auto a = easyc::analysis::assess_scenario(r.records, spec);
     benchmark::DoNotOptimize(a.data());
   }
 }
@@ -20,7 +20,7 @@ BENCHMARK(BM_AssessBaselineScenario)->Unit(benchmark::kMillisecond);
 void BM_AssessSingleSystem(benchmark::State& state) {
   const auto& r = shared_pipeline();
   const auto in = easyc::top500::to_inputs(
-      r.records[1], easyc::top500::Scenario::kTop500Org);  // Frontier
+      r.records[1], easyc::top500::DataVisibility::kTop500Org);  // Frontier
   const easyc::model::EasyCModel model;
   for (auto _ : state) {
     auto a = model.assess(in);

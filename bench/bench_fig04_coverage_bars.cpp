@@ -12,7 +12,7 @@ using easyc::bench::shared_pipeline;
 void BM_CountCoverage(benchmark::State& state) {
   const auto& r = shared_pipeline();
   for (auto _ : state) {
-    auto c = easyc::analysis::count_coverage(r.enhanced.assessments);
+    auto c = easyc::analysis::count_coverage(r.enhanced().assessments);
     benchmark::DoNotOptimize(&c);
   }
 }

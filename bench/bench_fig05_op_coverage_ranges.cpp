@@ -11,7 +11,7 @@ void BM_CoverageByRange(benchmark::State& state) {
   const auto& r = shared_pipeline();
   for (auto _ : state) {
     auto ranges = easyc::analysis::coverage_by_range(
-        r.records, r.baseline.assessments, /*operational_side=*/true);
+        r.records, r.baseline().assessments, /*operational_side=*/true);
     benchmark::DoNotOptimize(ranges.data());
   }
 }

@@ -12,7 +12,7 @@ void BM_EmbodiedCoverageByRange(benchmark::State& state) {
   const auto& r = shared_pipeline();
   for (auto _ : state) {
     auto ranges = easyc::analysis::coverage_by_range(
-        r.records, r.enhanced.assessments, /*operational_side=*/false);
+        r.records, r.enhanced().assessments, /*operational_side=*/false);
     benchmark::DoNotOptimize(ranges.data());
   }
 }
@@ -21,7 +21,7 @@ BENCHMARK(BM_EmbodiedCoverageByRange);
 void BM_EmbodiedSingleAssessment(benchmark::State& state) {
   const auto& r = shared_pipeline();
   const auto in = easyc::top500::to_inputs(
-      r.records[0], easyc::top500::Scenario::kTop500PlusPublic);
+      r.records[0], easyc::top500::DataVisibility::kTop500PlusPublic);
   for (auto _ : state) {
     auto b = easyc::model::assess_embodied(in);
     benchmark::DoNotOptimize(&b);

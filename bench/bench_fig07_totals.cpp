@@ -12,7 +12,7 @@ using easyc::bench::shared_pipeline;
 void BM_InterpolateGaps(benchmark::State& state) {
   const auto& r = shared_pipeline();
   for (auto _ : state) {
-    auto filled = easyc::analysis::interpolate_gaps(r.enhanced.embodied);
+    auto filled = easyc::analysis::interpolate_gaps(r.enhanced().embodied);
     benchmark::DoNotOptimize(filled.values.data());
   }
 }

@@ -1,0 +1,49 @@
+// Scenario engine — assess the paper pair plus registered what-if
+// scenarios concurrently and measure how the engine scales with the
+// number of registered scenarios.
+//
+// The what-ifs are the knobs procurement studies keep asking for:
+// a renewables-heavy grid, an extended 8-year amortization life, and
+// declining to proxy unknown accelerators.
+#include "bench/common.hpp"
+
+#include "analysis/scenario.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+namespace analysis = easyc::analysis;
+
+std::string engine_report() {
+  analysis::PipelineConfig cfg;
+  cfg.scenarios = analysis::ScenarioSet::paper_with_whatifs();
+  const auto r = analysis::run_pipeline(cfg);
+
+  std::string out = "Scenario engine — registered what-if scenarios\n";
+  out += easyc::report::scenario_summary(r);
+  out += "  renewables-grid shrinks the operational total; extended "
+         "lifetime shrinks the annualized\n  total; strict accelerator "
+         "handling gives up embodied coverage. All scenarios share one\n"
+         "  record list and run concurrently on the pool.\n";
+  return out;
+}
+
+void BM_Engine_ScenarioCount(benchmark::State& state) {
+  const auto all = analysis::ScenarioSet::paper_with_whatifs();
+  analysis::ScenarioSet set;
+  for (size_t i = 0; i < static_cast<size_t>(state.range(0)); ++i) {
+    set.add(all.specs()[i]);
+  }
+  analysis::PipelineConfig cfg;
+  cfg.scenarios = set;
+  for (auto _ : state) {
+    auto r = analysis::run_pipeline(cfg);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_Engine_ScenarioCount)->Arg(2)->Arg(3)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(engine_report())

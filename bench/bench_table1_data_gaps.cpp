@@ -12,9 +12,9 @@ void BM_Table1Audit(benchmark::State& state) {
   const auto& r = shared_pipeline();
   for (auto _ : state) {
     auto t500 = easyc::analysis::table1_gaps(
-        r.records, easyc::top500::Scenario::kTop500Org);
+        r.records, easyc::top500::DataVisibility::kTop500Org);
     auto pub = easyc::analysis::table1_gaps(
-        r.records, easyc::top500::Scenario::kTop500PlusPublic);
+        r.records, easyc::top500::DataVisibility::kTop500PlusPublic);
     benchmark::DoNotOptimize(t500.data());
     benchmark::DoNotOptimize(pub.data());
   }

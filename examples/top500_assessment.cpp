@@ -1,7 +1,9 @@
 // The paper's full pipeline: assess the Top500's carbon footprint.
 //
-// Generates the November-2024-calibrated list, runs EasyC under both
-// data scenarios, interpolates the remainder, prints the headline
+// Generates the November-2024-calibrated list, runs EasyC under the
+// paper's two data scenarios plus three registered what-if scenarios
+// (renewables-heavy grid, 8-year amortization, no accelerator
+// approximation), interpolates the remainder, prints the headline
 // assessment, and writes the dataset + per-figure CSVs for downstream
 // analysis.
 //
@@ -11,6 +13,7 @@
 #include <string>
 
 #include "analysis/pipeline.hpp"
+#include "analysis/scenario.hpp"
 #include "analysis/sensitivity.hpp"
 #include "report/experiments.hpp"
 #include "top500/record.hpp"
@@ -20,9 +23,12 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
 
   std::printf("Running the Top500 carbon assessment pipeline...\n\n");
-  const auto result = easyc::analysis::run_pipeline();
+  easyc::analysis::PipelineConfig cfg;
+  cfg.scenarios = easyc::analysis::ScenarioSet::paper_with_whatifs();
+  const auto result = easyc::analysis::run_pipeline(cfg);
 
   std::printf("%s\n", easyc::report::headline_numbers(result).c_str());
+  std::printf("%s\n", easyc::report::scenario_summary(result).c_str());
   std::printf("%s\n", easyc::report::fig04_coverage_bars(result).c_str());
   std::printf("%s\n", easyc::report::fig07_totals(result).c_str());
   std::printf("%s\n",

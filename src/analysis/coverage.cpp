@@ -59,16 +59,14 @@ std::vector<RangeCoverage> coverage_by_range(
 
 std::vector<MetricGap> table1_gaps(
     const std::vector<top500::SystemRecord>& records,
-    top500::Scenario scenario) {
+    top500::DataVisibility visibility) {
   using model::Metric;
   std::vector<MetricGap> out;
   for (Metric m : model::all_metrics()) {
     MetricGap gap;
     gap.metric = m;
     for (const auto& r : records) {
-      const top500::Disclosure& d = scenario == top500::Scenario::kTop500Org
-                                        ? r.top500
-                                        : r.with_public;
+      const top500::Disclosure& d = top500::disclosure_for(r, visibility);
       bool present = true;
       switch (m) {
         case Metric::kOperationYear: present = true; break;

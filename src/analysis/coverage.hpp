@@ -40,15 +40,15 @@ std::vector<RangeCoverage> coverage_by_range(
     const std::vector<model::SystemAssessment>& assessments,
     bool operational_side);
 
-/// Table I: per-metric incompleteness counts for a scenario, using each
-/// record's disclosure mask.
+/// Table I: per-metric incompleteness counts for a data-visibility
+/// level, using each record's disclosure mask.
 struct MetricGap {
   model::Metric metric;
   int systems_incomplete = 0;
 };
 std::vector<MetricGap> table1_gaps(
     const std::vector<top500::SystemRecord>& records,
-    top500::Scenario scenario);
+    top500::DataVisibility visibility);
 
 /// Fig. 2: histogram of systems by number of missing Top500.org data
 /// items. Index 0 is the 'None' (complete) bucket; index k>0 counts

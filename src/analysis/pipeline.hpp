@@ -1,14 +1,23 @@
 // End-to-end assessment pipeline: the computation behind every figure
 // and table in the paper's evaluation section, run once and shared by
 // the benchmark harness, examples, and integration tests.
+//
+// The pipeline is a scenario engine: it generates the record list once,
+// then assesses every scenario registered in the config's ScenarioSet
+// concurrently over one thread pool (the per-visibility model inputs are
+// computed once and shared read-only across scenarios). The paper's two
+// scenarios are always present; examples and benches register arbitrary
+// what-if scenarios on top.
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "analysis/coverage.hpp"
 #include "analysis/interpolate.hpp"
 #include "analysis/projection.hpp"
+#include "analysis/scenario.hpp"
 #include "easyc/model.hpp"
 #include "top500/generator.hpp"
 #include "top500/record.hpp"
@@ -20,7 +29,7 @@ namespace easyc::analysis {
 using CarbonSeries = std::vector<std::optional<double>>;
 
 struct ScenarioResults {
-  top500::Scenario scenario;
+  ScenarioSpec spec;
   std::vector<model::SystemAssessment> assessments;
   CarbonSeries operational;  ///< MT CO2e, rank order
   CarbonSeries embodied;
@@ -28,14 +37,27 @@ struct ScenarioResults {
 
   double total(bool operational_side) const;   ///< sum of covered systems
   double average(bool operational_side) const; ///< mean over covered
+  /// Covered operational total plus covered embodied total amortized
+  /// over the spec's service life (MT CO2e per year).
+  double annualized_total_mt() const;
 };
 
 struct PipelineResult {
   std::vector<top500::SystemRecord> records;
   std::vector<top500::AccessCategory> categories;
 
-  ScenarioResults baseline;   ///< Top500.org data only
-  ScenarioResults enhanced;   ///< + public info
+  /// One entry per registered scenario, in registration order. The
+  /// paper's pair is always present (see PipelineConfig::scenarios).
+  std::vector<ScenarioResults> scenarios;
+
+  /// Keyed access. `scenario` throws util::Error for an unknown name;
+  /// `find_scenario` returns nullptr instead.
+  const ScenarioResults& scenario(std::string_view name) const;
+  const ScenarioResults* find_scenario(std::string_view name) const;
+
+  /// The paper's figures: Top500.org data only / + public info.
+  const ScenarioResults& baseline() const;
+  const ScenarioResults& enhanced() const;
 
   /// Full-500 series: enhanced coverage completed by interpolation.
   InterpolationResult op_interpolated;
@@ -53,10 +75,24 @@ struct PipelineConfig {
   top500::GeneratorConfig generator;
   InterpolationOptions interpolation;
   ProjectionConfig projection;
+  /// Scenarios to assess. An empty set means ScenarioSet::paper(); the
+  /// paper's baseline/enhanced are appended if missing, because the
+  /// interpolation, totals, and projection stages derive from enhanced.
+  ScenarioSet scenarios;
+  /// Pool the engine runs on; null = the process-global pool. Results
+  /// are bit-identical for every pool size.
+  par::ThreadPool* pool = nullptr;
 };
 
 /// Run everything. Deterministic for a given config.
 PipelineResult run_pipeline(const PipelineConfig& config = {});
+
+/// Assess one scenario over a record list and finalize it the same way
+/// the engine does (assessments + carbon series + coverage). For
+/// callers outside run_pipeline, e.g. the CLI's --top500 mode.
+ScenarioResults assess_one_scenario(
+    const std::vector<top500::SystemRecord>& records,
+    const ScenarioSpec& spec, par::ThreadPool* pool = nullptr);
 
 /// Extract a CarbonSeries from assessments.
 CarbonSeries operational_series(

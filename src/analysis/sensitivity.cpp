@@ -27,22 +27,28 @@ std::vector<SystemDelta> deltas(const std::vector<top500::SystemRecord>& recs,
 
 }  // namespace
 
-SensitivityReport sensitivity(const PipelineResult& r) {
+SensitivityReport sensitivity(
+    const std::vector<top500::SystemRecord>& records,
+    const ScenarioResults& base, const ScenarioResults& enh) {
   SensitivityReport s;
-  s.operational = deltas(r.records, r.baseline.operational,
-                         r.enhanced.operational, &s.op_max_abs_pct);
-  s.embodied = deltas(r.records, r.baseline.embodied, r.enhanced.embodied,
-                      &s.emb_max_abs_pct);
+  s.operational = deltas(records, base.operational, enh.operational,
+                         &s.op_max_abs_pct);
+  s.embodied =
+      deltas(records, base.embodied, enh.embodied, &s.emb_max_abs_pct);
 
-  s.op_total_baseline_mt = r.baseline.total(true);
-  s.op_total_enhanced_mt = r.enhanced.total(true);
-  s.emb_total_baseline_mt = r.baseline.total(false);
-  s.emb_total_enhanced_mt = r.enhanced.total(false);
+  s.op_total_baseline_mt = base.total(true);
+  s.op_total_enhanced_mt = enh.total(true);
+  s.emb_total_baseline_mt = base.total(false);
+  s.emb_total_enhanced_mt = enh.total(false);
   s.op_total_pct =
       util::pct_change(s.op_total_baseline_mt, s.op_total_enhanced_mt);
   s.emb_total_pct =
       util::pct_change(s.emb_total_baseline_mt, s.emb_total_enhanced_mt);
   return s;
+}
+
+SensitivityReport sensitivity(const PipelineResult& r) {
+  return sensitivity(r.records, r.baseline(), r.enhanced());
 }
 
 }  // namespace easyc::analysis

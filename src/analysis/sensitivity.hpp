@@ -37,6 +37,14 @@ struct SensitivityReport {
   double emb_total_pct = 0.0;
 };
 
+/// Compare any two scenarios assessed over the same record list (the
+/// generalized Fig.-9 machinery; `base` plays Baseline, `enh` plays
+/// Baseline+PublicInfo).
+SensitivityReport sensitivity(
+    const std::vector<top500::SystemRecord>& records,
+    const ScenarioResults& base, const ScenarioResults& enh);
+
+/// The paper's Fig. 9: baseline vs enhanced.
 SensitivityReport sensitivity(const PipelineResult& result);
 
 }  // namespace easyc::analysis

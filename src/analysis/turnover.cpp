@@ -23,8 +23,8 @@ TurnoverReport analyze_turnover(
     fp.label = edition.label;
     fp.num_new = edition.num_new;
 
-    const auto assessments = assess_scenario(
-        edition.records, top500::Scenario::kTop500PlusPublic);
+    const auto assessments =
+        assess_scenario(edition.records, scenarios::enhanced());
     const auto op = interpolate_gaps(operational_series(assessments));
     const auto emb = interpolate_gaps(embodied_series(assessments));
     fp.op_total_mt = util::sum(op.values);

@@ -13,9 +13,10 @@ SystemAssessment EasyCModel::assess(const Inputs& inputs) const {
 }
 
 std::vector<SystemAssessment> EasyCModel::assess_all(
-    const std::vector<Inputs>& inputs) const {
+    const std::vector<Inputs>& inputs, par::ThreadPool* pool) const {
   std::vector<SystemAssessment> out(inputs.size());
-  par::parallel_for(0, inputs.size(),
+  par::parallel_for(pool ? *pool : par::ThreadPool::global(), 0,
+                    inputs.size(),
                     [&](size_t i) { out[i] = assess(inputs[i]); });
   return out;
 }

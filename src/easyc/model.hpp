@@ -12,6 +12,10 @@
 #include "easyc/inputs.hpp"
 #include "easyc/operational.hpp"
 
+namespace easyc::par {
+class ThreadPool;
+}
+
 namespace easyc::model {
 
 struct EasyCOptions {
@@ -43,9 +47,11 @@ class EasyCModel {
   SystemAssessment assess(const Inputs& inputs) const;
 
   /// Assess a fleet. When `pool` is non-null the sweep is parallelized
-  /// across it; results are index-stable either way.
+  /// across it (otherwise across the process-global pool); results are
+  /// index-stable and bit-identical either way.
   std::vector<SystemAssessment> assess_all(
-      const std::vector<Inputs>& inputs) const;
+      const std::vector<Inputs>& inputs,
+      par::ThreadPool* pool = nullptr) const;
 
  private:
   EasyCOptions options_;

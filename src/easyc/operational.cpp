@@ -119,7 +119,10 @@ Outcome<OperationalResult> assess_operational(
   std::vector<std::string> reasons;
 
   // --- grid intensity ---
-  const auto aci = options.aci->best_aci(in.country, in.region);
+  const bool aci_overridden = options.aci_override_g_kwh.has_value();
+  const auto aci = aci_overridden
+                       ? options.aci_override_g_kwh
+                       : options.aci->best_aci(in.country, in.region);
   if (!aci) {
     reasons.push_back("no grid carbon intensity for country '" + in.country +
                       "'");
@@ -158,8 +161,8 @@ Outcome<OperationalResult> assess_operational(
     } else {
       r.path = it->path;
       r.it_kw = it->kw;
-      r.pue = grid::default_pue(grid::infer_facility_class(it->kw, year),
-                                year);
+      r.pue = options.pue_override.value_or(grid::default_pue(
+          grid::infer_facility_class(it->kw, year), year));
       r.annual_kwh = util::kw_year_to_kwh(it->kw * util) * r.pue;
     }
   }
@@ -170,6 +173,7 @@ Outcome<OperationalResult> assess_operational(
 
   r.aci_g_kwh = *aci;
   r.aci_region_refined =
+      !aci_overridden &&
       options.aci->region_aci(in.country, in.region).has_value();
   r.mt_co2e = util::kwh_to_mtco2e(r.annual_kwh, r.aci_g_kwh);
   return Outcome<OperationalResult>::success(r);

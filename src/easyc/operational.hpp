@@ -17,6 +17,7 @@
 // that is the uncovered population of paper Figs. 4-5.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "easyc/inputs.hpp"
@@ -56,6 +57,15 @@ struct OperationalOptions {
   /// Power drawn by node components other than CPU/GPU/DRAM (VRM loss,
   /// fans, NIC), as a fraction of compute power.
   double node_overhead_fraction = 0.18;
+  /// What-if override: force this grid intensity (gCO2e/kWh) for every
+  /// system instead of the database lookup (e.g. a renewables-heavy
+  /// fleet-siting scenario). Also rescues systems whose country has no
+  /// database entry.
+  std::optional<double> aci_override_g_kwh;
+  /// What-if override: force this PUE instead of the facility-class
+  /// prior. Not applied on the metered-energy path, which is already
+  /// facility-side.
+  std::optional<double> pue_override;
 };
 
 /// Assess one system. `inputs.validate()` is called; invalid inputs

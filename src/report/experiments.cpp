@@ -48,9 +48,9 @@ std::string coverage_range_report(const analysis::PipelineResult& r,
                                   const char* figure_label) {
   std::string out;
   out += std::string(figure_label) + "\n";
-  auto base = analysis::coverage_by_range(r.records, r.baseline.assessments,
+  auto base = analysis::coverage_by_range(r.records, r.baseline().assessments,
                                           operational_side);
-  auto enh = analysis::coverage_by_range(r.records, r.enhanced.assessments,
+  auto enh = analysis::coverage_by_range(r.records, r.enhanced().assessments,
                                          operational_side);
   util::TextTable t({"Rank range", "Top500.org %", "+public %"});
   for (size_t i = 0; i < base.size(); ++i) {
@@ -82,48 +82,50 @@ std::string fig03_carbon_vs_rank_baseline(const analysis::PipelineResult& r) {
   std::string out =
       "Fig. 3 — Carbon vs rank, Top500.org data only (thousand MT CO2e)\n";
   std::vector<double> xs, ys;
-  covered_points(r.baseline.operational, r.records, &xs, &ys);
+  covered_points(r.baseline().operational, r.records, &xs, &ys);
   out += util::series_plot(xs, ys, 72, 14, "(a) Operational, covered " +
                                                std::to_string(xs.size()) +
                                                "/500");
   xs.clear();
   ys.clear();
-  covered_points(r.baseline.embodied, r.records, &xs, &ys);
+  covered_points(r.baseline().embodied, r.records, &xs, &ys);
   out += util::series_plot(xs, ys, 72, 14, "(b) Embodied, covered " +
                                                std::to_string(xs.size()) +
                                                "/500");
   out += paper_vs("op covered (Top500.org)", P::kOpCoveredTop500,
-                  r.baseline.coverage.operational);
+                  r.baseline().coverage.operational);
   out += paper_vs("emb covered (Top500.org)", P::kEmbCoveredTop500,
-                  r.baseline.coverage.embodied);
+                  r.baseline().coverage.embodied);
   return out;
 }
 
 std::string fig04_coverage_bars(const analysis::PipelineResult& r) {
   std::string out = "Fig. 4 — Carbon footprint reporting coverage\n";
   const auto ghg = analysis::ghg_protocol_coverage(r.records);
+  const auto& base = r.baseline();
+  const auto& enh = r.enhanced();
   out += util::bar_chart(
       {{"GHG protocol", static_cast<double>(ghg.operational)},
        {"EasyC (top500.org)",
-        static_cast<double>(r.baseline.coverage.operational)},
+        static_cast<double>(base.coverage.operational)},
        {"EasyC (+public)",
-        static_cast<double>(r.enhanced.coverage.operational)}},
+        static_cast<double>(enh.coverage.operational)}},
       50, "(a) Operational: number of systems");
   out += util::bar_chart(
       {{"GHG protocol", static_cast<double>(ghg.embodied)},
        {"EasyC (top500.org)",
-        static_cast<double>(r.baseline.coverage.embodied)},
+        static_cast<double>(base.coverage.embodied)},
        {"EasyC (+public)",
-        static_cast<double>(r.enhanced.coverage.embodied)}},
+        static_cast<double>(enh.coverage.embodied)}},
       50, "(b) Embodied: number of systems");
   out += paper_vs("op coverage +public", P::kOpCoveredPublic,
-                  r.enhanced.coverage.operational);
+                  enh.coverage.operational);
   out += paper_vs("emb coverage +public", P::kEmbCoveredPublic,
-                  r.enhanced.coverage.embodied);
+                  enh.coverage.embodied);
   int both = 0;
-  for (size_t i = 0; i < r.baseline.assessments.size(); ++i) {
-    if (r.baseline.assessments[i].operational.ok() &&
-        r.baseline.assessments[i].embodied.ok()) {
+  for (size_t i = 0; i < base.assessments.size(); ++i) {
+    if (base.assessments[i].operational.ok() &&
+        base.assessments[i].embodied.ok()) {
       ++both;
     }
   }
@@ -144,8 +146,8 @@ std::string fig06_emb_coverage_ranges(const analysis::PipelineResult& r) {
 
 std::string fig07_totals(const analysis::PipelineResult& r) {
   std::string out = "Fig. 7 — Total and average carbon footprint\n";
-  const int op_n = r.enhanced.coverage.operational;
-  const int emb_n = r.enhanced.coverage.embodied;
+  const int op_n = r.enhanced().coverage.operational;
+  const int emb_n = r.enhanced().coverage.embodied;
   util::TextTable t({"Set", "Operational (kMT)", "Embodied (kMT)"});
   t.add_row({std::to_string(op_n) + "," + std::to_string(emb_n) + " (Total)",
              format_double(r.op_total_covered_mt / 1000.0, 1),
@@ -268,9 +270,9 @@ std::string table1_data_gaps(const analysis::PipelineResult& r) {
   std::string out =
       "Table I — EasyC-required data unavailable per source\n";
   const auto t500 =
-      analysis::table1_gaps(r.records, top500::Scenario::kTop500Org);
+      analysis::table1_gaps(r.records, top500::DataVisibility::kTop500Org);
   const auto pub =
-      analysis::table1_gaps(r.records, top500::Scenario::kTop500PlusPublic);
+      analysis::table1_gaps(r.records, top500::DataVisibility::kTop500PlusPublic);
   util::TextTable t({"Type", "# Incomplete [Top500.org]",
                      "# Incomplete [Other Public]"});
   for (size_t i = 0; i < t500.size(); ++i) {
@@ -292,6 +294,8 @@ std::string table1_data_gaps(const analysis::PipelineResult& r) {
 
 std::string table2_per_system(const analysis::PipelineResult& r,
                               int max_rows) {
+  const auto& base = r.baseline();
+  const auto& enh = r.enhanced();
   std::string out =
       "Table II — Per-system carbon footprint (MT CO2e) under three data "
       "scenarios\n";
@@ -306,11 +310,11 @@ std::string table2_per_system(const analysis::PipelineResult& r,
   for (int i = 0; i < n; ++i) {
     t.add_row({std::to_string(r.records[i].rank),
                r.records[i].name.empty() ? "(unnamed)" : r.records[i].name,
-               cell(r.baseline.operational[i]),
-               cell(r.enhanced.operational[i]),
+               cell(base.operational[i]),
+               cell(enh.operational[i]),
                format_double(r.op_interpolated.values[i], 0),
-               cell(r.baseline.embodied[i]),
-               cell(r.enhanced.embodied[i]),
+               cell(base.embodied[i]),
+               cell(enh.embodied[i]),
                format_double(r.emb_interpolated.values[i], 0)});
   }
   out += t.render();
@@ -324,25 +328,42 @@ std::string table2_per_system(const analysis::PipelineResult& r,
   };
   const int lumi = find_rank(8);
   const int leo = find_rank(9);
-  if (lumi >= 0 && leo >= 0 && r.enhanced.operational[leo] &&
-      r.enhanced.operational[lumi]) {
+  if (lumi >= 0 && leo >= 0 && enh.operational[leo] &&
+      enh.operational[lumi]) {
     out += paper_vs("Leonardo / LUMI operational factor",
                     P::kLumiVsLeonardoOpFactor,
-                    *r.enhanced.operational[leo] /
-                        *r.enhanced.operational[lumi],
+                    *enh.operational[leo] /
+                        *enh.operational[lumi],
                     2);
   }
   const int frontier = find_rank(2);
   const int elcap = find_rank(1);
-  if (frontier >= 0 && elcap >= 0 && r.enhanced.embodied[frontier] &&
-      r.enhanced.embodied[elcap]) {
+  if (frontier >= 0 && elcap >= 0 && enh.embodied[frontier] &&
+      enh.embodied[elcap]) {
     out += paper_vs("Frontier / El Capitan embodied factor",
                     P::kFrontierVsElCapitanEmbFactor,
-                    *r.enhanced.embodied[frontier] /
-                        *r.enhanced.embodied[elcap],
+                    *enh.embodied[frontier] /
+                        *enh.embodied[elcap],
                     2);
   }
   return out;
+}
+
+std::string scenario_summary(const analysis::PipelineResult& r) {
+  util::TextTable t({"Scenario", "Data visibility", "Op cov", "Emb cov",
+                     "Op total (kMT)", "Emb total (kMT)",
+                     "Annualized (kMT/yr)"});
+  for (const auto& s : r.scenarios) {
+    t.add_row({s.spec.name, top500::visibility_name(s.spec.visibility),
+               std::to_string(s.coverage.operational),
+               std::to_string(s.coverage.embodied),
+               format_double(s.total(true) / 1000.0, 1),
+               format_double(s.total(false) / 1000.0, 1),
+               format_double(s.annualized_total_mt() / 1000.0, 1)});
+  }
+  return "Registered scenarios\n" + t.render() +
+         "  (totals sum each scenario's own covered systems — compare the "
+         "coverage columns\n  before comparing totals across scenarios)\n";
 }
 
 std::string headline_numbers(const analysis::PipelineResult& r) {
@@ -365,6 +386,8 @@ std::string headline_numbers(const analysis::PipelineResult& r) {
 
 std::vector<std::string> write_figure_csvs(const analysis::PipelineResult& r,
                                            const std::string& dir) {
+  const auto& base = r.baseline();
+  const auto& enh = r.enhanced();
   std::vector<std::string> written;
   auto emit = [&](const std::string& name, const util::CsvTable& t) {
     const std::string path = dir + "/" + name;
@@ -389,11 +412,11 @@ std::vector<std::string> write_figure_csvs(const analysis::PipelineResult& r,
     };
     for (size_t i = 0; i < r.records.size(); ++i) {
       t.add_row({std::to_string(r.records[i].rank),
-                 cell(r.baseline.operational[i]),
-                 cell(r.enhanced.operational[i]),
+                 cell(base.operational[i]),
+                 cell(enh.operational[i]),
                  util::format_double(r.op_interpolated.values[i], 2),
-                 cell(r.baseline.embodied[i]),
-                 cell(r.enhanced.embodied[i]),
+                 cell(base.embodied[i]),
+                 cell(enh.embodied[i]),
                  util::format_double(r.emb_interpolated.values[i], 2)});
     }
     emit("table2_per_system.csv", t);
@@ -418,24 +441,24 @@ std::vector<std::string> write_figure_csvs(const analysis::PipelineResult& r,
     t.add_row({"ghg_protocol", std::to_string(ghg.operational),
                std::to_string(ghg.embodied)});
     t.add_row({"easyc_top500org",
-               std::to_string(r.baseline.coverage.operational),
-               std::to_string(r.baseline.coverage.embodied)});
+               std::to_string(base.coverage.operational),
+               std::to_string(base.coverage.embodied)});
     t.add_row({"easyc_plus_public",
-               std::to_string(r.enhanced.coverage.operational),
-               std::to_string(r.enhanced.coverage.embodied)});
+               std::to_string(enh.coverage.operational),
+               std::to_string(enh.coverage.embodied)});
     emit("fig04_coverage.csv", t);
   }
   {
     util::CsvTable t({"rank_range", "op_t500_pct", "op_public_pct",
                       "emb_t500_pct", "emb_public_pct"});
     const auto op_base =
-        analysis::coverage_by_range(r.records, r.baseline.assessments, true);
+        analysis::coverage_by_range(r.records, base.assessments, true);
     const auto op_enh =
-        analysis::coverage_by_range(r.records, r.enhanced.assessments, true);
+        analysis::coverage_by_range(r.records, enh.assessments, true);
     const auto emb_base =
-        analysis::coverage_by_range(r.records, r.baseline.assessments, false);
+        analysis::coverage_by_range(r.records, base.assessments, false);
     const auto emb_enh =
-        analysis::coverage_by_range(r.records, r.enhanced.assessments, false);
+        analysis::coverage_by_range(r.records, enh.assessments, false);
     for (size_t i = 0; i < op_base.size(); ++i) {
       t.add_row({op_base[i].range.label(),
                  util::format_double(op_base[i].covered_pct, 2),

@@ -27,6 +27,10 @@ std::string table1_data_gaps(const analysis::PipelineResult& r);
 std::string table2_per_system(const analysis::PipelineResult& r,
                               int max_rows = 40);
 std::string headline_numbers(const analysis::PipelineResult& r);
+/// Per-scenario coverage/totals table over every registered scenario —
+/// the part of the report the closed two-scenario pipeline could not
+/// produce.
+std::string scenario_summary(const analysis::PipelineResult& r);
 
 /// Dump machine-readable figure data as CSV files under `dir`
 /// (created by the caller). Returns the list of files written.

@@ -5,11 +5,11 @@
 
 namespace easyc::top500 {
 
-std::string scenario_name(Scenario s) {
-  switch (s) {
-    case Scenario::kTop500Org: return "Top500.org";
-    case Scenario::kTop500PlusPublic: return "Top500.org + public info";
-    case Scenario::kFullKnowledge: return "full knowledge";
+std::string visibility_name(DataVisibility v) {
+  switch (v) {
+    case DataVisibility::kTop500Org: return "Top500.org";
+    case DataVisibility::kTop500PlusPublic: return "Top500.org + public info";
+    case DataVisibility::kFullKnowledge: return "full knowledge";
   }
   return "unknown";
 }
@@ -35,7 +35,24 @@ int SystemRecord::num_items_missing() const {
   return n;
 }
 
-model::Inputs to_inputs(const SystemRecord& r, Scenario scenario) {
+const Disclosure& disclosure_for(const SystemRecord& r,
+                                 DataVisibility visibility) {
+  switch (visibility) {
+    case DataVisibility::kTop500Org: return r.top500;
+    case DataVisibility::kTop500PlusPublic: return r.with_public;
+    case DataVisibility::kFullKnowledge: break;
+  }
+  static const Disclosure kEverything = [] {
+    Disclosure d;
+    d.power = d.nodes = d.gpus = d.memory = d.memory_type = d.ssd = true;
+    d.utilization = d.annual_energy = d.region = true;
+    d.processor_identity = d.accelerator_identity = true;
+    return d;
+  }();
+  return kEverything;
+}
+
+model::Inputs to_inputs(const SystemRecord& r, DataVisibility visibility) {
   model::Inputs in;
   in.name = r.name;
   in.country = r.country;
@@ -46,28 +63,9 @@ model::Inputs to_inputs(const SystemRecord& r, Scenario scenario) {
   in.accelerator = r.accelerator;
   in.operation_year = r.year;  // Table I: operation year never missing
 
-  if (scenario == Scenario::kFullKnowledge) {
-    in.region = r.truth.region;
-    if (!r.processor_public.empty()) in.processor = r.processor_public;
-    if (!r.accelerator_public.empty()) in.accelerator = r.accelerator_public;
-    if (r.truth.power_kw > 0) in.power_kw = r.truth.power_kw;
-    in.num_nodes = r.truth.nodes;
-    if (r.is_accelerated()) in.num_gpus = r.truth.gpus;
-    in.num_cpus = r.truth.cpus;
-    if (r.truth.memory_gb > 0) in.memory_gb = r.truth.memory_gb;
-    if (!r.truth.memory_type.empty()) in.memory_type = r.truth.memory_type;
-    if (r.truth.ssd_tb > 0) in.ssd_tb = r.truth.ssd_tb;
-    in.utilization = r.truth.utilization;
-    if (r.truth.annual_energy_kwh > 0) {
-      in.annual_energy_kwh = r.truth.annual_energy_kwh;
-    }
-    return in;
-  }
+  const Disclosure& d = disclosure_for(r, visibility);
 
-  const Disclosure& d =
-      scenario == Scenario::kTop500Org ? r.top500 : r.with_public;
-
-  if (scenario == Scenario::kTop500PlusPublic) {
+  if (visibility != DataVisibility::kTop500Org) {
     if (d.processor_identity && !r.processor_public.empty()) {
       in.processor = r.processor_public;
     }
@@ -77,18 +75,25 @@ model::Inputs to_inputs(const SystemRecord& r, Scenario scenario) {
     if (d.region) in.region = r.truth.region;
   }
 
+  // Disclosed-but-unset ground truth (e.g. imported real-world exports,
+  // which carry no truth at all) stays missing rather than feeding
+  // validate()-rejected zeros into the model.
   if (d.power && r.truth.power_kw > 0) in.power_kw = r.truth.power_kw;
-  if (d.nodes) in.num_nodes = r.truth.nodes;
-  if (d.gpus && r.is_accelerated()) in.num_gpus = r.truth.gpus;
+  if (d.nodes && r.truth.nodes > 0) in.num_nodes = r.truth.nodes;
+  if (d.gpus && r.is_accelerated() && r.truth.gpus > 0) {
+    in.num_gpus = r.truth.gpus;
+  }
   // "# of CPUs" is never missing (paper Table I): package counts are
   // derivable from total cores + sockets for every listed system.
-  in.num_cpus = r.truth.cpus;
+  if (r.truth.cpus > 0) in.num_cpus = r.truth.cpus;
   if (d.memory && r.truth.memory_gb > 0) in.memory_gb = r.truth.memory_gb;
   if (d.memory_type && !r.truth.memory_type.empty()) {
     in.memory_type = r.truth.memory_type;
   }
   if (d.ssd && r.truth.ssd_tb > 0) in.ssd_tb = r.truth.ssd_tb;
-  if (d.utilization) in.utilization = r.truth.utilization;
+  if (d.utilization && r.truth.utilization > 0) {
+    in.utilization = r.truth.utilization;
+  }
   if (d.annual_energy && r.truth.annual_energy_kwh > 0) {
     in.annual_energy_kwh = r.truth.annual_energy_kwh;
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,14 +26,30 @@
 
 namespace easyc::top500 {
 
-/// Data-input scenarios from the paper.
-enum class Scenario {
+/// Which data sources a scenario may read. This is the record-layer half
+/// of a scenario: it selects a disclosure mask (or the ground truth).
+/// Model-side policy (accelerator fallback, grid/PUE/lifetime overrides)
+/// lives in analysis::ScenarioSpec, which composes with a visibility.
+enum class DataVisibility {
   kTop500Org,        ///< Baseline: Top500.org fields only
   kTop500PlusPublic, ///< Baseline + other public web sources
   kFullKnowledge,    ///< everything (ground truth; upper bound, not in paper)
 };
 
-std::string scenario_name(Scenario s);
+/// Number of visibility levels; keep in sync with the enum (per-level
+/// caches size their storage from this).
+inline constexpr size_t kNumDataVisibilities =
+    static_cast<size_t>(DataVisibility::kFullKnowledge) + 1;
+
+std::string visibility_name(DataVisibility v);
+
+/// Compatibility shim for the pre-engine API, where the closed enum was
+/// the whole scenario concept. New code should name DataVisibility (and
+/// build scenarios as analysis::ScenarioSpec).
+using Scenario = DataVisibility;
+inline std::string scenario_name(DataVisibility v) {
+  return visibility_name(v);
+}
 
 /// Per-source availability of each EasyC-relevant field.
 struct Disclosure {
@@ -98,8 +115,14 @@ struct SystemRecord {
   int num_items_missing() const;
 };
 
-/// Project a record onto EasyC model inputs under a data scenario.
-model::Inputs to_inputs(const SystemRecord& record, Scenario scenario);
+/// The disclosure mask a visibility level reads. kFullKnowledge maps to
+/// an all-true mask so callers can treat the three levels uniformly.
+const Disclosure& disclosure_for(const SystemRecord& record,
+                                 DataVisibility visibility);
+
+/// Project a record onto EasyC model inputs under a data visibility.
+model::Inputs to_inputs(const SystemRecord& record,
+                        DataVisibility visibility);
 
 /// CSV round trip for the full dataset (all fields incl. truth + masks).
 util::CsvTable to_csv(const std::vector<SystemRecord>& records);

@@ -78,7 +78,7 @@ TEST(Import, NoneAcceleratorBecomesCpuOnly) {
 TEST(Import, ImportedRecordsRunThroughTheBaselineScenario) {
   const auto r = import_sample();
   const auto assessments =
-      analysis::assess_scenario(r.records, Scenario::kTop500Org);
+      analysis::assess_scenario(r.records, DataVisibility::kTop500Org);
   // BigIron: power reported -> operational works; no GPU count ->
   // embodied declines (exactly the paper's coverage behaviour).
   EXPECT_TRUE(assessments[0].operational.ok());

@@ -23,16 +23,16 @@ const PipelineResult& pipeline() {
 
 TEST(Coverage, MatchesPaperExactly) {
   const auto& r = pipeline();
-  EXPECT_EQ(r.baseline.coverage.operational, P::kOpCoveredTop500);   // 391
-  EXPECT_EQ(r.baseline.coverage.embodied, P::kEmbCoveredTop500);     // 283
-  EXPECT_EQ(r.enhanced.coverage.operational, P::kOpCoveredPublic);   // 490
-  EXPECT_EQ(r.enhanced.coverage.embodied, P::kEmbCoveredPublic);     // 404
+  EXPECT_EQ(r.baseline().coverage.operational, P::kOpCoveredTop500);   // 391
+  EXPECT_EQ(r.baseline().coverage.embodied, P::kEmbCoveredTop500);     // 283
+  EXPECT_EQ(r.enhanced().coverage.operational, P::kOpCoveredPublic);   // 490
+  EXPECT_EQ(r.enhanced().coverage.embodied, P::kEmbCoveredPublic);     // 404
 }
 
 TEST(Coverage, BothSidesFromTop500AloneIs56Point6Percent) {
   const auto& r = pipeline();
   int both = 0;
-  for (const auto& a : r.baseline.assessments) {
+  for (const auto& a : r.baseline().assessments) {
     if (a.operational.ok() && a.embodied.ok()) ++both;
   }
   EXPECT_NEAR(both / 5.0, P::kBothCoveredTop500Pct, 0.11);
@@ -41,11 +41,11 @@ TEST(Coverage, BothSidesFromTop500AloneIs56Point6Percent) {
 TEST(Coverage, AddingDataNeverRemovesCoverage) {
   const auto& r = pipeline();
   for (size_t i = 0; i < 500; ++i) {
-    if (r.baseline.assessments[i].operational.ok()) {
-      EXPECT_TRUE(r.enhanced.assessments[i].operational.ok()) << i;
+    if (r.baseline().assessments[i].operational.ok()) {
+      EXPECT_TRUE(r.enhanced().assessments[i].operational.ok()) << i;
     }
-    if (r.baseline.assessments[i].embodied.ok()) {
-      EXPECT_TRUE(r.enhanced.assessments[i].embodied.ok()) << i;
+    if (r.baseline().assessments[i].embodied.ok()) {
+      EXPECT_TRUE(r.enhanced().assessments[i].embodied.ok()) << i;
     }
   }
 }
@@ -59,7 +59,7 @@ TEST(Coverage, GhgProtocolNearZero) {
 TEST(Coverage, OperationalGapsConcentrateInRanks26To100) {
   // Paper Fig. 5a: gaps emerge "surprisingly high" at ranks 26-100.
   const auto ranges =
-      coverage_by_range(pipeline().records, pipeline().baseline.assessments,
+      coverage_by_range(pipeline().records, pipeline().baseline().assessments,
                         /*operational_side=*/true);
   // ranges: 0:1-10, 2:26-50, 3:51-75, 4:76-100, 12:451-500, 13:1-500
   EXPECT_LT(ranges[2].covered_pct, 75.0);
@@ -72,7 +72,7 @@ TEST(Coverage, EmbodiedWorstInTop150) {
   // Paper Fig. 6a: the top 150 lack embodied coverage (accelerator
   // diversity); 151-500 CPU systems are assessable from core counts.
   const auto ranges =
-      coverage_by_range(pipeline().records, pipeline().baseline.assessments,
+      coverage_by_range(pipeline().records, pipeline().baseline().assessments,
                         /*operational_side=*/false);
   double top_avg = 0.0;
   for (int i = 0; i <= 5; ++i) top_avg += ranges[i].covered_pct;
@@ -86,10 +86,10 @@ TEST(Coverage, EmbodiedWorstInTop150) {
 
 TEST(Coverage, PublicInfoFillsEmbodiedTop150) {
   const auto base =
-      coverage_by_range(pipeline().records, pipeline().baseline.assessments,
+      coverage_by_range(pipeline().records, pipeline().baseline().assessments,
                         false);
   const auto enh =
-      coverage_by_range(pipeline().records, pipeline().enhanced.assessments,
+      coverage_by_range(pipeline().records, pipeline().enhanced().assessments,
                         false);
   for (size_t i = 0; i < base.size(); ++i) {
     EXPECT_GE(enh[i].covered_pct, base[i].covered_pct) << i;
@@ -145,8 +145,8 @@ TEST(Totals, FullSeriesConsistentWithCoveredPlusInterpolated) {
 TEST(NamedContrasts, LumiVsLeonardo) {
   // Paper: 4.3x operational difference driven by grid intensity.
   const auto& r = pipeline();
-  const auto& lumi = r.enhanced.operational[7];   // rank 8
-  const auto& leo = r.enhanced.operational[8];    // rank 9
+  const auto& lumi = r.enhanced().operational[7];   // rank 8
+  const auto& leo = r.enhanced().operational[8];    // rank 9
   ASSERT_TRUE(lumi && leo);
   EXPECT_NEAR(*leo / *lumi, P::kLumiVsLeonardoOpFactor, 1.0);
 }
@@ -154,8 +154,8 @@ TEST(NamedContrasts, LumiVsLeonardo) {
 TEST(NamedContrasts, FrontierVsElCapitanEmbodied) {
   // Paper: 2.6x embodied difference (accelerators + storage).
   const auto& r = pipeline();
-  const auto& frontier = r.enhanced.embodied[1];  // rank 2
-  const auto& elcap = r.enhanced.embodied[0];     // rank 1
+  const auto& frontier = r.enhanced().embodied[1];  // rank 2
+  const auto& elcap = r.enhanced().embodied[0];     // rank 1
   ASSERT_TRUE(frontier && elcap);
   EXPECT_NEAR(*frontier / *elcap, P::kFrontierVsElCapitanEmbFactor, 0.6);
 }
@@ -175,10 +175,10 @@ TEST(Sensitivity, DeltasOnlyForSystemsCoveredInBothScenarios) {
   const auto s = sensitivity(pipeline());
   const auto& r = pipeline();
   EXPECT_EQ(s.operational.size(),
-            static_cast<size_t>(std::min(r.baseline.coverage.operational,
-                                         r.enhanced.coverage.operational)));
+            static_cast<size_t>(std::min(r.baseline().coverage.operational,
+                                         r.enhanced().coverage.operational)));
   EXPECT_LE(s.embodied.size(),
-            static_cast<size_t>(r.baseline.coverage.embodied));
+            static_cast<size_t>(r.baseline().coverage.embodied));
 }
 
 TEST(Projection, StartsFromMeasured2024Totals) {
@@ -226,10 +226,10 @@ TEST_P(CoverageSeedSweep, ExactForEverySeed) {
   PipelineConfig cfg;
   cfg.generator.seed = GetParam();
   const auto r = run_pipeline(cfg);
-  EXPECT_EQ(r.baseline.coverage.operational, P::kOpCoveredTop500);
-  EXPECT_EQ(r.baseline.coverage.embodied, P::kEmbCoveredTop500);
-  EXPECT_EQ(r.enhanced.coverage.operational, P::kOpCoveredPublic);
-  EXPECT_EQ(r.enhanced.coverage.embodied, P::kEmbCoveredPublic);
+  EXPECT_EQ(r.baseline().coverage.operational, P::kOpCoveredTop500);
+  EXPECT_EQ(r.baseline().coverage.embodied, P::kEmbCoveredTop500);
+  EXPECT_EQ(r.enhanced().coverage.operational, P::kOpCoveredPublic);
+  EXPECT_EQ(r.enhanced().coverage.embodied, P::kEmbCoveredPublic);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoverageSeedSweep,

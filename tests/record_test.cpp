@@ -41,7 +41,7 @@ SystemRecord sample_record() {
 TEST(ToInputs, Top500ScenarioHidesUndisclosedFields) {
   SystemRecord r = sample_record();
   r.top500 = Disclosure{};  // nothing disclosed
-  auto in = to_inputs(r, Scenario::kTop500Org);
+  auto in = to_inputs(r, DataVisibility::kTop500Org);
   EXPECT_FALSE(in.power_kw.has_value());
   EXPECT_FALSE(in.num_nodes.has_value());
   EXPECT_FALSE(in.num_gpus.has_value());
@@ -62,7 +62,7 @@ TEST(ToInputs, DisclosureFlagsRevealFields) {
   r.top500.power = true;
   r.top500.nodes = true;
   r.top500.gpus = true;
-  auto in = to_inputs(r, Scenario::kTop500Org);
+  auto in = to_inputs(r, DataVisibility::kTop500Org);
   EXPECT_DOUBLE_EQ(*in.power_kw, 1500);
   EXPECT_EQ(*in.num_nodes, 700);
   EXPECT_EQ(*in.num_gpus, 2800);
@@ -72,18 +72,18 @@ TEST(ToInputs, PublicScenarioAppliesRefinements) {
   SystemRecord r = sample_record();
   r.with_public.accelerator_identity = true;
   r.with_public.region = true;
-  auto in = to_inputs(r, Scenario::kTop500PlusPublic);
+  auto in = to_inputs(r, DataVisibility::kTop500PlusPublic);
   EXPECT_EQ(in.accelerator, "NVIDIA H100");  // refined identity
   EXPECT_EQ(in.region, "Texas");
   // Refinements never leak into the baseline scenario.
-  auto base = to_inputs(r, Scenario::kTop500Org);
+  auto base = to_inputs(r, DataVisibility::kTop500Org);
   EXPECT_EQ(base.accelerator, "NVIDIA GPU");
   EXPECT_TRUE(base.region.empty());
 }
 
 TEST(ToInputs, FullKnowledgeUsesEverything) {
   SystemRecord r = sample_record();  // masks all false
-  auto in = to_inputs(r, Scenario::kFullKnowledge);
+  auto in = to_inputs(r, DataVisibility::kFullKnowledge);
   EXPECT_DOUBLE_EQ(*in.power_kw, 1500);
   EXPECT_EQ(*in.num_nodes, 700);
   EXPECT_DOUBLE_EQ(*in.memory_gb, 537600);
@@ -99,7 +99,7 @@ TEST(ToInputs, CpuOnlySystemNeverGetsGpuCount) {
   r.accelerator_public = "";
   r.truth.gpus = 0;
   r.top500.gpus = true;  // bookkeeping flag ("known to be none")
-  auto in = to_inputs(r, Scenario::kTop500Org);
+  auto in = to_inputs(r, DataVisibility::kTop500Org);
   EXPECT_FALSE(in.num_gpus.has_value());
   EXPECT_FALSE(in.has_accelerator());
 }
@@ -161,10 +161,31 @@ TEST(CsvRoundTrip, BadMaskRejected) {
   EXPECT_THROW(from_csv(bad), util::ParseError);
 }
 
-TEST(ScenarioNames, Stable) {
-  EXPECT_EQ(scenario_name(Scenario::kTop500Org), "Top500.org");
-  EXPECT_EQ(scenario_name(Scenario::kTop500PlusPublic),
+TEST(VisibilityNames, Stable) {
+  EXPECT_EQ(visibility_name(DataVisibility::kTop500Org), "Top500.org");
+  EXPECT_EQ(visibility_name(DataVisibility::kTop500PlusPublic),
             "Top500.org + public info");
+  EXPECT_EQ(visibility_name(DataVisibility::kFullKnowledge),
+            "full knowledge");
+}
+
+TEST(VisibilityNames, ScenarioAliasStillCompiles) {
+  // Pre-engine spelling; kept as a compatibility shim.
+  Scenario s = Scenario::kTop500Org;
+  EXPECT_EQ(scenario_name(s), "Top500.org");
+}
+
+TEST(DisclosureFor, SelectsMaskByVisibility) {
+  SystemRecord r = sample_record();
+  r.top500.power = true;
+  r.with_public.power = true;
+  r.with_public.nodes = true;
+  EXPECT_TRUE(disclosure_for(r, DataVisibility::kTop500Org).power);
+  EXPECT_FALSE(disclosure_for(r, DataVisibility::kTop500Org).nodes);
+  EXPECT_TRUE(disclosure_for(r, DataVisibility::kTop500PlusPublic).nodes);
+  // Full knowledge discloses everything.
+  const auto& full = disclosure_for(r, DataVisibility::kFullKnowledge);
+  EXPECT_TRUE(full.memory && full.ssd && full.accelerator_identity);
 }
 
 }  // namespace

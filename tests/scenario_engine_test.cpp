@@ -1,0 +1,221 @@
+// Scenario engine: ScenarioSet registry semantics, parallel-vs-serial
+// determinism of run_pipeline, and the directional effect of what-if
+// overrides.
+#include "analysis/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+namespace sc = scenarios;
+
+// --- registry -------------------------------------------------------
+
+TEST(ScenarioSet, PaperShipsBaselineAndEnhancedInOrder) {
+  const auto set = ScenarioSet::paper();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.specs()[0].name, sc::kBaselineName);
+  EXPECT_EQ(set.specs()[1].name, sc::kEnhancedName);
+  EXPECT_EQ(set.specs()[0].visibility, top500::DataVisibility::kTop500Org);
+  EXPECT_EQ(set.specs()[1].visibility,
+            top500::DataVisibility::kTop500PlusPublic);
+  EXPECT_EQ(set.specs()[1].accelerator_policy,
+            model::AcceleratorPolicy::kApproximateWithMainstreamGpu);
+}
+
+TEST(ScenarioSet, RegisterListFindRoundTrip) {
+  ScenarioSet set;
+  ScenarioSpec what_if = sc::enhanced();
+  what_if.name = "whatif/custom";
+  what_if.pue_override = 1.08;
+  set.add(sc::baseline()).add(what_if);
+
+  EXPECT_EQ(set.names(),
+            (std::vector<std::string>{"baseline", "whatif/custom"}));
+  ASSERT_TRUE(set.contains("whatif/custom"));
+  const ScenarioSpec* found = set.find("whatif/custom");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->pue_override, 1.08);
+  EXPECT_EQ(&set.at("whatif/custom"), found);
+  EXPECT_EQ(set.find("no-such"), nullptr);
+  EXPECT_THROW(set.at("no-such"), util::Error);
+}
+
+TEST(ScenarioSet, RejectsDuplicateAndEmptyNamesAndBadLifetimes) {
+  ScenarioSet set;
+  set.add(sc::baseline());
+  EXPECT_THROW(set.add(sc::baseline()), util::Error);
+  ScenarioSpec unnamed;
+  EXPECT_THROW(set.add(unnamed), util::Error);
+  ScenarioSpec no_life = sc::enhanced();
+  no_life.name = "whatif/zero-life";
+  no_life.service_years = 0.0;
+  EXPECT_THROW(set.add(no_life), util::Error);
+}
+
+TEST(ScenarioSpec, ToOptionsAppliesOverrides) {
+  ScenarioSpec s = sc::enhanced();
+  s.fab_aci_kg_kwh = 0.1;
+  s.default_utilization = 0.5;
+  s.aci_override_g_kwh = 30.0;
+  s.pue_override = 1.2;
+  const auto opt = s.to_options();
+  EXPECT_EQ(opt.embodied.accelerator_policy,
+            model::AcceleratorPolicy::kApproximateWithMainstreamGpu);
+  EXPECT_DOUBLE_EQ(opt.embodied.fab_aci_kg_kwh, 0.1);
+  EXPECT_DOUBLE_EQ(opt.operational.default_utilization, 0.5);
+  EXPECT_EQ(opt.operational.aci_override_g_kwh, 30.0);
+  EXPECT_EQ(opt.operational.pue_override, 1.2);
+  // Defaults stay untouched when no override is set.
+  const auto plain = sc::enhanced().to_options();
+  EXPECT_DOUBLE_EQ(plain.embodied.fab_aci_kg_kwh,
+                   model::EmbodiedOptions{}.fab_aci_kg_kwh);
+  EXPECT_FALSE(plain.operational.aci_override_g_kwh.has_value());
+}
+
+// --- engine ---------------------------------------------------------
+
+TEST(ScenarioEngine, RegisteredScenariosRunAndAreKeyed) {
+  PipelineConfig cfg;
+  cfg.scenarios = ScenarioSet::paper();
+  cfg.scenarios.add(sc::renewables_grid())
+      .add(sc::extended_lifetime())
+      .add(sc::strict_accelerators());
+  const auto r = run_pipeline(cfg);
+
+  ASSERT_EQ(r.scenarios.size(), 5u);
+  for (const auto& s : r.scenarios) {
+    EXPECT_EQ(s.assessments.size(), r.records.size()) << s.spec.name;
+    EXPECT_EQ(s.operational.size(), r.records.size()) << s.spec.name;
+  }
+  EXPECT_EQ(&r.scenario("whatif/renewables-grid"),
+            r.find_scenario("whatif/renewables-grid"));
+  EXPECT_EQ(r.find_scenario("no-such"), nullptr);
+  EXPECT_THROW(r.scenario("no-such"), util::Error);
+  EXPECT_EQ(r.baseline().spec.name, sc::kBaselineName);
+  EXPECT_EQ(r.enhanced().spec.name, sc::kEnhancedName);
+}
+
+TEST(ScenarioEngine, RejectsImpostorPaperScenarios) {
+  // An "enhanced"-named spec with non-paper settings would silently
+  // corrupt every figure stage; the engine refuses the reserved name.
+  PipelineConfig cfg;
+  ScenarioSpec impostor = sc::enhanced();
+  impostor.visibility = top500::DataVisibility::kTop500Org;
+  cfg.scenarios.add(impostor);
+  EXPECT_THROW(run_pipeline(cfg), util::Error);
+  // Override-only impostors are rejected too (any field difference).
+  PipelineConfig cfg2;
+  ScenarioSpec sneaky = sc::renewables_grid();
+  sneaky.name = std::string(sc::kEnhancedName);
+  sneaky.description = sc::enhanced().description;
+  cfg2.scenarios.add(sneaky);
+  EXPECT_THROW(run_pipeline(cfg2), util::Error);
+  // Re-registering the genuine paper specs is fine.
+  PipelineConfig cfg3;
+  cfg3.scenarios = ScenarioSet::paper();
+  EXPECT_NO_THROW(run_pipeline(cfg3));
+}
+
+TEST(ScenarioEngine, PaperPairAlwaysPresent) {
+  PipelineConfig cfg;
+  cfg.scenarios.add(sc::renewables_grid());  // no baseline/enhanced
+  const auto r = run_pipeline(cfg);
+  EXPECT_EQ(r.scenarios.size(), 3u);
+  EXPECT_NO_THROW(r.baseline());
+  EXPECT_NO_THROW(r.enhanced());
+}
+
+TEST(ScenarioEngine, ParallelAndSerialResultsAreBitIdentical) {
+  PipelineConfig cfg;
+  cfg.scenarios = ScenarioSet::paper();
+  cfg.scenarios.add(sc::renewables_grid()).add(sc::strict_accelerators());
+
+  par::ThreadPool serial(1);
+  par::ThreadPool wide(0);  // hardware concurrency
+  PipelineConfig serial_cfg = cfg;
+  serial_cfg.pool = &serial;
+  PipelineConfig wide_cfg = cfg;
+  wide_cfg.pool = &wide;
+
+  const auto a = run_pipeline(serial_cfg);
+  const auto b = run_pipeline(wide_cfg);
+
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (size_t s = 0; s < a.scenarios.size(); ++s) {
+    const auto& sa = a.scenarios[s];
+    const auto& sb = b.scenarios[s];
+    EXPECT_EQ(sa.spec.name, sb.spec.name);
+    EXPECT_EQ(sa.coverage.operational, sb.coverage.operational);
+    EXPECT_EQ(sa.coverage.embodied, sb.coverage.embodied);
+    ASSERT_EQ(sa.operational.size(), sb.operational.size());
+    for (size_t i = 0; i < sa.operational.size(); ++i) {
+      EXPECT_EQ(sa.operational[i].has_value(), sb.operational[i].has_value());
+      if (sa.operational[i]) {
+        EXPECT_DOUBLE_EQ(*sa.operational[i], *sb.operational[i]);
+      }
+      EXPECT_EQ(sa.embodied[i].has_value(), sb.embodied[i].has_value());
+      if (sa.embodied[i]) EXPECT_DOUBLE_EQ(*sa.embodied[i], *sb.embodied[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.op_total_full_mt, b.op_total_full_mt);
+  EXPECT_DOUBLE_EQ(a.emb_total_full_mt, b.emb_total_full_mt);
+}
+
+// --- what-if direction ---------------------------------------------
+
+class WhatIfPipeline : public ::testing::Test {
+ protected:
+  static const PipelineResult& result() {
+    static const PipelineResult kResult = [] {
+      PipelineConfig cfg;
+      cfg.scenarios = ScenarioSet::paper();
+      cfg.scenarios.add(sc::renewables_grid())
+          .add(sc::extended_lifetime())
+          .add(sc::strict_accelerators());
+      return run_pipeline(cfg);
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(WhatIfPipeline, RenewablesGridSlashesOperationalCarbon) {
+  const auto& enh = result().enhanced();
+  const auto& green = result().scenario("whatif/renewables-grid");
+  // Same data — the override can only rescue systems that previously
+  // lacked a grid-intensity entry, never lose one.
+  EXPECT_GE(green.coverage.operational, enh.coverage.operational);
+  EXPECT_EQ(green.coverage.embodied, enh.coverage.embodied);
+  // A ~25 g/kWh grid must cut the fleet operational total several-fold
+  // (the covered-world average is hundreds of g/kWh).
+  EXPECT_LT(green.total(true), enh.total(true) / 4.0);
+  // Embodied carbon is untouched by siting.
+  EXPECT_DOUBLE_EQ(green.total(false), enh.total(false));
+}
+
+TEST_F(WhatIfPipeline, ExtendedLifetimeLowersAnnualizedTotal) {
+  const auto& enh = result().enhanced();
+  const auto& ext = result().scenario("whatif/extended-lifetime");
+  // Identical per-year and embodied totals; only amortization differs.
+  EXPECT_DOUBLE_EQ(ext.total(true), enh.total(true));
+  EXPECT_DOUBLE_EQ(ext.total(false), enh.total(false));
+  EXPECT_LT(ext.annualized_total_mt(), enh.annualized_total_mt());
+}
+
+TEST_F(WhatIfPipeline, StrictAcceleratorsGiveUpEmbodiedCoverage) {
+  const auto& enh = result().enhanced();
+  const auto& strict = result().scenario("whatif/no-accelerator-approximation");
+  // Declining to proxy unknown accelerators loses embodied estimates
+  // (the paper's baseline-coverage behaviour) without touching the
+  // operational side.
+  EXPECT_LT(strict.coverage.embodied, enh.coverage.embodied);
+  EXPECT_EQ(strict.coverage.operational, enh.coverage.operational);
+}
+
+}  // namespace
+}  // namespace easyc::analysis

@@ -14,6 +14,7 @@
 
 #include "analysis/audit.hpp"
 #include "analysis/coverage.hpp"
+#include "analysis/pipeline.hpp"
 #include "analysis/scenario.hpp"
 #include "easyc/amortization.hpp"
 #include "easyc/model.hpp"
@@ -54,7 +55,20 @@ void declare_flags(util::ArgParser& args) {
   args.add_flag("top500",
                 "official Top500.org CSV export: audit it, then report "
                 "EasyC coverage and totals over the list");
+  args.add_flag("scenario",
+                "registered scenario to assess a --top500 list under "
+                "(see --list-scenarios; default: baseline)");
+  args.add_flag("list-scenarios", "list registered scenarios and exit",
+                /*takes_value=*/false);
   args.add_flag("help", "show usage", /*takes_value=*/false);
+}
+
+/// Scenarios the CLI knows about: the shared paper + what-if set, plus
+/// the full-knowledge bound. A --top500 run picks one by name.
+easyc::analysis::ScenarioSet cli_scenarios() {
+  auto set = easyc::analysis::ScenarioSet::paper_with_whatifs();
+  set.add(easyc::analysis::scenarios::full_knowledge());
+  return set;
 }
 
 model::Inputs inputs_from_getter(
@@ -169,7 +183,7 @@ int assess_fleet(const std::string& path, const model::EasyCOptions& opt) {
 }
 
 int assess_top500_export(const std::string& path,
-                         const model::EasyCOptions& opt) {
+                         const easyc::analysis::ScenarioSpec& spec) {
   const auto imported = easyc::top500::import_top500_file(path);
   std::printf("imported %d systems (%d with power, %d accelerated)\n",
               imported.stats.systems, imported.stats.with_power,
@@ -185,31 +199,20 @@ int assess_top500_export(const std::string& path,
     return 2;
   }
 
-  auto assessments = easyc::analysis::assess_scenario(
-      imported.records, easyc::top500::Scenario::kTop500Org);
-  // Re-apply caller policy (assess_scenario uses baseline defaults).
-  if (opt.embodied.accelerator_policy !=
-      model::AcceleratorPolicy::kStrict) {
-    std::vector<model::Inputs> inputs;
-    for (const auto& r : imported.records) {
-      inputs.push_back(
-          to_inputs(r, easyc::top500::Scenario::kTop500Org));
-    }
-    assessments = model::EasyCModel(opt).assess_all(inputs);
-  }
-  const auto coverage = easyc::analysis::count_coverage(assessments);
-  double op = 0.0, emb = 0.0;
-  for (const auto& a : assessments) {
-    if (a.operational.ok()) op += a.operational.value().mt_co2e;
-    if (a.embodied.ok()) emb += a.embodied.value().total_mt;
-  }
+  std::printf("scenario: %s — %s\n", spec.name.c_str(),
+              spec.description.c_str());
+  const auto results =
+      easyc::analysis::assess_one_scenario(imported.records, spec);
   std::printf("coverage: operational %d/%d, embodied %d/%d\n",
-              coverage.operational, coverage.total, coverage.embodied,
-              coverage.total);
+              results.coverage.operational, results.coverage.total,
+              results.coverage.embodied, results.coverage.total);
   std::printf("totals over covered systems: %s MT CO2e/yr operational, "
               "%s MT embodied\n",
-              util::format_double(op, 0).c_str(),
-              util::format_double(emb, 0).c_str());
+              util::format_double(results.total(true), 0).c_str(),
+              util::format_double(results.total(false), 0).c_str());
+  std::printf("annualized over a %.0f-year service life: %s MT CO2e/yr\n",
+              spec.service_years,
+              util::format_double(results.annualized_total_mt(), 0).c_str());
   return 0;
 }
 
@@ -226,13 +229,43 @@ int main(int argc, char** argv) {
       std::fputs(args.usage(argv[0]).c_str(), stdout);
       return 0;
     }
+    if (args.has("list-scenarios")) {
+      const auto set = cli_scenarios();
+      for (const auto& s : set.specs()) {
+        std::printf("%-36s %s\n", s.name.c_str(), s.description.c_str());
+      }
+      return 0;
+    }
     model::EasyCOptions opt;
     if (args.has("approximate-accelerators")) {
       opt.embodied.accelerator_policy =
           model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
     }
     if (auto export_path = args.get("top500")) {
-      return assess_top500_export(*export_path, opt);
+      // --approximate-accelerators is shorthand for tweaking the default
+      // scenario; combined with an explicit --scenario it would silently
+      // contradict the scenario's declared policy.
+      if (args.has("scenario") && args.has("approximate-accelerators")) {
+        throw util::Error(
+            "--approximate-accelerators conflicts with --scenario; pick a "
+            "scenario whose policy matches (see --list-scenarios)");
+      }
+      const auto set = cli_scenarios();
+      auto spec = set.at(args.get("scenario").value_or(
+          std::string(easyc::analysis::scenarios::kBaselineName)));
+      if (args.has("approximate-accelerators")) {
+        spec.accelerator_policy =
+            model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+        spec.description +=
+            " (accelerator approximation forced by "
+            "--approximate-accelerators)";
+      }
+      return assess_top500_export(*export_path, spec);
+    }
+    if (args.has("scenario")) {
+      throw util::Error(
+          "--scenario applies only to --top500 lists; fleet/single-system "
+          "modes take explicit flags instead");
     }
     if (auto fleet = args.get("fleet")) {
       return assess_fleet(*fleet, opt);
