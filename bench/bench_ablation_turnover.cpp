@@ -3,11 +3,14 @@
 // The paper's Fig. 10 growth rates (10.3%/yr operational, 2%/yr
 // embodied) come from observed list dynamics: ~48 new systems per
 // cycle adding 5%/1% per cycle. This bench simulates five list
-// editions, *measures* those rates from the simulated history, and
-// sweeps the turnover assumptions.
+// editions, *measures* those rates from the simulated history (on the
+// memoized assessment engine), and sweeps the turnover assumptions.
+// The no-cache arm re-assesses every edition from scratch — the
+// pre-engine serial behaviour, kept as the explicit ablation baseline.
 #include "bench/common.hpp"
 
 #include "analysis/turnover.hpp"
+#include "report/experiments.hpp"
 #include "util/ascii.hpp"
 #include "util/strings.hpp"
 
@@ -23,28 +26,7 @@ std::string ablation_report() {
   cfg.editions = 5;
   const auto history = easyc::top500::generate_history(cfg);
   const auto report = easyc::analysis::analyze_turnover(history);
-
-  easyc::util::TextTable t({"Edition", "New systems", "Op total (kMT)",
-                            "Emb total (kMT)", "Perf (PFlop/s)"});
-  for (const auto& e : report.editions) {
-    t.add_row({e.label, std::to_string(e.num_new),
-               format_double(e.op_total_mt / 1000.0, 0),
-               format_double(e.emb_total_mt / 1000.0, 0),
-               format_double(e.perf_pflops, 0)});
-  }
-  out += t.render();
-  out += "\nMeasured growth (paper values in parentheses):\n";
-  out += "  new systems per cycle: " +
-         format_double(report.avg_new_per_cycle, 1) + " (48)\n";
-  out += "  operational per cycle: " +
-         format_double(report.op_growth_per_cycle * 100, 2) + "% (5%)\n";
-  out += "  embodied per cycle:    " +
-         format_double(report.emb_growth_per_cycle * 100, 2) + "% (1%)\n";
-  out += "  operational per year:  " +
-         format_double(report.op_growth_annualized * 100, 2) +
-         "% (10.3%)\n";
-  out += "  embodied per year:     " +
-         format_double(report.emb_growth_annualized * 100, 2) + "% (2%)\n";
+  out += easyc::report::turnover_summary(report);
 
   out += "\nTurnover-rate sweep (entrants per cycle -> annualized op "
          "growth):\n";
@@ -86,6 +68,21 @@ void BM_AnalyzeTurnover(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyzeTurnover)->Unit(benchmark::kMillisecond);
+
+// Ablation arm: the cache disabled, i.e. the pre-engine serial cost of
+// re-assessing every record of every edition.
+void BM_AnalyzeTurnoverNoCache(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = 3;
+  static const auto history = easyc::top500::generate_history(cfg);
+  easyc::analysis::TurnoverOptions opts;
+  opts.use_cache = false;
+  for (auto _ : state) {
+    auto r = easyc::analysis::analyze_turnover(history, opts);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_AnalyzeTurnoverNoCache)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,139 @@
+// The multi-edition assessment engine: editions x scenarios throughput
+// and the measured value of the per-record memo cache.
+//
+// Report: an 8-edition history assessed three ways on one worker —
+// the no-cache serial loop (the pre-engine baseline), the engine with
+// a cold cache (intra-history memoization only), and the engine warm
+// (everything served from cache). The ISSUE target is >3x for the
+// cached engine over the serial loop on 1 core; the report prints the
+// measured ratio and the hit rates so the speedup is measurable, not
+// asserted.
+#include "bench/common.hpp"
+
+#include <chrono>
+#include <functional>
+
+#include "analysis/turnover.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::analysis::AssessmentEngine;
+using easyc::analysis::TurnoverOptions;
+using easyc::util::format_double;
+
+const std::vector<easyc::top500::ListEdition>& history8() {
+  static const auto kHistory = [] {
+    easyc::top500::HistoryConfig cfg;
+    cfg.editions = 8;
+    return easyc::top500::generate_history(cfg);
+  }();
+  return kHistory;
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::string engine_report() {
+  std::string out =
+      "Multi-edition engine — 8 editions, enhanced scenario, 1 worker\n";
+  easyc::par::ThreadPool one(1);
+
+  TurnoverOptions no_cache;
+  no_cache.pool = &one;
+  no_cache.use_cache = false;
+  const double t_serial = seconds_of(
+      [&] { easyc::analysis::analyze_turnover(history8(), no_cache); });
+
+  AssessmentEngine engine({.pool = &one});
+  TurnoverOptions cached;
+  cached.engine = &engine;
+  double cold_rate = 0.0;
+  const double t_cold = seconds_of([&] {
+    cold_rate =
+        easyc::analysis::analyze_turnover(history8(), cached).cache.hit_rate();
+  });
+  double warm_rate = 0.0;
+  const double t_warm = seconds_of([&] {
+    warm_rate =
+        easyc::analysis::analyze_turnover(history8(), cached).cache.hit_rate();
+  });
+
+  out += "  no-cache serial loop: " + format_double(t_serial * 1000, 1) +
+         " ms\n";
+  out += "  engine, cold cache:   " + format_double(t_cold * 1000, 1) +
+         " ms (" + format_double(cold_rate * 100, 1) + "% hits, " +
+         format_double(t_serial / t_cold, 2) + "x)\n";
+  out += "  engine, warm cache:   " + format_double(t_warm * 1000, 1) +
+         " ms (" + format_double(warm_rate * 100, 1) + "% hits, " +
+         format_double(t_serial / t_warm, 2) + "x)\n";
+  out += "  target: >3x for the cached engine on 1 core\n";
+  return out;
+}
+
+// editions x scenarios throughput: cells assessed per run, swept over
+// the edition count. A fresh engine per iteration = cold cache.
+void BM_EngineColdHistory(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = static_cast<int>(state.range(0));
+  const auto history = easyc::top500::generate_history(cfg);
+  const auto scenarios = easyc::analysis::ScenarioSet::paper();
+  for (auto _ : state) {
+    AssessmentEngine engine;
+    auto r = engine.run(history, scenarios);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.editions) * 500 *
+                          static_cast<int64_t>(scenarios.size()));
+}
+BENCHMARK(BM_EngineColdHistory)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm engine: every cell is a lookup. This is the steady-state cost
+// of re-running an unchanged history (e.g. sweeping interpolation or
+// projection knobs on top of cached assessments).
+void BM_EngineWarmHistory(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = static_cast<int>(state.range(0));
+  const auto history = easyc::top500::generate_history(cfg);
+  const auto scenarios = easyc::analysis::ScenarioSet::paper();
+  AssessmentEngine engine;
+  engine.run(history, scenarios);  // prime
+  for (auto _ : state) {
+    auto r = engine.run(history, scenarios);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.editions) * 500 *
+                          static_cast<int64_t>(scenarios.size()));
+}
+BENCHMARK(BM_EngineWarmHistory)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The ablation baseline at bench granularity: cache disabled entirely.
+void BM_EngineNoCacheHistory(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = static_cast<int>(state.range(0));
+  const auto history = easyc::top500::generate_history(cfg);
+  const auto scenarios = easyc::analysis::ScenarioSet::paper();
+  for (auto _ : state) {
+    AssessmentEngine engine({.cache_enabled = false});
+    auto r = engine.run(history, scenarios);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(cfg.editions) * 500 *
+                          static_cast<int64_t>(scenarios.size()));
+}
+BENCHMARK(BM_EngineNoCacheHistory)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(engine_report())

@@ -1,0 +1,246 @@
+#include "analysis/assessment_engine.hpp"
+
+#include <array>
+
+#include "parallel/algorithms.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace easyc::analysis {
+
+namespace {
+
+double covered_sum(const CarbonSeries& s) {
+  double total = 0.0;
+  for (const auto& v : s) {
+    if (v) total += *v;
+  }
+  return total;
+}
+
+int covered_count(const CarbonSeries& s) {
+  int n = 0;
+  for (const auto& v : s) {
+    if (v) ++n;
+  }
+  return n;
+}
+
+// Derive the series and coverage views from a scenario's assessments.
+void finalize_scenario(ScenarioResults& r) {
+  r.operational = operational_series(r.assessments);
+  r.embodied = embodied_series(r.assessments);
+  r.coverage = count_coverage(r.assessments);
+}
+
+}  // namespace
+
+double ScenarioResults::total(bool operational_side) const {
+  return covered_sum(operational_side ? operational : embodied);
+}
+
+double ScenarioResults::average(bool operational_side) const {
+  const CarbonSeries& s = operational_side ? operational : embodied;
+  const int n = covered_count(s);
+  return n == 0 ? 0.0 : covered_sum(s) / n;
+}
+
+double ScenarioResults::annualized_total_mt() const {
+  return total(true) + total(false) / spec.service_years;
+}
+
+CarbonSeries operational_series(
+    const std::vector<model::SystemAssessment>& assessments) {
+  CarbonSeries out;
+  out.reserve(assessments.size());
+  for (const auto& a : assessments) {
+    out.push_back(a.operational.ok()
+                      ? std::optional<double>(a.operational.value().mt_co2e)
+                      : std::nullopt);
+  }
+  return out;
+}
+
+CarbonSeries embodied_series(
+    const std::vector<model::SystemAssessment>& assessments) {
+  CarbonSeries out;
+  out.reserve(assessments.size());
+  for (const auto& a : assessments) {
+    out.push_back(a.embodied.ok()
+                      ? std::optional<double>(a.embodied.value().total_mt)
+                      : std::nullopt);
+  }
+  return out;
+}
+
+const ScenarioResults* find_scenario_in(
+    const std::vector<ScenarioResults>& scenarios, std::string_view name) {
+  for (const auto& s : scenarios) {
+    if (s.spec.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const ScenarioResults& scenario_in(
+    const std::vector<ScenarioResults>& scenarios, std::string_view name,
+    std::string_view owner) {
+  if (const ScenarioResults* s = find_scenario_in(scenarios, name)) return *s;
+  throw util::Error(std::string(owner) + " has no scenario named '" +
+                    std::string(name) + "'");
+}
+
+const ScenarioResults* EditionAssessment::find_scenario(
+    std::string_view name) const {
+  return find_scenario_in(scenarios, name);
+}
+
+const ScenarioResults& EditionAssessment::scenario(
+    std::string_view name) const {
+  return scenario_in(scenarios, name, "edition");
+}
+
+AssessmentEngine::AssessmentEngine() : AssessmentEngine(Options{}) {}
+
+AssessmentEngine::AssessmentEngine(Options options)
+    : options_(options),
+      cache_(options.cache_shards, options.cache_capacity) {}
+
+// One edition's wavefront: all (scenario, record) cells flattened into
+// parallel grids. A cell first consults the memo table; only a miss
+// pays for the visibility projection and the model. Each cell writes
+// its own slot, so results are bit-identical for any pool size.
+//
+// Scenarios whose fingerprints coincide (aliases: same assessment
+// identity under different names/service lives, like the stock
+// enhanced / whatif/extended-lifetime pair) run as a second grid after
+// the first completes — their cells then find the entry resident
+// (barring capacity eviction, which only costs a recompute), which
+// keeps the exactly-once guarantee and the hit accounting
+// deterministic for every pool size.
+void AssessmentEngine::assess_edition(
+    const std::vector<top500::SystemRecord>& records,
+    const ScenarioSet& scenarios, const std::vector<model::EasyCModel>& models,
+    const std::vector<uint64_t>& scenario_fps, EditionAssessment& out) {
+  par::ThreadPool& pool =
+      options_.pool ? *options_.pool : par::ThreadPool::global();
+  const size_t num_scenarios = scenarios.size();
+  const size_t num_records = records.size();
+
+  out.scenarios.resize(num_scenarios);
+  for (size_t s = 0; s < num_scenarios; ++s) {
+    out.scenarios[s].spec = scenarios.specs()[s];
+    out.scenarios[s].assessments.resize(num_records);
+  }
+  out.perf_pflops = 0.0;
+  for (const auto& r : records) {
+    out.perf_pflops += r.rmax_tflops / util::kTFlopsPerPFlop;
+  }
+  if (num_scenarios == 0 || num_records == 0) return;
+
+  if (!options_.cache_enabled) {
+    // No memo table: every cell computes. Scenarios sharing a data
+    // visibility share one immutable input projection, computed once
+    // per distinct visibility (the cached path cannot afford this —
+    // projecting every record upfront would tax warm runs that need
+    // no inputs at all — but here every cell reads its inputs).
+    std::array<std::vector<model::Inputs>, top500::kNumDataVisibilities>
+        projections;
+    for (const auto& spec : scenarios.specs()) {
+      auto& inputs = projections[static_cast<size_t>(spec.visibility)];
+      if (!inputs.empty()) continue;
+      inputs.resize(num_records);
+      par::parallel_for(pool, 0, num_records, [&](size_t i) {
+        inputs[i] = to_inputs(records[i], spec.visibility);
+      });
+    }
+    par::parallel_for(
+        pool, 0, num_scenarios * num_records, [&](size_t cell) {
+          const size_t s = cell / num_records;
+          const size_t i = cell % num_records;
+          const auto& inputs = projections[static_cast<size_t>(
+              scenarios.specs()[s].visibility)];
+          out.scenarios[s].assessments[i] = models[s].assess(inputs[i]);
+        });
+    for (auto& r : out.scenarios) finalize_scenario(r);
+    return;
+  }
+
+  std::vector<uint64_t> record_fps(num_records);
+  par::parallel_for(pool, 0, num_records, [&](size_t i) {
+    record_fps[i] = records[i].content_fingerprint();
+  });
+
+  std::vector<size_t> primaries;
+  std::vector<size_t> aliases;
+  for (size_t s = 0; s < num_scenarios; ++s) {
+    bool is_alias = false;
+    for (size_t p = 0; p < s && !is_alias; ++p) {
+      is_alias = scenario_fps[p] == scenario_fps[s];
+    }
+    (is_alias ? aliases : primaries).push_back(s);
+  }
+
+  auto run_grid = [&](const std::vector<size_t>& scenario_indices) {
+    par::parallel_for(
+        pool, 0, scenario_indices.size() * num_records, [&](size_t cell) {
+          const size_t s = scenario_indices[cell / num_records];
+          const size_t i = cell % num_records;
+          model::SystemAssessment& slot = out.scenarios[s].assessments[i];
+          const CellKey key{record_fps[i], scenario_fps[s]};
+          if (!cache_.lookup(key, slot)) {
+            slot = models[s].assess(
+                to_inputs(records[i], scenarios.specs()[s].visibility));
+            cache_.insert(key, slot);
+          }
+        });
+  };
+  run_grid(primaries);
+  if (!aliases.empty()) run_grid(aliases);
+
+  for (auto& r : out.scenarios) finalize_scenario(r);
+}
+
+std::vector<EditionAssessment> AssessmentEngine::run(
+    const std::vector<top500::ListEdition>& editions,
+    const ScenarioSet& scenarios) {
+  std::vector<model::EasyCModel> models;
+  std::vector<uint64_t> scenario_fps;
+  models.reserve(scenarios.size());
+  scenario_fps.reserve(scenarios.size());
+  for (const auto& spec : scenarios.specs()) {
+    models.emplace_back(spec.to_options());
+    scenario_fps.push_back(spec.fingerprint());
+  }
+
+  // Editions run as ordered wavefronts (each internally parallel):
+  // edition k's survivors then hit the entries edition k-1 inserted,
+  // guaranteeing each surviving system is assessed exactly once and
+  // making the hit-rate independent of the pool size.
+  std::vector<EditionAssessment> out(editions.size());
+  for (size_t e = 0; e < editions.size(); ++e) {
+    out[e].label = editions[e].label;
+    out[e].num_new = editions[e].num_new;
+    assess_edition(editions[e].records, scenarios, models, scenario_fps,
+                   out[e]);
+  }
+  return out;
+}
+
+EditionAssessment AssessmentEngine::assess(
+    const std::vector<top500::SystemRecord>& records,
+    const ScenarioSet& scenarios) {
+  std::vector<model::EasyCModel> models;
+  std::vector<uint64_t> scenario_fps;
+  models.reserve(scenarios.size());
+  scenario_fps.reserve(scenarios.size());
+  for (const auto& spec : scenarios.specs()) {
+    models.emplace_back(spec.to_options());
+    scenario_fps.push_back(spec.fingerprint());
+  }
+  EditionAssessment out;
+  assess_edition(records, scenarios, models, scenario_fps, out);
+  return out;
+}
+
+}  // namespace easyc::analysis

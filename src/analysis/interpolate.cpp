@@ -74,4 +74,16 @@ InterpolationResult interpolate_gaps(
   return out;
 }
 
+FullListSeries interpolate_full_list(
+    const std::vector<std::optional<double>>& operational,
+    const std::vector<std::optional<double>>& embodied,
+    const InterpolationOptions& opt) {
+  FullListSeries out;
+  out.operational = interpolate_gaps(operational, opt);
+  out.embodied = interpolate_gaps(embodied, opt);
+  out.op_total_mt = util::sum(out.operational.values);
+  out.emb_total_mt = util::sum(out.embodied.values);
+  return out;
+}
+
 }  // namespace easyc::analysis

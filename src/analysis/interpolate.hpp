@@ -39,4 +39,19 @@ InterpolationResult interpolate_gaps(
     const std::vector<std::optional<double>>& series,
     const InterpolationOptions& options = {});
 
+/// Both model sides of one list interpolated to full coverage, with the
+/// full-list totals — the "complete the 500" step every figure stage
+/// shares (run_pipeline's totals, each turnover edition's footprint).
+struct FullListSeries {
+  InterpolationResult operational;
+  InterpolationResult embodied;
+  double op_total_mt = 0.0;   ///< sum of the completed operational series
+  double emb_total_mt = 0.0;  ///< sum of the completed embodied series
+};
+
+FullListSeries interpolate_full_list(
+    const std::vector<std::optional<double>>& operational,
+    const std::vector<std::optional<double>>& embodied,
+    const InterpolationOptions& options = {});
+
 }  // namespace easyc::analysis

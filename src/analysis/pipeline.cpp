@@ -1,61 +1,16 @@
 #include "analysis/pipeline.hpp"
 
-#include <array>
-
-#include "parallel/algorithms.hpp"
-#include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
-#include "util/units.hpp"
 
 namespace easyc::analysis {
 
-namespace {
-
-double covered_sum(const CarbonSeries& s) {
-  double total = 0.0;
-  for (const auto& v : s) {
-    if (v) total += *v;
-  }
-  return total;
-}
-
-int covered_count(const CarbonSeries& s) {
-  int n = 0;
-  for (const auto& v : s) {
-    if (v) ++n;
-  }
-  return n;
-}
-
-}  // namespace
-
-double ScenarioResults::total(bool operational_side) const {
-  return covered_sum(operational_side ? operational : embodied);
-}
-
-double ScenarioResults::average(bool operational_side) const {
-  const CarbonSeries& s = operational_side ? operational : embodied;
-  const int n = covered_count(s);
-  return n == 0 ? 0.0 : covered_sum(s) / n;
-}
-
-double ScenarioResults::annualized_total_mt() const {
-  return total(true) + total(false) / spec.service_years;
-}
-
 const ScenarioResults* PipelineResult::find_scenario(
     std::string_view name) const {
-  for (const auto& s : scenarios) {
-    if (s.spec.name == name) return &s;
-  }
-  return nullptr;
+  return find_scenario_in(scenarios, name);
 }
 
 const ScenarioResults& PipelineResult::scenario(std::string_view name) const {
-  if (const ScenarioResults* s = find_scenario(name)) return *s;
-  throw util::Error("pipeline has no scenario named '" + std::string(name) +
-                    "'");
+  return scenario_in(scenarios, name, "pipeline");
 }
 
 const ScenarioResults& PipelineResult::baseline() const {
@@ -66,98 +21,16 @@ const ScenarioResults& PipelineResult::enhanced() const {
   return scenario(scenarios::kEnhancedName);
 }
 
-CarbonSeries operational_series(
-    const std::vector<model::SystemAssessment>& assessments) {
-  CarbonSeries out;
-  out.reserve(assessments.size());
-  for (const auto& a : assessments) {
-    out.push_back(a.operational.ok()
-                      ? std::optional<double>(a.operational.value().mt_co2e)
-                      : std::nullopt);
-  }
-  return out;
-}
-
-CarbonSeries embodied_series(
-    const std::vector<model::SystemAssessment>& assessments) {
-  CarbonSeries out;
-  out.reserve(assessments.size());
-  for (const auto& a : assessments) {
-    out.push_back(a.embodied.ok()
-                      ? std::optional<double>(a.embodied.value().total_mt)
-                      : std::nullopt);
-  }
-  return out;
-}
-
-namespace {
-
-// Derive the series and coverage views from a scenario's assessments.
-void finalize_scenario(ScenarioResults& r) {
-  r.operational = operational_series(r.assessments);
-  r.embodied = embodied_series(r.assessments);
-  r.coverage = count_coverage(r.assessments);
-}
-
-// The engine core: assess every registered scenario over one pool.
-// Scenarios sharing a data visibility share one immutable input
-// projection, and all (scenario, system) cells are flattened into a
-// single parallel_for grid so scenarios genuinely run concurrently —
-// no nested pool blocking, and chunking amortizes the queue lock.
-// Each cell writes its own slot, so results are bit-identical for any
-// pool size.
-std::vector<ScenarioResults> assess_scenarios(
-    const std::vector<top500::SystemRecord>& records,
-    const ScenarioSet& scenarios, par::ThreadPool& pool) {
-  const size_t num_scenarios = scenarios.size();
-  const size_t num_records = records.size();
-
-  // Shared immutable inputs, one projection per distinct visibility.
-  std::array<std::vector<model::Inputs>, top500::kNumDataVisibilities>
-      projections;
-  auto projection_for =
-      [&](top500::DataVisibility v) -> std::vector<model::Inputs>& {
-    return projections[static_cast<size_t>(v)];
-  };
-  for (const auto& spec : scenarios.specs()) {
-    auto& inputs = projection_for(spec.visibility);
-    if (!inputs.empty() || num_records == 0) continue;
-    inputs.resize(num_records);
-    par::parallel_for(pool, 0, num_records, [&](size_t i) {
-      inputs[i] = to_inputs(records[i], spec.visibility);
-    });
-  }
-
-  std::vector<ScenarioResults> out(num_scenarios);
-  std::vector<model::EasyCModel> models;
-  models.reserve(num_scenarios);
-  for (size_t s = 0; s < num_scenarios; ++s) {
-    out[s].spec = scenarios.specs()[s];
-    out[s].assessments.resize(num_records);
-    models.emplace_back(out[s].spec.to_options());
-  }
-
-  par::parallel_for(pool, 0, num_scenarios * num_records, [&](size_t cell) {
-    const size_t s = cell / num_records;
-    const size_t i = cell % num_records;
-    out[s].assessments[i] =
-        models[s].assess(projection_for(out[s].spec.visibility)[i]);
-  });
-
-  for (auto& r : out) finalize_scenario(r);
-  return out;
-}
-
-}  // namespace
-
 ScenarioResults assess_one_scenario(
     const std::vector<top500::SystemRecord>& records,
     const ScenarioSpec& spec, par::ThreadPool* pool) {
-  ScenarioResults r;
-  r.spec = spec;
-  r.assessments = assess_scenario(records, spec, pool);
-  finalize_scenario(r);
-  return r;
+  // One-shot engine: the memo cache cannot pay for itself in a single
+  // pass over one scenario, so skip the fingerprinting work.
+  AssessmentEngine engine({.pool = pool, .cache_enabled = false});
+  ScenarioSet one;
+  one.add(spec);
+  auto edition = engine.assess(records, one);
+  return std::move(edition.scenarios.front());
 }
 
 PipelineResult run_pipeline(const PipelineConfig& cfg) {
@@ -185,28 +58,29 @@ PipelineResult run_pipeline(const PipelineConfig& cfg) {
     }
   }
 
-  par::ThreadPool& pool =
-      cfg.pool ? *cfg.pool : par::ThreadPool::global();
-  out.scenarios = assess_scenarios(out.records, scenarios, pool);
+  // The one-shot fallback engine skips the memo cache like
+  // assess_one_scenario does: a single pass cannot amortize the
+  // fingerprinting and entry copies (cross-run reuse needs cfg.engine).
+  AssessmentEngine local_engine({.pool = cfg.pool, .cache_enabled = false});
+  AssessmentEngine& engine = cfg.engine ? *cfg.engine : local_engine;
+  EditionAssessment edition = engine.assess(out.records, scenarios);
+  out.scenarios = std::move(edition.scenarios);
+  out.perf_pflops = edition.perf_pflops;
 
   const ScenarioResults& enhanced = out.enhanced();
-  out.op_interpolated =
-      interpolate_gaps(enhanced.operational, cfg.interpolation);
-  out.emb_interpolated =
-      interpolate_gaps(enhanced.embodied, cfg.interpolation);
+  FullListSeries full = interpolate_full_list(
+      enhanced.operational, enhanced.embodied, cfg.interpolation);
+  out.op_interpolated = std::move(full.operational);
+  out.emb_interpolated = std::move(full.embodied);
 
   out.op_total_covered_mt = enhanced.total(true);
   out.emb_total_covered_mt = enhanced.total(false);
-  out.op_total_full_mt = util::sum(out.op_interpolated.values);
-  out.emb_total_full_mt = util::sum(out.emb_interpolated.values);
+  out.op_total_full_mt = full.op_total_mt;
+  out.emb_total_full_mt = full.emb_total_mt;
 
-  double perf_pflops = 0.0;
-  for (const auto& r : out.records) {
-    perf_pflops += r.rmax_tflops / util::kTFlopsPerPFlop;
-  }
   out.projection =
       project(out.op_total_full_mt / 1000.0, out.emb_total_full_mt / 1000.0,
-              perf_pflops, cfg.projection);
+              out.perf_pflops, cfg.projection);
   return out;
 }
 

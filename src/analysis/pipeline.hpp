@@ -2,10 +2,17 @@
 // and table in the paper's evaluation section, run once and shared by
 // the benchmark harness, examples, and integration tests.
 //
-// The pipeline is a scenario engine: it generates the record list once,
-// then assesses every scenario registered in the config's ScenarioSet
-// concurrently over one thread pool (the per-visibility model inputs are
-// computed once and shared read-only across scenarios). The paper's two
+// The pipeline is a thin orchestration over the edition-sharded
+// AssessmentEngine (assessment_engine.hpp): it generates the record
+// list, hands it to the engine as a single-edition run — every scenario
+// registered in the config's ScenarioSet assessed concurrently over one
+// thread pool, each (scenario, record) cell memoized under its content
+// fingerprint — and then derives the figure stages (interpolation to
+// the full 500, totals, projection) from the engine's enhanced-scenario
+// output. Multi-edition consumers (analyze_turnover, the measured-growth
+// projection) call the same engine over a ListEdition history instead,
+// so surviving systems are assessed exactly once across the whole
+// history and re-runs are served from the memo cache. The paper's two
 // scenarios are always present; examples and benches register arbitrary
 // what-if scenarios on top.
 #pragma once
@@ -14,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/assessment_engine.hpp"
 #include "analysis/coverage.hpp"
 #include "analysis/interpolate.hpp"
 #include "analysis/projection.hpp"
@@ -23,24 +31,6 @@
 #include "top500/record.hpp"
 
 namespace easyc::analysis {
-
-/// One model side of one scenario, as a rank-ordered optional series
-/// (MT CO2e); nullopt = not covered.
-using CarbonSeries = std::vector<std::optional<double>>;
-
-struct ScenarioResults {
-  ScenarioSpec spec;
-  std::vector<model::SystemAssessment> assessments;
-  CarbonSeries operational;  ///< MT CO2e, rank order
-  CarbonSeries embodied;
-  CoverageCounts coverage;
-
-  double total(bool operational_side) const;   ///< sum of covered systems
-  double average(bool operational_side) const; ///< mean over covered
-  /// Covered operational total plus covered embodied total amortized
-  /// over the spec's service life (MT CO2e per year).
-  double annualized_total_mt() const;
-};
 
 struct PipelineResult {
   std::vector<top500::SystemRecord> records;
@@ -67,6 +57,7 @@ struct PipelineResult {
   double emb_total_covered_mt = 0.0;  ///< paper: 1.53M over 404 systems
   double op_total_full_mt = 0.0;      ///< paper: 1.39M over 500
   double emb_total_full_mt = 0.0;     ///< paper: 1.88M over 500
+  double perf_pflops = 0.0;           ///< aggregate Rmax of the list
 
   std::vector<ProjectionPoint> projection;
 };
@@ -82,6 +73,11 @@ struct PipelineConfig {
   /// Pool the engine runs on; null = the process-global pool. Results
   /// are bit-identical for every pool size.
   par::ThreadPool* pool = nullptr;
+  /// Engine to run on; null = a private engine on `pool`. Passing a
+  /// shared engine keeps its memo cache warm across run_pipeline calls
+  /// (an unchanged config re-runs without re-assessing anything).
+  /// Results are bit-identical for any cache state.
+  AssessmentEngine* engine = nullptr;
 };
 
 /// Run everything. Deterministic for a given config.
@@ -93,11 +89,5 @@ PipelineResult run_pipeline(const PipelineConfig& config = {});
 ScenarioResults assess_one_scenario(
     const std::vector<top500::SystemRecord>& records,
     const ScenarioSpec& spec, par::ThreadPool* pool = nullptr);
-
-/// Extract a CarbonSeries from assessments.
-CarbonSeries operational_series(
-    const std::vector<model::SystemAssessment>& assessments);
-CarbonSeries embodied_series(
-    const std::vector<model::SystemAssessment>& assessments);
 
 }  // namespace easyc::analysis

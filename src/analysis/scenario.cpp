@@ -1,6 +1,7 @@
 #include "analysis/scenario.hpp"
 
 #include "util/error.hpp"
+#include "util/fingerprint.hpp"
 
 namespace easyc::analysis {
 
@@ -14,6 +15,17 @@ model::EasyCOptions ScenarioSpec::to_options() const {
   opt.operational.aci_override_g_kwh = aci_override_g_kwh;
   opt.operational.pue_override = pue_override;
   return opt;
+}
+
+uint64_t ScenarioSpec::fingerprint() const {
+  util::Fingerprint fp;
+  fp.mix(static_cast<int>(visibility))
+      .mix(static_cast<int>(accelerator_policy))
+      .mix(aci_override_g_kwh)
+      .mix(pue_override)
+      .mix(fab_aci_kg_kwh)
+      .mix(default_utilization);
+  return fp.value();
 }
 
 namespace scenarios {

@@ -54,6 +54,15 @@ struct ScenarioSpec {
   /// Materialize the model options this spec describes.
   model::EasyCOptions to_options() const;
 
+  /// Stable cache key over the spec's *assessment identity*: the
+  /// visibility plus every knob that reaches to_options(). Two specs
+  /// with equal fingerprints produce bit-identical per-record
+  /// SystemAssessments, so the engine's memo table may serve one's
+  /// results to the other. name/description (presentation) and
+  /// service_years (applied after assessment, in annualized totals)
+  /// are deliberately excluded.
+  uint64_t fingerprint() const;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };
 

@@ -2,60 +2,82 @@
 
 #include <cmath>
 
-#include "analysis/interpolate.hpp"
-#include "analysis/pipeline.hpp"
-#include "analysis/projection.hpp"
 #include "analysis/scenario.hpp"
 #include "util/error.hpp"
-#include "util/stats.hpp"
-#include "util/units.hpp"
 
 namespace easyc::analysis {
 
 TurnoverReport analyze_turnover(
-    const std::vector<top500::ListEdition>& history) {
+    const std::vector<top500::ListEdition>& history,
+    const TurnoverOptions& opts) {
   EASYC_REQUIRE(history.size() >= 2,
                 "turnover analysis needs at least two editions");
   TurnoverReport report;
 
-  for (const auto& edition : history) {
+  AssessmentEngine local_engine(
+      {.pool = opts.pool, .cache_enabled = opts.use_cache});
+  AssessmentEngine& engine = opts.engine ? *opts.engine : local_engine;
+  const par::CacheStats before = engine.cache_stats();
+
+  ScenarioSet enhanced_only;
+  enhanced_only.add(scenarios::enhanced());
+  const auto assessed = engine.run(history, enhanced_only);
+
+  for (const auto& edition : assessed) {
+    const ScenarioResults& enhanced = edition.scenarios.front();
+    const FullListSeries full = interpolate_full_list(
+        enhanced.operational, enhanced.embodied, opts.interpolation);
     EditionFootprint fp;
     fp.label = edition.label;
     fp.num_new = edition.num_new;
-
-    const auto assessments =
-        assess_scenario(edition.records, scenarios::enhanced());
-    const auto op = interpolate_gaps(operational_series(assessments));
-    const auto emb = interpolate_gaps(embodied_series(assessments));
-    fp.op_total_mt = util::sum(op.values);
-    fp.emb_total_mt = util::sum(emb.values);
-    for (const auto& r : edition.records) {
-      fp.perf_pflops += r.rmax_tflops / util::kTFlopsPerPFlop;
-    }
-    report.editions.push_back(fp);
+    fp.op_total_mt = full.op_total_mt;
+    fp.emb_total_mt = full.emb_total_mt;
+    fp.perf_pflops = edition.perf_pflops;
+    report.editions.push_back(std::move(fp));
   }
+  report.cache = engine.cache_stats().since(before);
 
   const size_t cycles = report.editions.size() - 1;
   double new_sum = 0.0;
   double op_log = 0.0;
   double emb_log = 0.0;
+  double perf_log = 0.0;
   for (size_t i = 1; i < report.editions.size(); ++i) {
     new_sum += report.editions[i].num_new;
     op_log += std::log(report.editions[i].op_total_mt /
                        report.editions[i - 1].op_total_mt);
     emb_log += std::log(report.editions[i].emb_total_mt /
                         report.editions[i - 1].emb_total_mt);
+    perf_log += std::log(report.editions[i].perf_pflops /
+                         report.editions[i - 1].perf_pflops);
   }
   report.avg_new_per_cycle = new_sum / static_cast<double>(cycles);
   report.op_growth_per_cycle =
       std::exp(op_log / static_cast<double>(cycles)) - 1.0;
   report.emb_growth_per_cycle =
       std::exp(emb_log / static_cast<double>(cycles)) - 1.0;
+  report.perf_growth_per_cycle =
+      std::exp(perf_log / static_cast<double>(cycles)) - 1.0;
   report.op_growth_annualized =
       annualize_per_cycle_growth(report.op_growth_per_cycle);
   report.emb_growth_annualized =
       annualize_per_cycle_growth(report.emb_growth_per_cycle);
+  report.perf_growth_annualized =
+      annualize_per_cycle_growth(report.perf_growth_per_cycle);
   return report;
+}
+
+std::vector<ProjectionPoint> project_from_turnover(
+    const TurnoverReport& report, const ProjectionConfig& base) {
+  EASYC_REQUIRE(!report.editions.empty(),
+                "projection needs a measured history");
+  ProjectionConfig cfg = base;
+  cfg.op_growth = report.op_growth_annualized;
+  cfg.emb_growth = report.emb_growth_annualized;
+  cfg.perf_growth = report.perf_growth_annualized;
+  const EditionFootprint& first = report.editions.front();
+  return project(first.op_total_mt / 1000.0, first.emb_total_mt / 1000.0,
+                 first.perf_pflops, cfg);
 }
 
 }  // namespace easyc::analysis

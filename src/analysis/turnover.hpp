@@ -4,10 +4,21 @@
 // every edition of a simulated list history, difference the full-500
 // totals, and annualize the per-cycle growth. The measured rates feed
 // the projection (Figs. 10-11) instead of being assumed.
+//
+// The per-edition assessment runs on the shared AssessmentEngine: all
+// (edition, record) cells are sharded over one thread pool and memoized
+// by content fingerprint, so the ~452 systems that survive each cycle
+// are assessed once across the whole history instead of once per
+// edition. The report carries the engine's cache statistics so the
+// saving is visible, and results are bit-identical to a serial
+// re-assessment loop for any pool size and any cache state.
 #pragma once
 
 #include <vector>
 
+#include "analysis/assessment_engine.hpp"
+#include "analysis/interpolate.hpp"
+#include "analysis/projection.hpp"
 #include "top500/history.hpp"
 
 namespace easyc::analysis {
@@ -25,13 +36,39 @@ struct TurnoverReport {
   double avg_new_per_cycle = 0.0;
   double op_growth_per_cycle = 0.0;   ///< geometric mean over cycles
   double emb_growth_per_cycle = 0.0;
+  double perf_growth_per_cycle = 0.0;
   double op_growth_annualized = 0.0;  ///< (1+cycle)^2 - 1
   double emb_growth_annualized = 0.0;
+  double perf_growth_annualized = 0.0;
+  /// Engine cache activity during this analysis (hits = assessments
+  /// served from the memo table instead of recomputed).
+  par::CacheStats cache;
 };
 
-/// Assess every edition (enhanced scenario + interpolation to 500) and
-/// compute growth rates.
+struct TurnoverOptions {
+  InterpolationOptions interpolation;
+  /// Engine to run on; null = a private engine per call. A shared
+  /// engine keeps its cache warm across analyses (an unchanged history
+  /// re-runs as pure lookups).
+  AssessmentEngine* engine = nullptr;
+  /// Pool for the private engine (ignored when `engine` is set).
+  par::ThreadPool* pool = nullptr;
+  /// false = the no-cache ablation arm: every edition re-assessed from
+  /// scratch (ignored when `engine` is set). Results are identical.
+  bool use_cache = true;
+};
+
+/// Assess every edition (enhanced scenario + interpolation to 500) on
+/// the engine and compute growth rates.
 TurnoverReport analyze_turnover(
-    const std::vector<top500::ListEdition>& history);
+    const std::vector<top500::ListEdition>& history,
+    const TurnoverOptions& options = {});
+
+/// Projection seeded by the measured history instead of assumed rates:
+/// baselines from the first edition's footprint, growth from the
+/// measured annualized rates. `base` supplies the year range and the
+/// ideal-scaling counterfactual.
+std::vector<ProjectionPoint> project_from_turnover(
+    const TurnoverReport& report, const ProjectionConfig& base = {});
 
 }  // namespace easyc::analysis

@@ -1,0 +1,161 @@
+// A lock-striped memo table for concurrent workers.
+//
+// The assessment engine's workload is many parallel cells looking up /
+// inserting immutable results keyed by content fingerprints. A single
+// mutex around one hash map would serialize the hot path; full
+// lock-free machinery would be unauditable overkill. Lock striping is
+// the middle ground this repo favors (see thread_pool.hpp): the key
+// space is split over N independently-locked shards, so two workers
+// collide only when their keys land on the same stripe.
+//
+// Semantics are memoization, not general caching: values for a key are
+// assumed immutable (first writer wins; a racing duplicate insert is
+// dropped), so readers can copy values out under the shard lock and
+// never observe a torn update. Eviction, when a capacity is set, may
+// drop any entry — correctness never depends on residency, only speed.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace easyc::par {
+
+/// Counter snapshot of a cache's lifetime activity. hits/misses count
+/// lookup() calls; evictions counts entries dropped to respect the
+/// capacity bound; entries is the current resident count.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    const uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  /// Activity since an earlier snapshot of the same cache (counters
+  /// are monotonic; `entries` stays the current value).
+  CacheStats since(const CacheStats& earlier) const {
+    CacheStats d;
+    d.hits = hits - earlier.hits;
+    d.misses = misses - earlier.misses;
+    d.evictions = evictions - earlier.evictions;
+    d.entries = entries;
+    return d;
+  }
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedCache {
+ public:
+  /// `max_entries` == 0 means unbounded; otherwise the bound is
+  /// enforced per shard (max_entries / num_shards, minimum 1), so the
+  /// total resident count stays within ~max_entries.
+  explicit ShardedCache(size_t num_shards = 16, size_t max_entries = 0)
+      : shards_(num_shards == 0 ? 1 : num_shards) {
+    per_shard_cap_ =
+        max_entries == 0 ? 0 : std::max<size_t>(1, max_entries / shards_.size());
+  }
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  /// Copy the value for `key` into `out` if resident. Counts one hit
+  /// or one miss.
+  bool lookup(const Key& key, Value& out) const {
+    const Shard& shard = shard_for(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        out = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Memoize `value` for `key`. First writer wins: if the key is
+  /// already resident the call is a no-op (values per key are assumed
+  /// identical, so dropping the duplicate is sound).
+  void insert(const Key& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_ &&
+        shard.map.find(key) == shard.map.end()) {
+      // Capacity: drop an arbitrary resident entry. Any victim is
+      // correct (a future miss just recomputes), so no LRU bookkeeping.
+      shard.map.erase(shard.map.begin());
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.map.emplace(key, std::move(value));
+  }
+
+  /// lookup(); on miss, compute (outside any lock — `make` may be
+  /// expensive and may itself use the pool) and insert. Racing callers
+  /// for one key may each compute, but all return identical values.
+  template <typename Make>
+  Value get_or_compute(const Key& key, Make&& make) {
+    Value v;
+    if (lookup(key, v)) return v;
+    v = make();
+    insert(key, v);
+    return v;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  /// Drop all entries. Counters (hits/misses/evictions) keep running;
+  /// take a stats() snapshot and diff with CacheStats::since instead.
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.map.clear();
+    }
+  }
+
+  CacheStats stats() const {
+    CacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.entries = size();
+    return out;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  const Shard& shard_for(const Key& key) const {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+  Shard& shard_for(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_cap_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace easyc::par

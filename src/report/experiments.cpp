@@ -366,6 +366,38 @@ std::string scenario_summary(const analysis::PipelineResult& r) {
          "coverage columns\n  before comparing totals across scenarios)\n";
 }
 
+std::string turnover_summary(const analysis::TurnoverReport& r) {
+  std::string out = "Turnover across list editions (engine-sharded)\n";
+  util::TextTable t({"Edition", "New systems", "Op total (kMT)",
+                     "Emb total (kMT)", "Perf (PFlop/s)"});
+  for (const auto& e : r.editions) {
+    t.add_row({e.label, std::to_string(e.num_new),
+               format_double(e.op_total_mt / 1000.0, 0),
+               format_double(e.emb_total_mt / 1000.0, 0),
+               format_double(e.perf_pflops, 0)});
+  }
+  out += t.render();
+  out += "Measured growth (paper values in parentheses):\n";
+  out += "  new systems per cycle: " +
+         format_double(r.avg_new_per_cycle, 1) + " (48)\n";
+  out += "  operational per cycle: " +
+         format_double(r.op_growth_per_cycle * 100, 2) + "% (5%)\n";
+  out += "  embodied per cycle:    " +
+         format_double(r.emb_growth_per_cycle * 100, 2) + "% (1%)\n";
+  out += "  operational per year:  " +
+         format_double(r.op_growth_annualized * 100, 2) + "% (10.3%)\n";
+  out += "  embodied per year:     " +
+         format_double(r.emb_growth_annualized * 100, 2) + "% (2%)\n";
+  out += "  performance per year:  " +
+         format_double(r.perf_growth_annualized * 100, 2) + "%\n";
+  out += "Assessment cache: " + std::to_string(r.cache.hits) + " hits / " +
+         std::to_string(r.cache.misses) + " misses (" +
+         format_double(r.cache.hit_rate() * 100, 1) + "% hit rate), " +
+         std::to_string(r.cache.evictions) + " evictions, " +
+         std::to_string(r.cache.entries) + " resident\n";
+  return out;
+}
+
 std::string headline_numbers(const analysis::PipelineResult& r) {
   std::string out = "Headline assessment of the Top 500\n";
   out += "  Operational carbon (1 year, full 500): " +

@@ -8,6 +8,7 @@
 
 #include "analysis/pipeline.hpp"
 #include "analysis/sensitivity.hpp"
+#include "analysis/turnover.hpp"
 
 namespace easyc::report {
 
@@ -31,6 +32,10 @@ std::string headline_numbers(const analysis::PipelineResult& r);
 /// the part of the report the closed two-scenario pipeline could not
 /// produce.
 std::string scenario_summary(const analysis::PipelineResult& r);
+/// Multi-edition turnover: per-edition footprints, measured growth
+/// rates (paper values annotated), and the engine's cache statistics —
+/// shared by the CLI's --turnover mode and the turnover ablation bench.
+std::string turnover_summary(const analysis::TurnoverReport& r);
 
 /// Dump machine-readable figure data as CSV files under `dir`
 /// (created by the caller). Returns the list of files written.

@@ -1,6 +1,7 @@
 #include "top500/record.hpp"
 
 #include "util/error.hpp"
+#include "util/fingerprint.hpp"
 #include "util/strings.hpp"
 
 namespace easyc::top500 {
@@ -33,6 +34,57 @@ int SystemRecord::num_items_missing() const {
     if (!b) ++n;
   }
   return n;
+}
+
+namespace {
+
+// One word per disclosure mask: 11 flags packed as bits.
+uint64_t pack_disclosure(const Disclosure& d) {
+  uint64_t bits = 0;
+  for (bool b : {d.power, d.nodes, d.gpus, d.memory, d.memory_type, d.ssd,
+                 d.utilization, d.annual_energy, d.region,
+                 d.processor_identity, d.accelerator_identity}) {
+    bits = (bits << 1) | (b ? 1u : 0u);
+  }
+  return bits;
+}
+
+}  // namespace
+
+uint64_t SystemRecord::content_fingerprint() const {
+  util::Fingerprint fp;
+  // Everything but `rank`, in declaration order. Fields the model does
+  // not read today (site, vendor, ...) are included anyway: they are
+  // invariant for surviving systems, and hashing the full content keeps
+  // the key correct if a future model revision starts reading them.
+  fp.mix(name)
+      .mix(site)
+      .mix(country)
+      .mix(vendor)
+      .mix(segment)
+      .mix(year)
+      .mix(rmax_tflops)
+      .mix(rpeak_tflops)
+      .mix(static_cast<int64_t>(total_cores))
+      .mix(processor)
+      .mix(processor_public)
+      .mix(accelerator)
+      .mix(accelerator_public);
+  fp.mix(truth.power_kw)
+      .mix(static_cast<int64_t>(truth.nodes))
+      .mix(static_cast<int64_t>(truth.gpus))
+      .mix(static_cast<int64_t>(truth.cpus))
+      .mix(truth.memory_gb)
+      .mix(truth.memory_type)
+      .mix(truth.ssd_tb)
+      .mix(truth.utilization)
+      .mix(truth.annual_energy_kwh)
+      .mix(truth.region);
+  fp.mix_u64(pack_disclosure(top500)).mix_u64(pack_disclosure(with_public));
+  uint64_t items = 0;
+  for (bool b : item_reported) items = (items << 1) | (b ? 1u : 0u);
+  fp.mix_u64(items);
+  return fp.value();
 }
 
 const Disclosure& disclosure_for(const SystemRecord& r,

@@ -113,6 +113,14 @@ struct SystemRecord {
 
   /// Count of unreported Top500.org items (Fig. 2 x-axis).
   int num_items_missing() const;
+
+  /// Stable 64-bit hash of the record's *content*: every field except
+  /// `rank`. Rank is reassigned each list edition while the system
+  /// itself is unchanged (and `to_inputs` never reads it), so excluding
+  /// it lets the assessment cache recognize the ~452 survivors per
+  /// cycle. Any other field change — truth values, disclosure masks,
+  /// identities — changes the fingerprint.
+  uint64_t content_fingerprint() const;
 };
 
 /// The disclosure mask a visibility level reads. kFullKnowledge maps to

@@ -1,0 +1,83 @@
+// Content fingerprinting: a small, order-sensitive 64-bit hash
+// accumulator for building stable cache keys from value types.
+//
+// The assessment cache (parallel/sharded_cache.hpp, used by
+// analysis::AssessmentEngine) keys memoized results on the fingerprint
+// of everything the computation reads: a SystemRecord's content and a
+// ScenarioSpec's policy knobs. Fingerprints must therefore be *stable*
+// (same value -> same bits across runs and processes; no
+// pointer/iteration-order dependence), *sensitive* (any field change
+// flips the key), and cheap — every cache cell pays for one, so the
+// accumulator chains whole 64-bit words through a splitmix64 round
+// rather than walking bytes. They are not cryptographic — collisions
+// are astronomically unlikely at the fleet sizes involved but not
+// impossible, and the cache stores results, never secrets.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace easyc::util {
+
+/// One word of avalanche: the splitmix64 finalizer. Every input bit
+/// flips each output bit with ~50% probability.
+inline constexpr uint64_t mix_bits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive accumulator. Feed fields in a fixed order; every
+/// mix() is a fixed number of words (strings contribute their length),
+/// so concatenation ambiguity ("ab"+"c" vs "a"+"bc") cannot alias two
+/// different field sequences.
+class Fingerprint {
+ public:
+  /// Chain one word: the state nests inside the round, so word order
+  /// matters (unlike xor-folding independently hashed words).
+  Fingerprint& mix_u64(uint64_t v) {
+    state_ = mix_bits(state_ ^ v);
+    return *this;
+  }
+
+  Fingerprint& mix(int64_t v) { return mix_u64(static_cast<uint64_t>(v)); }
+  Fingerprint& mix(int v) { return mix(static_cast<int64_t>(v)); }
+  Fingerprint& mix(bool v) { return mix_u64(v ? 1u : 0u); }
+
+  /// Bit-pattern hash: distinguishes -0.0 from 0.0 and every NaN
+  /// payload, which is exactly right for a bit-identity cache.
+  Fingerprint& mix(double v) { return mix_u64(std::bit_cast<uint64_t>(v)); }
+
+  Fingerprint& mix(std::string_view s) {
+    mix_u64(s.size());
+    uint64_t word = 0;
+    int filled = 0;
+    for (unsigned char c : s) {
+      word = (word << 8) | c;
+      if (++filled == 8) {
+        mix_u64(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) mix_u64(word);
+    return *this;
+  }
+
+  /// Presence marker + value, so nullopt and 0.0 hash differently.
+  Fingerprint& mix(const std::optional<double>& v) {
+    mix(v.has_value());
+    if (v) mix(*v);
+    return *this;
+  }
+
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace easyc::util

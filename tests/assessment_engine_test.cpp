@@ -1,0 +1,359 @@
+// The multi-edition assessment engine: fingerprint stability and
+// sensitivity, warm-vs-cold bit-identity of the memo cache, cache
+// invalidation on record/spec changes, 1-vs-N-thread determinism of
+// the sharded run, and the >80% hit-rate acceptance bar on an
+// 8-edition history.
+#include "analysis/assessment_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pipeline.hpp"
+#include "analysis/turnover.hpp"
+#include "parallel/thread_pool.hpp"
+#include "top500/generator.hpp"
+#include "top500/history.hpp"
+#include "util/stats.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+namespace sc = scenarios;
+
+const std::vector<top500::ListEdition>& history8() {
+  static const auto kHistory = [] {
+    top500::HistoryConfig cfg;
+    cfg.editions = 8;
+    return top500::generate_history(cfg);
+  }();
+  return kHistory;
+}
+
+ScenarioSet enhanced_only() {
+  ScenarioSet set;
+  set.add(sc::enhanced());
+  return set;
+}
+
+void expect_identical(const ScenarioResults& a, const ScenarioResults& b) {
+  EXPECT_EQ(a.spec.name, b.spec.name);
+  EXPECT_EQ(a.coverage.operational, b.coverage.operational);
+  EXPECT_EQ(a.coverage.embodied, b.coverage.embodied);
+  ASSERT_EQ(a.operational.size(), b.operational.size());
+  for (size_t i = 0; i < a.operational.size(); ++i) {
+    ASSERT_EQ(a.operational[i].has_value(), b.operational[i].has_value());
+    if (a.operational[i]) {
+      EXPECT_DOUBLE_EQ(*a.operational[i], *b.operational[i]);
+    }
+    ASSERT_EQ(a.embodied[i].has_value(), b.embodied[i].has_value());
+    if (a.embodied[i]) EXPECT_DOUBLE_EQ(*a.embodied[i], *b.embodied[i]);
+  }
+}
+
+void expect_identical(const std::vector<EditionAssessment>& a,
+                      const std::vector<EditionAssessment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a[e].label, b[e].label);
+    EXPECT_DOUBLE_EQ(a[e].perf_pflops, b[e].perf_pflops);
+    ASSERT_EQ(a[e].scenarios.size(), b[e].scenarios.size());
+    for (size_t s = 0; s < a[e].scenarios.size(); ++s) {
+      expect_identical(a[e].scenarios[s], b[e].scenarios[s]);
+    }
+  }
+}
+
+// --- fingerprints ---------------------------------------------------
+
+TEST(RecordFingerprint, IgnoresRankOnly) {
+  const auto records = top500::generate_records();
+  top500::SystemRecord r = records[7];
+  const uint64_t fp = r.content_fingerprint();
+
+  top500::SystemRecord reranked = r;
+  reranked.rank = 499;  // survivors are re-ranked each edition
+  EXPECT_EQ(reranked.content_fingerprint(), fp);
+
+  top500::SystemRecord repowered = r;
+  repowered.truth.power_kw += 1.0;
+  EXPECT_NE(repowered.content_fingerprint(), fp);
+
+  top500::SystemRecord renamed = r;
+  renamed.name += "-x";
+  EXPECT_NE(renamed.content_fingerprint(), fp);
+
+  top500::SystemRecord redisclosed = r;
+  redisclosed.with_public.power = !redisclosed.with_public.power;
+  EXPECT_NE(redisclosed.content_fingerprint(), fp);
+
+  top500::SystemRecord reidentified = r;
+  reidentified.accelerator_public = "NVIDIA H200";
+  EXPECT_NE(reidentified.content_fingerprint(), fp);
+}
+
+TEST(RecordFingerprint, StableAcrossCopies) {
+  const auto records = top500::generate_records();
+  for (size_t i = 0; i < 10; ++i) {
+    const top500::SystemRecord copy = records[i];
+    EXPECT_EQ(copy.content_fingerprint(), records[i].content_fingerprint());
+  }
+}
+
+TEST(SpecFingerprint, TracksAssessmentIdentityNotPresentation) {
+  const uint64_t fp = sc::enhanced().fingerprint();
+  EXPECT_EQ(sc::enhanced().fingerprint(), fp);
+
+  // Presentation fields and post-assessment amortization do not change
+  // per-record assessments, so they are excluded from the key.
+  ScenarioSpec renamed = sc::enhanced();
+  renamed.name = "whatif/alias";
+  renamed.description = "same assessments under another name";
+  renamed.service_years = 8.0;
+  EXPECT_EQ(renamed.fingerprint(), fp);
+
+  // Every assessment-relevant knob must invalidate.
+  ScenarioSpec vis = sc::enhanced();
+  vis.visibility = top500::DataVisibility::kFullKnowledge;
+  EXPECT_NE(vis.fingerprint(), fp);
+  ScenarioSpec pol = sc::enhanced();
+  pol.accelerator_policy = model::AcceleratorPolicy::kStrict;
+  EXPECT_NE(pol.fingerprint(), fp);
+  ScenarioSpec aci = sc::enhanced();
+  aci.aci_override_g_kwh = 25.0;
+  EXPECT_NE(aci.fingerprint(), fp);
+  ScenarioSpec pue = sc::enhanced();
+  pue.pue_override = 1.1;
+  EXPECT_NE(pue.fingerprint(), fp);
+  ScenarioSpec fab = sc::enhanced();
+  fab.fab_aci_kg_kwh = 0.2;
+  EXPECT_NE(fab.fingerprint(), fp);
+  ScenarioSpec util_prior = sc::enhanced();
+  util_prior.default_utilization = 0.5;
+  EXPECT_NE(util_prior.fingerprint(), fp);
+
+  // A present-but-zero override differs from an absent one.
+  ScenarioSpec zero_aci = sc::enhanced();
+  zero_aci.aci_override_g_kwh = 0.0;
+  EXPECT_NE(zero_aci.fingerprint(), fp);
+
+  EXPECT_NE(sc::baseline().fingerprint(), sc::enhanced().fingerprint());
+}
+
+// --- cache correctness ----------------------------------------------
+
+TEST(AssessmentEngine, WarmAndColdRunsAreBitIdentical) {
+  par::ThreadPool one(1);
+  AssessmentEngine engine({.pool = &one});
+  const auto cold = engine.run(history8(), enhanced_only());
+  const auto after_cold = engine.cache_stats();
+  const auto warm = engine.run(history8(), enhanced_only());
+  const auto warm_delta = engine.cache_stats().since(after_cold);
+
+  expect_identical(cold, warm);
+  // The warm run is pure lookups: every cell hits.
+  EXPECT_EQ(warm_delta.misses, 0u);
+  EXPECT_EQ(warm_delta.hits, 8u * 500u);
+}
+
+TEST(AssessmentEngine, CacheMatchesNoCacheResults) {
+  par::ThreadPool one(1);
+  AssessmentEngine cached({.pool = &one});
+  AssessmentEngine uncached({.pool = &one, .cache_enabled = false});
+  expect_identical(cached.run(history8(), enhanced_only()),
+                   uncached.run(history8(), enhanced_only()));
+  EXPECT_EQ(uncached.cache_stats().lookups(), 0u);
+}
+
+TEST(AssessmentEngine, SurvivorsAssessedExactlyOnceAcrossHistory) {
+  par::ThreadPool one(1);
+  AssessmentEngine engine({.pool = &one});
+  engine.run(history8(), enhanced_only());
+  const auto stats = engine.cache_stats();
+
+  // Unique content across the history: the 500 systems of edition 0
+  // plus the entrants of each later cycle. Everything else must be a
+  // memo hit.
+  uint64_t unique = 500;
+  for (size_t e = 1; e < history8().size(); ++e) {
+    unique += static_cast<uint64_t>(history8()[e].num_new);
+  }
+  EXPECT_EQ(stats.misses, unique);
+  EXPECT_EQ(stats.hits, 8u * 500u - unique);
+  EXPECT_EQ(stats.entries, unique);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(AssessmentEngine, AcceptanceHitRateOver80PercentOn8Editions) {
+  // The acceptance bar: warm-cache multi-edition turnover reports >80%
+  // hits on an 8-edition history. The cold pass alone lands at ~79%
+  // (836 unique systems / 4000 cells); with the cache warm the rate is
+  // 100%, and the cumulative engine rate clears 80% comfortably.
+  par::ThreadPool one(1);
+  AssessmentEngine engine({.pool = &one});
+  TurnoverOptions opts;
+  opts.engine = &engine;
+
+  const auto cold = analyze_turnover(history8(), opts);
+  EXPECT_GT(cold.cache.hit_rate(), 0.75);
+  const auto warm = analyze_turnover(history8(), opts);
+  EXPECT_DOUBLE_EQ(warm.cache.hit_rate(), 1.0);
+  EXPECT_GT(engine.cache_stats().hit_rate(), 0.80);
+}
+
+TEST(AssessmentEngine, RecordChangeInvalidatesOnlyThatCell) {
+  par::ThreadPool one(1);
+  auto records = top500::generate_records();
+  records.resize(40);
+  AssessmentEngine engine({.pool = &one});
+  engine.assess(records, enhanced_only());
+  const auto before = engine.cache_stats();
+
+  records[3].truth.power_kw *= 1.5;  // content change -> new fingerprint
+  const auto redone = engine.assess(records, enhanced_only());
+  const auto delta = engine.cache_stats().since(before);
+  EXPECT_EQ(delta.misses, 1u);
+  EXPECT_EQ(delta.hits, 39u);
+
+  // And the recomputed cell reflects the change (more power -> more
+  // operational carbon) rather than serving the stale entry.
+  AssessmentEngine fresh({.pool = &one, .cache_enabled = false});
+  expect_identical(redone.scenarios[0],
+                   fresh.assess(records, enhanced_only()).scenarios[0]);
+}
+
+TEST(AssessmentEngine, SpecOverrideChangeInvalidatesAllCells) {
+  par::ThreadPool one(1);
+  auto records = top500::generate_records();
+  records.resize(40);
+  AssessmentEngine engine({.pool = &one});
+  engine.assess(records, enhanced_only());
+  const auto before = engine.cache_stats();
+
+  ScenarioSpec tweaked = sc::enhanced();
+  tweaked.name = "whatif/tweaked";
+  tweaked.pue_override = 1.05;
+  ScenarioSet set;
+  set.add(tweaked);
+  engine.assess(records, set);
+  const auto delta = engine.cache_stats().since(before);
+  EXPECT_EQ(delta.misses, 40u);
+  EXPECT_EQ(delta.hits, 0u);
+}
+
+TEST(AssessmentEngine, CapacityBoundEvictsButStaysCorrect) {
+  par::ThreadPool one(1);
+  AssessmentEngine bounded(
+      {.pool = &one, .cache_capacity = 100, .cache_shards = 4});
+  AssessmentEngine unbounded({.pool = &one});
+  expect_identical(bounded.run(history8(), enhanced_only()),
+                   unbounded.run(history8(), enhanced_only()));
+  const auto stats = bounded.cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 100u);
+}
+
+TEST(AssessmentEngine, FingerprintAliasScenariosShareOneAssessment) {
+  // enhanced and whatif/extended-lifetime differ only in presentation
+  // and amortization, so their fingerprints coincide; the alias runs
+  // after its primary and is served from the memo — 60 records cost 60
+  // computes + 60 hits, on any pool size.
+  auto records = top500::generate_records();
+  records.resize(60);
+  ScenarioSet set;
+  set.add(sc::enhanced()).add(sc::extended_lifetime());
+
+  par::ThreadPool one(1);
+  par::ThreadPool wide(4);
+  AssessmentEngine a({.pool = &one});
+  AssessmentEngine b({.pool = &wide});
+  const auto ra = a.assess(records, set);
+  const auto rb = b.assess(records, set);
+  for (const AssessmentEngine* engine : {&a, &b}) {
+    EXPECT_EQ(engine->cache_stats().misses, 60u);
+    EXPECT_EQ(engine->cache_stats().hits, 60u);
+    EXPECT_EQ(engine->cache_stats().entries, 60u);
+  }
+  // Identical per-record carbon under both names; only the annualized
+  // view (spec.service_years) differs.
+  ASSERT_EQ(ra.scenarios.size(), 2u);
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(ra.scenarios[0].operational[i], ra.scenarios[1].operational[i]);
+    EXPECT_EQ(ra.scenarios[0].embodied[i], ra.scenarios[1].embodied[i]);
+    EXPECT_EQ(ra.scenarios[0].operational[i], rb.scenarios[0].operational[i]);
+  }
+}
+
+// --- sharded determinism --------------------------------------------
+
+TEST(AssessmentEngine, OneVsManyThreadsBitIdentical) {
+  par::ThreadPool one(1);
+  par::ThreadPool wide(4);
+  AssessmentEngine a({.pool = &one});
+  AssessmentEngine b({.pool = &wide});
+  expect_identical(a.run(history8(), enhanced_only()),
+                   b.run(history8(), enhanced_only()));
+  // The per-edition wavefront keeps even the hit/miss split identical.
+  EXPECT_EQ(a.cache_stats().misses, b.cache_stats().misses);
+}
+
+// --- turnover + projection on the engine ----------------------------
+
+TEST(Turnover, EngineMatchesSerialReferenceBitIdentically) {
+  TurnoverOptions opts;  // private engine, cache on
+  const auto report = analyze_turnover(history8(), opts);
+  ASSERT_EQ(report.editions.size(), history8().size());
+
+  for (size_t e = 0; e < history8().size(); ++e) {
+    // The seed's serial loop, inlined: off-engine scenario assessment
+    // plus interpolation to the full list.
+    const auto assessments =
+        assess_scenario(history8()[e].records, sc::enhanced());
+    const auto op = interpolate_gaps(operational_series(assessments));
+    const auto emb = interpolate_gaps(embodied_series(assessments));
+    EXPECT_DOUBLE_EQ(report.editions[e].op_total_mt, util::sum(op.values))
+        << history8()[e].label;
+    EXPECT_DOUBLE_EQ(report.editions[e].emb_total_mt, util::sum(emb.values))
+        << history8()[e].label;
+  }
+  EXPECT_GT(report.cache.hits, 0u);
+}
+
+TEST(Turnover, ProjectionFromMeasuredHistory) {
+  const auto report = analyze_turnover(history8());
+  const auto series = project_from_turnover(report);
+  ASSERT_FALSE(series.empty());
+  EXPECT_DOUBLE_EQ(series.front().operational_kmt,
+                   report.editions.front().op_total_mt / 1000.0);
+  EXPECT_DOUBLE_EQ(series.front().perf_pflops,
+                   report.editions.front().perf_pflops);
+  // The measured growth compounds across the horizon.
+  const double t =
+      static_cast<double>(series.back().year - series.front().year);
+  EXPECT_NEAR(series.back().operational_kmt,
+              series.front().operational_kmt *
+                  std::pow(1.0 + report.op_growth_annualized, t),
+              1e-9 * series.back().operational_kmt);
+}
+
+TEST(Pipeline, SharedEngineServesRepeatRunsFromCache) {
+  par::ThreadPool one(1);
+  AssessmentEngine engine({.pool = &one});
+  PipelineConfig cfg;
+  cfg.engine = &engine;
+  const auto a = run_pipeline(cfg);
+  const auto after_first = engine.cache_stats();
+  const auto b = run_pipeline(cfg);
+  const auto delta = engine.cache_stats().since(after_first);
+
+  EXPECT_EQ(delta.misses, 0u);  // unchanged config: pure lookups
+  EXPECT_DOUBLE_EQ(a.op_total_full_mt, b.op_total_full_mt);
+  EXPECT_DOUBLE_EQ(a.emb_total_full_mt, b.emb_total_full_mt);
+  ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+  for (size_t s = 0; s < a.scenarios.size(); ++s) {
+    expect_identical(a.scenarios[s], b.scenarios[s]);
+  }
+}
+
+}  // namespace
+}  // namespace easyc::analysis

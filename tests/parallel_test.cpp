@@ -1,4 +1,5 @@
 #include "parallel/algorithms.hpp"
+#include "parallel/sharded_cache.hpp"
 #include "parallel/thread_pool.hpp"
 
 #include <gtest/gtest.h>
@@ -6,6 +7,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace easyc::par {
@@ -116,6 +118,83 @@ TEST_P(PoolSizeSweep, ReduceIsDeterministicAcrossPoolSizes) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizeSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+TEST(ShardedCache, LookupInsertRoundTripAndStats) {
+  ShardedCache<int, std::string> cache(4);
+  std::string out;
+  EXPECT_FALSE(cache.lookup(1, out));
+  cache.insert(1, "one");
+  ASSERT_TRUE(cache.lookup(1, out));
+  EXPECT_EQ(out, "one");
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ShardedCache, FirstWriterWins) {
+  ShardedCache<int, int> cache(2);
+  cache.insert(7, 70);
+  cache.insert(7, 71);  // duplicate for an immutable key: dropped
+  int out = 0;
+  ASSERT_TRUE(cache.lookup(7, out));
+  EXPECT_EQ(out, 70);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedCache, CapacityBoundEvicts) {
+  ShardedCache<int, int> cache(1, 4);
+  for (int i = 0; i < 100; ++i) cache.insert(i, i);
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.entries, 4u);
+  EXPECT_EQ(stats.evictions, 96u);
+}
+
+TEST(ShardedCache, GetOrComputeMemoizes) {
+  ShardedCache<int, int> cache(4);
+  std::atomic<int> computed{0};
+  auto square = [&](int k) {
+    return cache.get_or_compute(k, [&] {
+      ++computed;
+      return k * k;
+    });
+  };
+  EXPECT_EQ(square(6), 36);
+  EXPECT_EQ(square(6), 36);
+  EXPECT_EQ(computed.load(), 1);
+}
+
+TEST(ShardedCache, ConcurrentMixedUseIsConsistent) {
+  ThreadPool pool(4);
+  ShardedCache<size_t, size_t> cache(8);
+  // Many workers memoizing an overlapping key space: every returned
+  // value must be the pure function of its key.
+  parallel_for(pool, 0, 10000, [&](size_t i) {
+    const size_t key = i % 257;
+    const size_t v = cache.get_or_compute(key, [&] { return key * 3; });
+    ASSERT_EQ(v, key * 3);
+  });
+  EXPECT_EQ(cache.size(), 257u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), 10000u);
+  EXPECT_GE(stats.hits, 10000u - 257u * 4u);  // racing first computes allowed
+}
+
+TEST(ShardedCache, ClearDropsEntriesKeepsCounters) {
+  ShardedCache<int, int> cache(2);
+  cache.insert(1, 1);
+  int out;
+  cache.lookup(1, out);
+  const auto before = cache.stats();
+  cache.clear();
+  const auto after = cache.stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_FALSE(cache.lookup(1, out));
+  EXPECT_EQ(after.since(before).hits, 0u);
+}
 
 TEST(GlobalPool, IsUsable) {
   std::atomic<int> n{0};

@@ -16,9 +16,13 @@
 #include "analysis/coverage.hpp"
 #include "analysis/pipeline.hpp"
 #include "analysis/scenario.hpp"
+#include "analysis/turnover.hpp"
 #include "easyc/amortization.hpp"
 #include "easyc/model.hpp"
+#include "report/experiments.hpp"
+#include "top500/history.hpp"
 #include "top500/import.hpp"
+#include "util/ascii.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -60,6 +64,12 @@ void declare_flags(util::ArgParser& args) {
                 "(see --list-scenarios; default: baseline)");
   args.add_flag("list-scenarios", "list registered scenarios and exit",
                 /*takes_value=*/false);
+  args.add_flag("turnover",
+                "run the multi-edition assessment engine over a simulated "
+                "list history and report measured growth + cache stats",
+                /*takes_value=*/false);
+  args.add_flag("editions",
+                "list editions for --turnover (default 8, minimum 2)");
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
@@ -216,6 +226,35 @@ int assess_top500_export(const std::string& path,
   return 0;
 }
 
+int run_turnover(int editions) {
+  if (editions < 2) {
+    throw util::Error("--editions must be at least 2 (growth needs a cycle)");
+  }
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = editions;
+  std::printf("simulating %d list editions (~%d entrants per cycle)...\n",
+              cfg.editions, cfg.entrants_per_cycle);
+  const auto history = easyc::top500::generate_history(cfg);
+
+  easyc::analysis::AssessmentEngine engine;
+  easyc::analysis::TurnoverOptions opts;
+  opts.engine = &engine;
+  const auto report = easyc::analysis::analyze_turnover(history, opts);
+  std::fputs(easyc::report::turnover_summary(report).c_str(), stdout);
+
+  std::printf("\nProjection from the measured growth rates:\n");
+  easyc::util::TextTable t({"Year", "Op kMT", "Emb kMT", "PFlop/s"});
+  for (const auto& p :
+       easyc::analysis::project_from_turnover(report)) {
+    t.add_row({std::to_string(p.year),
+               util::format_double(p.operational_kmt, 0),
+               util::format_double(p.embodied_kmt, 0),
+               util::format_double(p.perf_pflops, 0)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +274,13 @@ int main(int argc, char** argv) {
         std::printf("%-36s %s\n", s.name.c_str(), s.description.c_str());
       }
       return 0;
+    }
+    if (args.has("turnover")) {
+      return run_turnover(
+          static_cast<int>(args.get_double("editions").value_or(8.0)));
+    }
+    if (args.has("editions")) {
+      throw util::Error("--editions applies only to --turnover runs");
     }
     model::EasyCOptions opt;
     if (args.has("approximate-accelerators")) {
