@@ -11,6 +11,7 @@
 #include "bench/common.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <functional>
 
 #include "analysis/turnover.hpp"
@@ -64,6 +65,21 @@ std::string engine_report() {
         easyc::analysis::analyze_turnover(history8(), cached).cache.hit_rate();
   });
 
+  // The cross-process warm start: persist the warm cache, load it into
+  // a fresh engine (a new CLI invocation), and re-run the analysis.
+  const std::string snapshot_path = "bench_engine_cache_snapshot.bin";
+  engine.save_cache(snapshot_path);
+  AssessmentEngine restored({.pool = &one});
+  TurnoverOptions from_disk;
+  from_disk.engine = &restored;
+  double disk_rate = 0.0;
+  const double t_disk = seconds_of([&] {
+    restored.load_cache(snapshot_path);
+    disk_rate = easyc::analysis::analyze_turnover(history8(), from_disk)
+                    .cache.hit_rate();
+  });
+  std::remove(snapshot_path.c_str());
+
   out += "  no-cache serial loop: " + format_double(t_serial * 1000, 1) +
          " ms\n";
   out += "  engine, cold cache:   " + format_double(t_cold * 1000, 1) +
@@ -72,6 +88,10 @@ std::string engine_report() {
   out += "  engine, warm cache:   " + format_double(t_warm * 1000, 1) +
          " ms (" + format_double(warm_rate * 100, 1) + "% hits, " +
          format_double(t_serial / t_warm, 2) + "x)\n";
+  out += "  fresh engine, disk snapshot (load + run): " +
+         format_double(t_disk * 1000, 1) + " ms (" +
+         format_double(disk_rate * 100, 1) + "% hits, " +
+         format_double(t_serial / t_disk, 2) + "x)\n";
   out += "  target: >3x for the cached engine on 1 core\n";
   return out;
 }
@@ -132,6 +152,32 @@ void BM_EngineNoCacheHistory(benchmark::State& state) {
                           static_cast<int64_t>(scenarios.size()));
 }
 BENCHMARK(BM_EngineNoCacheHistory)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Snapshot round-trip at cache-persistence granularity: serialize the
+// warm ~836-entry memo table to a file and load it into a fresh
+// engine. This is the fixed cost a CLI warm start pays before its
+// pure-lookup run.
+void BM_CacheSnapshotRoundTrip(benchmark::State& state) {
+  easyc::top500::HistoryConfig cfg;
+  cfg.editions = static_cast<int>(state.range(0));
+  const auto history = easyc::top500::generate_history(cfg);
+  const auto scenarios = easyc::analysis::ScenarioSet::paper();
+  AssessmentEngine warm;
+  warm.run(history, scenarios);
+  const std::string path = "bench_cache_roundtrip.bin";
+  for (auto _ : state) {
+    warm.save_cache(path);
+    AssessmentEngine fresh;
+    const size_t n = fresh.load_cache(path);
+    benchmark::DoNotOptimize(n);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(warm.cache_stats().entries));
+}
+BENCHMARK(BM_CacheSnapshotRoundTrip)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

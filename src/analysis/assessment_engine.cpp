@@ -1,10 +1,19 @@
 #include "analysis/assessment_engine.hpp"
 
-#include <array>
+#include <unistd.h>
 
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "easyc/codec.hpp"
 #include "parallel/algorithms.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/serialize.hpp"
 #include "util/units.hpp"
 
 namespace easyc::analysis {
@@ -225,6 +234,83 @@ std::vector<EditionAssessment> AssessmentEngine::run(
                    out[e]);
   }
   return out;
+}
+
+uint64_t AssessmentEngine::cache_scheme_tag() {
+  // Canaries exercise the two fingerprint schemes a cache key is built
+  // from. Any change to util::Fingerprint, to the record field set
+  // content_fingerprint() walks, or to the spec knobs fingerprint()
+  // covers moves these values — the codec version covers the value
+  // encoding and the semantics version covers the model's math — so a
+  // snapshot from an older scheme fails the tag check instead of being
+  // silently misinterpreted (or silently served stale).
+  top500::SystemRecord canary_record;
+  canary_record.name = "scheme-canary";
+  canary_record.country = "Atlantis";
+  canary_record.processor = "Canary 64C 2.0GHz";
+  canary_record.truth.power_kw = 1234.5;
+  canary_record.top500.power = true;
+  return util::Fingerprint{}
+      .mix_u64(canary_record.content_fingerprint())
+      .mix_u64(scenarios::baseline().fingerprint())
+      .mix_u64(model::kAssessmentCodecVersion)
+      .mix_u64(model::kAssessmentSemanticsVersion)
+      .value();
+}
+
+void AssessmentEngine::save_cache(const std::string& path) const {
+  const std::string bytes = cache_.snapshot(
+      cache_scheme_tag(),
+      [](util::BinaryWriter& w, const CellKey& key) {
+        w.u64(key.record_fp).u64(key.scenario_fp);
+      },
+      [](util::BinaryWriter& w, const model::SystemAssessment& a) {
+        model::encode_assessment(w, a);
+      });
+  // Write-to-temp + rename, so a crash or full disk mid-write can only
+  // lose the *update* — an existing good snapshot at `path` survives
+  // any failed save, and concurrent savers cannot interleave into a
+  // corrupt file (pid + counter make the temp unique across processes
+  // *and* threads; the last rename wins whole).
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw util::Error("cannot open cache file for writing: " + tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw util::Error("short write to cache file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw util::Error("cannot move cache file into place: " + path);
+  }
+}
+
+size_t AssessmentEngine::load_cache(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::Error("cannot open cache file for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw util::Error("read failure on cache file: " + path);
+  const std::string bytes = buf.str();
+  return cache_.restore(
+      bytes, cache_scheme_tag(),
+      [](util::BinaryReader& r) {
+        CellKey key;
+        key.record_fp = r.u64();
+        key.scenario_fp = r.u64();
+        return key;
+      },
+      [](util::BinaryReader& r) { return model::decode_assessment(r); });
 }
 
 EditionAssessment AssessmentEngine::assess(

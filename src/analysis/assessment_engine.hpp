@@ -123,6 +123,29 @@ class AssessmentEngine {
   par::CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
 
+  /// Persist the memo cache to `path` as a versioned, checksummed
+  /// ShardedCache snapshot (see sharded_cache.hpp for the header
+  /// layout) whose scheme tag is cache_scheme_tag(). Works whether the
+  /// cache is cold, warm, or mid-eviction. Throws util::Error when the
+  /// file cannot be written.
+  void save_cache(const std::string& path) const;
+
+  /// Warm-start the memo cache from a save_cache() file: a later
+  /// process re-running unchanged inputs becomes pure lookups. Returns
+  /// the number of entries the snapshot carried. Throws util::Error
+  /// when the file cannot be read and util::CodecError when it is
+  /// corrupt, truncated, or written under a different format version
+  /// or fingerprint/codec scheme — a bad file is rejected, never
+  /// partially trusted beyond the entries already decoded.
+  size_t load_cache(const std::string& path);
+
+  /// The scheme tag snapshot files are bound to: a fingerprint over a
+  /// canary record fingerprint, a canary scenario fingerprint, and the
+  /// assessment codec version. If the fingerprinting algorithm, the
+  /// fingerprinted field set, or the value codec changes shape, the
+  /// tag changes and older snapshots are rejected as stale.
+  static uint64_t cache_scheme_tag();
+
  private:
   struct CellKey {
     uint64_t record_fp = 0;

@@ -1,0 +1,81 @@
+#include "easyc/codec.hpp"
+
+namespace easyc::model {
+
+namespace {
+
+void encode_operational(util::BinaryWriter& w, const OperationalResult& r) {
+  w.f64(r.mt_co2e)
+      .f64(r.annual_kwh)
+      .f64(r.it_kw)
+      .f64(r.pue)
+      .f64(r.aci_g_kwh)
+      .boolean(r.aci_region_refined)
+      .u8(static_cast<uint8_t>(r.path))
+      .f64(r.utilization);
+}
+
+OperationalResult decode_operational(util::BinaryReader& r) {
+  OperationalResult out;
+  out.mt_co2e = r.f64();
+  out.annual_kwh = r.f64();
+  out.it_kw = r.f64();
+  out.pue = r.f64();
+  out.aci_g_kwh = r.f64();
+  out.aci_region_refined = r.boolean();
+  const uint8_t path = r.u8();
+  if (path > static_cast<uint8_t>(EnergyPath::kCoreCountEstimate)) {
+    throw util::CodecError("energy path byte " + std::to_string(path) +
+                           " is outside the EnergyPath enum");
+  }
+  out.path = static_cast<EnergyPath>(path);
+  out.utilization = r.f64();
+  return out;
+}
+
+void encode_embodied(util::BinaryWriter& w, const EmbodiedBreakdown& b) {
+  w.f64(b.cpu_mt)
+      .f64(b.gpu_mt)
+      .f64(b.memory_mt)
+      .f64(b.storage_mt)
+      .f64(b.platform_mt)
+      .f64(b.interconnect_mt)
+      .f64(b.total_mt)
+      .boolean(b.used_gpu_proxy)
+      .boolean(b.used_memory_default)
+      .boolean(b.used_storage_default);
+}
+
+EmbodiedBreakdown decode_embodied(util::BinaryReader& r) {
+  EmbodiedBreakdown out;
+  out.cpu_mt = r.f64();
+  out.gpu_mt = r.f64();
+  out.memory_mt = r.f64();
+  out.storage_mt = r.f64();
+  out.platform_mt = r.f64();
+  out.interconnect_mt = r.f64();
+  out.total_mt = r.f64();
+  out.used_gpu_proxy = r.boolean();
+  out.used_memory_default = r.boolean();
+  out.used_storage_default = r.boolean();
+  return out;
+}
+
+}  // namespace
+
+void encode_assessment(util::BinaryWriter& w, const SystemAssessment& a) {
+  w.str(a.name);
+  encode_outcome(w, a.operational, encode_operational);
+  encode_outcome(w, a.embodied, encode_embodied);
+}
+
+SystemAssessment decode_assessment(util::BinaryReader& r) {
+  SystemAssessment out;
+  out.name = r.str();
+  out.operational =
+      decode_outcome<OperationalResult>(r, decode_operational);
+  out.embodied = decode_outcome<EmbodiedBreakdown>(r, decode_embodied);
+  return out;
+}
+
+}  // namespace easyc::model

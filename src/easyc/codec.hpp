@@ -1,0 +1,67 @@
+// Binary codec for assessment results (the cache-snapshot value type).
+//
+// The engine's memo cache persists SystemAssessments to disk so later
+// processes warm-start instead of recomputing. The codec writes every
+// field explicitly through util::BinaryWriter — no struct memcpy — so
+// the bytes are stable across platforms, and it carries its own version
+// (kAssessmentCodecVersion) that snapshot headers bind into their
+// scheme tag: adding or reordering a field here must bump the version,
+// which invalidates old snapshot files instead of misreading them.
+//
+// Outcome<T> is encoded as its ok flag followed by either the value or
+// the non-empty reason list, so coverage failures — a first-class paper
+// result — round-trip exactly like successes.
+#pragma once
+
+#include "easyc/model.hpp"
+#include "util/serialize.hpp"
+
+namespace easyc::model {
+
+/// Bump whenever any encode_/decode_ pair below changes shape.
+inline constexpr uint32_t kAssessmentCodecVersion = 1;
+
+/// Bump whenever assessment *semantics* change — emission factors,
+/// option defaults, estimation-path logic, anything that makes the
+/// same inputs produce different numbers. The cache scheme tag mixes
+/// this in, so snapshots computed by an older model are rejected as
+/// stale instead of silently serving pre-change values (record and
+/// scenario fingerprints only cover the *inputs*, not the model).
+inline constexpr uint32_t kAssessmentSemanticsVersion = 1;
+
+void encode_assessment(util::BinaryWriter& w, const SystemAssessment& a);
+SystemAssessment decode_assessment(util::BinaryReader& r);
+
+/// Generic Outcome<T> codec; `value` encodes/decodes the success type.
+template <typename T, typename EncodeValue>
+void encode_outcome(util::BinaryWriter& w, const Outcome<T>& o,
+                    EncodeValue&& value) {
+  w.boolean(o.ok());
+  if (o.ok()) {
+    value(w, o.value());
+    return;
+  }
+  w.u64(o.reasons().size());
+  for (const std::string& reason : o.reasons()) w.str(reason);
+}
+
+template <typename T, typename DecodeValue>
+Outcome<T> decode_outcome(util::BinaryReader& r, DecodeValue&& value) {
+  if (r.boolean()) return Outcome<T>::success(value(r));
+  const uint64_t n = r.u64();
+  if (n == 0) throw util::CodecError("failure Outcome with no reasons");
+  // Bound the count by the bytes that could possibly back it (each
+  // reason carries at least its u64 length prefix) before reserving,
+  // so a corrupt count raises CodecError, not length_error/bad_alloc.
+  if (n > r.remaining() / 8) {
+    throw util::CodecError("failure Outcome claims " + std::to_string(n) +
+                           " reasons but only " +
+                           std::to_string(r.remaining()) + " bytes remain");
+  }
+  std::vector<std::string> reasons;
+  reasons.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) reasons.push_back(r.str());
+  return Outcome<T>::failure(std::move(reasons));
+}
+
+}  // namespace easyc::model

@@ -11,17 +11,32 @@
 // Semantics are memoization, not general caching: values for a key are
 // assumed immutable (first writer wins; a racing duplicate insert is
 // dropped), so readers can copy values out under the shard lock and
-// never observe a torn update. Eviction, when a capacity is set, may
-// drop any entry — correctness never depends on residency, only speed.
+// never observe a torn update. When a capacity is set, each shard
+// evicts its least-recently-used entry (lookup hits refresh recency) —
+// correctness never depends on residency, only speed, but LRU keeps
+// the hot working set resident under pressure and makes the victim
+// deterministic for the eviction accounting.
+//
+// The table can be persisted: snapshot() serializes every entry under
+// the stripe locks behind a checksummed, versioned header, and
+// restore() loads such a snapshot back through the normal insert path.
+// Stale (wrong version / scheme tag) or corrupt (bad magic, checksum,
+// truncation) snapshots are rejected with util::CodecError, never
+// trusted.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/serialize.hpp"
 
 namespace easyc::par {
 
@@ -54,6 +69,12 @@ struct CacheStats {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedCache {
  public:
+  /// Snapshot container format (the header layout below). Bump when the
+  /// header or entry framing changes shape.
+  static constexpr uint32_t kSnapshotFormatVersion = 1;
+  /// First bytes of every snapshot; anything else is not a snapshot.
+  static constexpr std::string_view kSnapshotMagic = "EZCSNAP\n";
+
   /// `max_entries` == 0 means unbounded; otherwise the bound is
   /// enforced per shard (max_entries / num_shards, minimum 1), so the
   /// total resident count stays within ~max_entries.
@@ -67,14 +88,23 @@ class ShardedCache {
   ShardedCache& operator=(const ShardedCache&) = delete;
 
   /// Copy the value for `key` into `out` if resident. Counts one hit
-  /// or one miss.
+  /// or one miss; on a capacity-bounded cache a hit also refreshes the
+  /// entry's recency.
   bool lookup(const Key& key, Value& out) const {
     const Shard& shard = shard_for(key);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
-        out = it->second;
+        // Recency only matters when eviction can happen; unbounded
+        // caches skip the splice on the hot memoization path (their
+        // snapshot order degrades to insertion order, which restore()
+        // handles identically).
+        if (per_shard_cap_ != 0) {
+          shard.entries.splice(shard.entries.begin(), shard.entries,
+                               it->second);
+        }
+        out = it->second->second;
         hits_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -85,18 +115,20 @@ class ShardedCache {
 
   /// Memoize `value` for `key`. First writer wins: if the key is
   /// already resident the call is a no-op (values per key are assumed
-  /// identical, so dropping the duplicate is sound).
+  /// identical, so dropping the duplicate is sound; recency is not
+  /// refreshed — only real lookups are uses). At capacity, the shard's
+  /// least-recently-used entry is evicted to make room.
   void insert(const Key& key, Value value) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_ &&
-        shard.map.find(key) == shard.map.end()) {
-      // Capacity: drop an arbitrary resident entry. Any victim is
-      // correct (a future miss just recomputes), so no LRU bookkeeping.
-      shard.map.erase(shard.map.begin());
+    if (shard.map.find(key) != shard.map.end()) return;
+    if (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_) {
+      shard.map.erase(shard.entries.back().first);
+      shard.entries.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
     }
-    shard.map.emplace(key, std::move(value));
+    shard.entries.emplace_front(key, std::move(value));
+    shard.map.emplace(key, shard.entries.begin());
   }
 
   /// lookup(); on miss, compute (outside any lock — `make` may be
@@ -126,6 +158,7 @@ class ShardedCache {
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.map.clear();
+      s.entries.clear();
     }
   }
 
@@ -138,10 +171,95 @@ class ShardedCache {
     return out;
   }
 
+  /// Serialize every resident entry. `scheme_tag` names the key/value
+  /// scheme (fingerprint algorithm + value codec version); restore()
+  /// refuses a snapshot whose tag differs, so a semantically stale file
+  /// can never poison the cache. Layout:
+  ///
+  ///   magic "EZCSNAP\n"        8 bytes
+  ///   format version           u32 (kSnapshotFormatVersion)
+  ///   scheme tag               u64 (caller-defined)
+  ///   entry count              u64
+  ///   payload checksum         u64 (FNV-1a over the payload bytes)
+  ///   payload                  count x (encode_key, encode_value)
+  ///
+  /// Shards are drained in index order under their stripe locks,
+  /// least-recently-used entries first, so restore()'s inserts rebuild
+  /// the same per-shard recency order.
+  template <typename EncodeKey, typename EncodeValue>
+  std::string snapshot(uint64_t scheme_tag, EncodeKey&& encode_key,
+                       EncodeValue&& encode_value) const {
+    util::BinaryWriter payload;
+    uint64_t count = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto it = s.entries.rbegin(); it != s.entries.rend(); ++it) {
+        encode_key(payload, it->first);
+        encode_value(payload, it->second);
+        ++count;
+      }
+    }
+    util::BinaryWriter out;
+    out.raw(kSnapshotMagic);
+    out.u32(kSnapshotFormatVersion);
+    out.u64(scheme_tag);
+    out.u64(count);
+    out.u64(util::checksum64(payload.bytes()));
+    out.raw(payload.bytes());
+    return out.bytes();
+  }
+
+  /// Load a snapshot() buffer through the normal insert path (resident
+  /// keys win over snapshot entries; capacity eviction applies).
+  /// Returns the number of entries the snapshot carried. Throws
+  /// util::CodecError on bad magic, a format/scheme mismatch, a
+  /// checksum failure, truncation, or trailing bytes.
+  template <typename DecodeKey, typename DecodeValue>
+  size_t restore(std::string_view bytes, uint64_t scheme_tag,
+                 DecodeKey&& decode_key, DecodeValue&& decode_value) {
+    util::BinaryReader r(bytes);
+    if (r.raw(kSnapshotMagic.size()) != kSnapshotMagic) {
+      throw util::CodecError("not a cache snapshot (bad magic)");
+    }
+    const uint32_t version = r.u32();
+    if (version != kSnapshotFormatVersion) {
+      throw util::CodecError(
+          "snapshot format version " + std::to_string(version) +
+          ", expected " + std::to_string(kSnapshotFormatVersion));
+    }
+    const uint64_t tag = r.u64();
+    if (tag != scheme_tag) {
+      throw util::CodecError(
+          "snapshot was written under a different key/value scheme "
+          "(stale fingerprint algorithm or codec); refusing to load");
+    }
+    const uint64_t count = r.u64();
+    const uint64_t checksum = r.u64();
+    if (checksum != util::checksum64(r.rest())) {
+      throw util::CodecError("snapshot payload checksum mismatch");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      Key key = decode_key(r);
+      Value value = decode_value(r);
+      insert(std::move(key), std::move(value));
+    }
+    if (!r.exhausted()) {
+      throw util::CodecError("snapshot has trailing bytes after " +
+                             std::to_string(count) + " entries");
+    }
+    return static_cast<size_t>(count);
+  }
+
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;
+    /// Recency order: front = most recently used. The map points into
+    /// the list; both are guarded by `mu` (mutable so lookup-on-const
+    /// can refresh recency under the lock).
+    mutable std::list<std::pair<Key, Value>> entries;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        map;
   };
 
   const Shard& shard_for(const Key& key) const {

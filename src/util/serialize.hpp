@@ -1,0 +1,164 @@
+// Endian-stable binary serialization primitives.
+//
+// The assessment cache persists across processes (snapshot files the
+// CLI warm-starts from), so the byte format must be stable across
+// machines, compilers, and time — never memcpy a struct. Every integer
+// is written little-endian byte by byte, doubles as their IEEE-754 bit
+// pattern (bit-identity is the cache's contract, so -0.0, NaN payloads
+// and all survive the round trip), strings as length + raw bytes.
+// Readers bounds-check every access and throw CodecError instead of
+// reading past the buffer, so truncated or corrupt files are rejected,
+// not trusted.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace easyc::util {
+
+/// Raised when encoded bytes cannot be decoded: truncation, a value
+/// outside its domain, a bad checksum, or a format/version mismatch.
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what)
+      : Error("codec error: " + what) {}
+};
+
+/// Append-only little-endian byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter& u8(uint8_t v) {
+    bytes_.push_back(static_cast<char>(v));
+    return *this;
+  }
+
+  BinaryWriter& u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  BinaryWriter& u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  /// IEEE-754 bit pattern; the exact double round-trips, including
+  /// -0.0 and every NaN payload.
+  BinaryWriter& f64(double v) { return u64(std::bit_cast<uint64_t>(v)); }
+
+  BinaryWriter& boolean(bool v) { return u8(v ? 1 : 0); }
+
+  /// Length-prefixed raw bytes (embedded NULs survive).
+  BinaryWriter& str(std::string_view s) {
+    u64(s.size());
+    bytes_.append(s.data(), s.size());
+    return *this;
+  }
+
+  /// Unprefixed raw bytes (for fixed-size magic tags).
+  BinaryWriter& raw(std::string_view s) {
+    bytes_.append(s.data(), s.size());
+    return *this;
+  }
+
+  const std::string& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked cursor over an encoded buffer. The buffer is not
+/// owned; keep it alive for the reader's lifetime.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  uint8_t u8() {
+    need(1, "u8");
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+
+  uint32_t u32() {
+    need(4, "u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t u64() {
+    need(8, "u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() {
+    const uint8_t v = u8();
+    if (v > 1) {
+      throw CodecError("boolean byte is " + std::to_string(v) +
+                       ", expected 0 or 1");
+    }
+    return v == 1;
+  }
+
+  std::string str() {
+    const uint64_t n = u64();
+    need(n, "string body");
+    std::string out(bytes_.substr(pos_, static_cast<size_t>(n)));
+    pos_ += static_cast<size_t>(n);
+    return out;
+  }
+
+  /// Read exactly `n` unprefixed bytes (magic tags).
+  std::string_view raw(size_t n) {
+    need(n, "raw bytes");
+    std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  /// Everything from the cursor to the end (checksum the payload
+  /// before decoding it).
+  std::string_view rest() const { return bytes_.substr(pos_); }
+
+ private:
+  void need(uint64_t n, const char* what) const {
+    if (n > bytes_.size() - pos_) {
+      throw CodecError(std::string("truncated input: need ") +
+                       std::to_string(n) + " bytes for " + what + ", have " +
+                       std::to_string(bytes_.size() - pos_));
+    }
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// FNV-1a over the bytes: cheap, stable, and sensitive to any flipped
+/// bit — integrity against corruption/truncation, not an authenticator.
+inline uint64_t checksum64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace easyc::util

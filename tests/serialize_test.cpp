@@ -1,0 +1,143 @@
+// Binary serialization primitives: little-endian byte layout (the
+// on-disk contract, pinned byte by byte), bit-exact double round trips,
+// bounds-checked reads that reject truncation instead of trusting it,
+// and the FNV-1a payload checksum.
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace easyc::util {
+namespace {
+
+TEST(BinaryWriter, LittleEndianByteLayoutIsPinned) {
+  // The snapshot format must be stable across machines: pin the exact
+  // bytes, not just a round trip through the same process.
+  BinaryWriter w;
+  w.u32(0x01020304u);
+  ASSERT_EQ(w.size(), 4u);
+  const std::string& b = w.bytes();
+  EXPECT_EQ(static_cast<uint8_t>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(b[1]), 0x03);
+  EXPECT_EQ(static_cast<uint8_t>(b[2]), 0x02);
+  EXPECT_EQ(static_cast<uint8_t>(b[3]), 0x01);
+
+  BinaryWriter w64;
+  w64.u64(0x1122334455667788ULL);
+  EXPECT_EQ(static_cast<uint8_t>(w64.bytes()[0]), 0x88);
+  EXPECT_EQ(static_cast<uint8_t>(w64.bytes()[7]), 0x11);
+}
+
+TEST(BinaryWriter, StringIsLengthPrefixedRawBytes) {
+  BinaryWriter w;
+  w.str("ab");
+  ASSERT_EQ(w.size(), 8u + 2u);
+  EXPECT_EQ(static_cast<uint8_t>(w.bytes()[0]), 2);  // u64 length, LE
+  EXPECT_EQ(w.bytes().substr(8), "ab");
+}
+
+TEST(BinaryRoundTrip, AllScalarTypes) {
+  BinaryWriter w;
+  w.u8(0xfe)
+      .u32(0xdeadbeefu)
+      .u64(0xfeedfacecafef00dULL)
+      .f64(3.14159)
+      .boolean(true)
+      .boolean(false)
+      .str("hello")
+      .str("");
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xfe);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0xfeedfacecafef00dULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinaryRoundTrip, DoublesAreBitExact) {
+  // The cache's contract is bit-identity: -0.0, infinities, NaN
+  // payloads, and denormals must all survive.
+  const double values[] = {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           -123456.789};
+  for (double v : values) {
+    BinaryWriter w;
+    w.f64(v);
+    BinaryReader r(w.bytes());
+    EXPECT_EQ(std::bit_cast<uint64_t>(r.f64()), std::bit_cast<uint64_t>(v));
+  }
+}
+
+TEST(BinaryRoundTrip, StringsWithEmbeddedNulsSurvive) {
+  const std::string s("a\0b\0", 4);
+  BinaryWriter w;
+  w.str(s);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.str(), s);
+}
+
+TEST(BinaryReader, TruncationThrowsInsteadOfReadingPast) {
+  BinaryWriter w;
+  w.u64(42);
+  const std::string& b = w.bytes();
+  BinaryReader short_r(std::string_view(b).substr(0, 5));
+  EXPECT_THROW(short_r.u64(), CodecError);
+
+  BinaryReader empty(std::string_view{});
+  EXPECT_THROW(empty.u8(), CodecError);
+  EXPECT_THROW(empty.u32(), CodecError);
+  EXPECT_TRUE(empty.exhausted());
+}
+
+TEST(BinaryReader, OversizedStringLengthIsRejected) {
+  // A corrupt length prefix must not be trusted: claim 2^40 bytes with
+  // only 3 present.
+  BinaryWriter w;
+  w.u64(1ULL << 40);
+  w.raw("abc");
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(BinaryReader, BadBooleanByteIsRejected) {
+  BinaryWriter w;
+  w.u8(2);
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.boolean(), CodecError);
+}
+
+TEST(BinaryReader, RemainingAndRestTrackTheCursor) {
+  BinaryWriter w;
+  w.u32(7).u32(9);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_EQ(r.rest().size(), 4u);
+}
+
+TEST(Checksum64, SensitiveToEveryByteAndStable) {
+  const std::string base = "the quick brown fox";
+  const uint64_t sum = checksum64(base);
+  EXPECT_EQ(checksum64(base), sum);  // deterministic
+  for (size_t i = 0; i < base.size(); ++i) {
+    std::string flipped = base;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    EXPECT_NE(checksum64(flipped), sum) << "byte " << i;
+  }
+  EXPECT_NE(checksum64(""), checksum64(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace easyc::util

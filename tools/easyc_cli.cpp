@@ -9,7 +9,9 @@
 // Fleet mode: --fleet=systems.csv with one system per row (columns match
 // the flag names); emits a per-system CSV report to stdout.
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "analysis/audit.hpp"
@@ -70,6 +72,10 @@ void declare_flags(util::ArgParser& args) {
                 /*takes_value=*/false);
   args.add_flag("editions",
                 "list editions for --turnover (default 8, minimum 2)");
+  args.add_flag("cache-file",
+                "persist the assessment memo cache across --turnover runs: "
+                "warm-start from this snapshot file when it exists and save "
+                "it back after the run");
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
@@ -226,7 +232,7 @@ int assess_top500_export(const std::string& path,
   return 0;
 }
 
-int run_turnover(int editions) {
+int run_turnover(int editions, const std::optional<std::string>& cache_file) {
   if (editions < 2) {
     throw util::Error("--editions must be at least 2 (growth needs a cycle)");
   }
@@ -237,6 +243,26 @@ int run_turnover(int editions) {
   const auto history = easyc::top500::generate_history(cfg);
 
   easyc::analysis::AssessmentEngine engine;
+  // Warm-start diagnostics go to stderr so the report on stdout stays
+  // byte-identical between cold and warm-started runs (CI diffs it).
+  if (cache_file) {
+    if (std::ifstream probe(*cache_file, std::ios::binary); probe) {
+      try {
+        const size_t n = engine.load_cache(*cache_file);
+        std::fprintf(stderr, "cache warm-start: %zu entries from %s\n", n,
+                     cache_file->c_str());
+      } catch (const util::Error& e) {
+        // A cache is advisory: a stale/corrupt/unreadable snapshot
+        // costs a cold run, never a wrong result or a failed one.
+        std::fprintf(stderr,
+                     "cache file %s rejected (%s); starting cold\n",
+                     cache_file->c_str(), e.what());
+      }
+    } else {
+      std::fprintf(stderr, "cache file %s not found; starting cold\n",
+                   cache_file->c_str());
+    }
+  }
   easyc::analysis::TurnoverOptions opts;
   opts.engine = &engine;
   const auto report = easyc::analysis::analyze_turnover(history, opts);
@@ -252,6 +278,22 @@ int run_turnover(int editions) {
                util::format_double(p.perf_pflops, 0)});
   }
   std::fputs(t.render().c_str(), stdout);
+
+  // Save last, and never let a save failure eat the report the user
+  // already paid to compute: like a rejected load, a failed save only
+  // costs the *next* run its warm start.
+  if (cache_file) {
+    try {
+      engine.save_cache(*cache_file);
+      std::fprintf(stderr, "cache saved: %llu entries to %s\n",
+                   static_cast<unsigned long long>(
+                       engine.cache_stats().entries),
+                   cache_file->c_str());
+    } catch (const util::Error& e) {
+      std::fprintf(stderr, "warning: could not save cache to %s (%s)\n",
+                   cache_file->c_str(), e.what());
+    }
+  }
   return 0;
 }
 
@@ -277,10 +319,14 @@ int main(int argc, char** argv) {
     }
     if (args.has("turnover")) {
       return run_turnover(
-          static_cast<int>(args.get_double("editions").value_or(8.0)));
+          static_cast<int>(args.get_double("editions").value_or(8.0)),
+          args.get("cache-file"));
     }
     if (args.has("editions")) {
       throw util::Error("--editions applies only to --turnover runs");
+    }
+    if (args.has("cache-file")) {
+      throw util::Error("--cache-file applies only to --turnover runs");
     }
     model::EasyCOptions opt;
     if (args.has("approximate-accelerators")) {
