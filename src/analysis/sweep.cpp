@@ -1,0 +1,416 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "analysis/sensitivity.hpp"
+#include "util/ascii.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace easyc::analysis {
+
+namespace {
+
+// Cell names embed axis values; six significant decimals round-trips
+// every value the grammar can express while keeping names stable (two
+// values that collide at this precision are rejected as duplicates by
+// ScenarioSet registration, never silently merged).
+std::string format_axis_value(double v) { return util::format_double(v, 6); }
+
+std::string endpoint_name(SweepAxis axis, double value) {
+  return "sweep/axis/" + std::string(axis_name(axis)) + "=" +
+         format_axis_value(value);
+}
+
+// One multi-valued axis's tornado endpoints. Deriving expansion, the
+// retained-results map, and the tornado reduction from this single
+// helper keeps their cell names structurally incapable of diverging.
+struct AxisEndpoints {
+  SweepAxis axis = SweepAxis::kAci;
+  double low = 0.0;
+  double high = 0.0;
+  std::string low_name;
+  std::string high_name;
+};
+
+std::vector<AxisEndpoints> tornado_endpoints(const SweepSpec& spec) {
+  std::vector<AxisEndpoints> out;
+  for (const auto& a : spec.axes) {
+    if (a.values.size() < 2) continue;
+    const auto [lo, hi] =
+        std::minmax_element(a.values.begin(), a.values.end());
+    out.push_back({a.axis, *lo, *hi, endpoint_name(a.axis, *lo),
+                   endpoint_name(a.axis, *hi)});
+  }
+  return out;
+}
+
+constexpr std::string_view kBaseCellName = "sweep/base";
+
+}  // namespace
+
+std::string_view axis_name(SweepAxis axis) {
+  switch (axis) {
+    case SweepAxis::kAci: return "aci";
+    case SweepAxis::kPue: return "pue";
+    case SweepAxis::kFab: return "fab";
+    case SweepAxis::kUtilization: return "util";
+    case SweepAxis::kLifetime: return "life";
+  }
+  return "?";
+}
+
+std::optional<SweepAxis> axis_from_name(std::string_view name) {
+  if (name == "aci") return SweepAxis::kAci;
+  if (name == "pue") return SweepAxis::kPue;
+  if (name == "fab") return SweepAxis::kFab;
+  if (name == "util" || name == "utilization") return SweepAxis::kUtilization;
+  if (name == "life" || name == "lifetime") return SweepAxis::kLifetime;
+  return std::nullopt;
+}
+
+ScenarioSpec apply_axis(ScenarioSpec spec, SweepAxis axis, double value) {
+  switch (axis) {
+    case SweepAxis::kAci: spec.aci_override_g_kwh = value; break;
+    case SweepAxis::kPue: spec.pue_override = value; break;
+    case SweepAxis::kFab: spec.fab_aci_kg_kwh = value; break;
+    case SweepAxis::kUtilization: spec.default_utilization = value; break;
+    case SweepAxis::kLifetime: spec.service_years = value; break;
+  }
+  return spec;
+}
+
+SweepSpec SweepSpec::parse(std::string_view text, ScenarioSpec base) {
+  SweepSpec spec;
+  spec.base = std::move(base);
+
+  auto fail = [&](const std::string& why) {
+    throw util::ParseError("sweep spec: " + why);
+  };
+
+  for (const auto& raw_part : util::split(text, ';')) {
+    const std::string part(util::trim(raw_part));
+    if (part.empty()) fail("empty part (stray ';'?)");
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      fail("'" + part + "' is not of the form axis=values");
+    }
+    const std::string key(util::trim(part.substr(0, eq)));
+    const std::string value(util::trim(part.substr(eq + 1)));
+    if (value.empty()) fail("axis '" + key + "' has no values");
+
+    if (key == "mc") {
+      if (spec.monte_carlo) fail("mc given twice");
+      const auto at = value.find('@');
+      if (at == std::string::npos) {
+        fail("mc wants draws@seed, got '" + value + "'");
+      }
+      const auto draws = util::parse_int(util::trim(value.substr(0, at)));
+      const auto seed = util::parse_int(util::trim(value.substr(at + 1)));
+      if (!draws || *draws <= 0) fail("mc draw count must be positive");
+      if (!seed || *seed < 0) fail("mc seed must be a non-negative integer");
+      MonteCarloSpec mc;
+      mc.draws = static_cast<size_t>(*draws);
+      mc.seed = static_cast<uint64_t>(*seed);
+      spec.monte_carlo = mc;
+      continue;
+    }
+
+    const auto axis = axis_from_name(key);
+    if (!axis) {
+      fail("unknown axis '" + key +
+           "' (axes: aci, pue, fab, util, life; plus mc=draws@seed)");
+    }
+    for (const auto& existing : spec.axes) {
+      if (existing.axis == *axis) fail("axis '" + key + "' given twice");
+    }
+
+    AxisValues av;
+    av.axis = *axis;
+    const auto colon_fields = util::split(value, ':');
+    if (colon_fields.size() == 3) {
+      // lo:hi:n linspace.
+      const auto lo = util::parse_double(colon_fields[0]);
+      const auto hi = util::parse_double(colon_fields[1]);
+      const auto n = util::parse_int(colon_fields[2]);
+      if (!lo || !hi || !n) {
+        fail("axis '" + key + "': malformed range '" + value + "'");
+      }
+      if (*n < 2) fail("axis '" + key + "': linspace needs n >= 2");
+      if (*lo == *hi) fail("axis '" + key + "': degenerate range lo == hi");
+      for (long long i = 0; i < *n; ++i) {
+        av.values.push_back(*lo + (*hi - *lo) * static_cast<double>(i) /
+                                      static_cast<double>(*n - 1));
+      }
+    } else if (colon_fields.size() == 1) {
+      for (const auto& field : util::split(value, ',')) {
+        const auto v = util::parse_double(field);
+        if (!v) {
+          fail("axis '" + key + "': '" + std::string(util::trim(field)) +
+               "' is not a number");
+        }
+        av.values.push_back(*v);
+      }
+    } else {
+      fail("axis '" + key + "': values are v1,v2,... or lo:hi:n");
+    }
+    for (size_t i = 0; i < av.values.size(); ++i) {
+      for (size_t j = i + 1; j < av.values.size(); ++j) {
+        if (format_axis_value(av.values[i]) ==
+            format_axis_value(av.values[j])) {
+          fail("axis '" + key + "': duplicate value " +
+               format_axis_value(av.values[i]));
+        }
+      }
+    }
+    spec.axes.push_back(std::move(av));
+  }
+
+  if (spec.axes.empty() && !spec.monte_carlo) {
+    fail("no axes and no mc draws — nothing to sweep");
+  }
+  return spec;
+}
+
+size_t SweepSpec::grid_cells() const {
+  if (axes.empty()) return 0;
+  size_t n = 1;
+  for (const auto& a : axes) n *= a.values.size();
+  return n;
+}
+
+size_t SweepSpec::total_cells() const {
+  return 1 + 2 * tornado_endpoints(*this).size() + grid_cells() +
+         (monte_carlo ? monte_carlo->draws : 0);
+}
+
+ScenarioSet expand_sweep(const SweepSpec& spec) {
+  ScenarioSet set;
+
+  ScenarioSpec base = spec.base;
+  const std::string base_label = base.name;
+  base.name = std::string(kBaseCellName);
+  base.description = "sweep base (" + base_label + ")";
+  set.add(base);
+
+  // Tornado endpoints: one axis at its extreme, everything else at base.
+  for (const auto& e : tornado_endpoints(spec)) {
+    for (const auto& [v, name] : {std::pair{e.low, e.low_name},
+                                  std::pair{e.high, e.high_name}}) {
+      ScenarioSpec s = apply_axis(spec.base, e.axis, v);
+      s.name = name;
+      s.description = "sweep endpoint: " + std::string(axis_name(e.axis)) +
+                      "=" + format_axis_value(v) + " over " + base_label;
+      set.add(std::move(s));
+    }
+  }
+
+  // The cartesian grid, odometer order (last declared axis fastest).
+  if (!spec.axes.empty()) {
+    std::vector<size_t> idx(spec.axes.size(), 0);
+    for (size_t cell = 0; cell < spec.grid_cells(); ++cell) {
+      ScenarioSpec s = spec.base;
+      std::string suffix;
+      for (size_t a = 0; a < spec.axes.size(); ++a) {
+        const double v = spec.axes[a].values[idx[a]];
+        s = apply_axis(std::move(s), spec.axes[a].axis, v);
+        suffix += (a == 0 ? "" : "/") + std::string(axis_name(spec.axes[a].axis)) +
+                  "=" + format_axis_value(v);
+      }
+      s.name = "sweep/grid/" + suffix;
+      s.description = "sweep grid cell over " + base_label;
+      set.add(std::move(s));
+      for (size_t a = spec.axes.size(); a-- > 0;) {
+        if (++idx[a] < spec.axes[a].values.size()) break;
+        idx[a] = 0;
+      }
+    }
+  }
+
+  // Seeded Monte-Carlo draws from the uncertainty module's prior model.
+  // Each draw forks its own RNG stream, so draw k is the same scenario
+  // for every thread count and independent of every other draw.
+  if (spec.monte_carlo) {
+    const auto& mc = *spec.monte_carlo;
+    const util::Rng root(mc.seed);
+    const model::EasyCOptions base_options = spec.base.to_options();
+    for (size_t i = 0; i < mc.draws; ++i) {
+      util::Rng rng = root.fork(i);
+      double aci_scale = 1.0;
+      const model::EasyCOptions drawn =
+          model::perturb_options(base_options, mc.ranges, rng, &aci_scale);
+      ScenarioSpec s = spec.base;
+      s.default_utilization = drawn.operational.default_utilization;
+      s.fab_aci_kg_kwh = drawn.embodied.fab_aci_kg_kwh;
+      if (s.aci_override_g_kwh) {
+        s.aci_override_g_kwh = *s.aci_override_g_kwh * aci_scale;
+      }
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "%04zu", i);
+      s.name = std::string("sweep/mc/") + tag;
+      s.description = "prior draw " + std::string(tag) + " (seed " +
+                      std::to_string(mc.seed) + ") over " + base_label;
+      set.add(std::move(s));
+    }
+  }
+
+  return set;
+}
+
+SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
+
+SweepEngine::SweepEngine(Options options) : options_(options) {
+  if (options_.engine == nullptr) {
+    AssessmentEngine::Options eopt;
+    eopt.pool = options_.pool;
+    owned_engine_ = std::make_unique<AssessmentEngine>(eopt);
+    options_.engine = owned_engine_.get();
+  }
+}
+
+AssessmentEngine& SweepEngine::engine() { return *options_.engine; }
+
+SweepReport SweepEngine::run(
+    const std::vector<top500::SystemRecord>& records, const SweepSpec& spec) {
+  const ScenarioSet expanded = expand_sweep(spec);
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+
+  SweepReport report;
+  report.base_name = spec.base.name;
+  report.num_records = records.size();
+  report.grid_cells = spec.grid_cells();
+  report.mc_cells = spec.monte_carlo ? spec.monte_carlo->draws : 0;
+  report.axis_cells =
+      expanded.size() - 1 - report.grid_cells - report.mc_cells;
+
+  // The tornado reduction needs full per-record series for every
+  // endpoint; everything else is reduced to aggregates as its batch
+  // completes, keeping peak memory at one batch.
+  const std::vector<AxisEndpoints> endpoints = tornado_endpoints(spec);
+  std::map<std::string, ScenarioResults> retained;
+  for (const auto& e : endpoints) {
+    retained[e.low_name] = {};
+    retained[e.high_name] = {};
+  }
+
+  const par::CacheStats before = options_.engine->cache_stats();
+
+  report.cells.reserve(expanded.size());
+  for (size_t start = 0; start < expanded.size(); start += batch_size) {
+    ScenarioSet batch;
+    const size_t end = std::min(start + batch_size, expanded.size());
+    for (size_t i = start; i < end; ++i) batch.add(expanded.specs()[i]);
+
+    EditionAssessment assessed = options_.engine->assess(records, batch);
+    ++report.batches;
+    for (auto& r : assessed.scenarios) {
+      SweepCell cell;
+      cell.name = r.spec.name;
+      cell.op_total_mt = r.total(true);
+      cell.emb_total_mt = r.total(false);
+      cell.annualized_mt = r.annualized_total_mt();
+      cell.op_covered = r.coverage.operational;
+      cell.emb_covered = r.coverage.embodied;
+      report.cells.push_back(std::move(cell));
+      if (auto it = retained.find(r.spec.name); it != retained.end()) {
+        it->second = std::move(r);
+      }
+    }
+  }
+
+  report.base = report.cells.front();
+
+  for (const auto& e : endpoints) {
+    const ScenarioResults& low = retained.at(e.low_name);
+    const ScenarioResults& high = retained.at(e.high_name);
+    // The Fig.-9 kernel generalizes to any two scenarios over one list:
+    // low plays Baseline, high plays Baseline+PublicInfo.
+    const SensitivityReport s = sensitivity(records, low, high);
+
+    TornadoRow row;
+    row.axis = e.axis;
+    row.low = e.low;
+    row.high = e.high;
+    row.low_annualized_mt = low.annualized_total_mt();
+    row.high_annualized_mt = high.annualized_total_mt();
+    row.swing_mt = row.high_annualized_mt - row.low_annualized_mt;
+    row.swing_pct = report.base.annualized_mt == 0.0
+                        ? 0.0
+                        : row.swing_mt / report.base.annualized_mt * 100.0;
+    row.op_total_pct = s.op_total_pct;
+    row.emb_total_pct = s.emb_total_pct;
+    row.op_max_abs_pct = s.op_max_abs_pct;
+    row.emb_max_abs_pct = s.emb_max_abs_pct;
+    report.tornado.push_back(row);
+  }
+
+  std::vector<double> annualized, op, emb;
+  annualized.reserve(report.cells.size());
+  op.reserve(report.cells.size());
+  emb.reserve(report.cells.size());
+  for (const auto& c : report.cells) {
+    annualized.push_back(c.annualized_mt);
+    op.push_back(c.op_total_mt);
+    emb.push_back(c.emb_total_mt);
+  }
+  report.annualized_mt = util::summarize(annualized);
+  report.op_total_mt = util::summarize(op);
+  report.emb_total_mt = util::summarize(emb);
+
+  report.cache = options_.engine->cache_stats().since(before);
+  return report;
+}
+
+std::string render_sweep_report(const SweepReport& r) {
+  using util::format_double;
+  std::string out = "Parameter sweep — " + std::to_string(r.cells.size()) +
+                    " derived scenarios over " +
+                    std::to_string(r.num_records) + " systems\n";
+  out += "  base: " + r.base_name + " — annualized " +
+         format_double(r.base.annualized_mt, 0) +
+         " MT CO2e/yr (operational " + format_double(r.base.op_total_mt, 0) +
+         " MT/yr, embodied " + format_double(r.base.emb_total_mt, 0) +
+         " MT)\n";
+  out += "  cells: 1 base + " + std::to_string(r.axis_cells) +
+         " axis endpoints + " + std::to_string(r.grid_cells) + " grid + " +
+         std::to_string(r.mc_cells) + " monte-carlo\n\n";
+
+  out += "Tornado — one axis swept, all others at base:\n";
+  if (r.tornado.empty()) {
+    out += "  (no multi-valued axes)\n";
+  } else {
+    util::TextTable t({"Axis", "Low", "High", "Ann@low MT", "Ann@high MT",
+                       "Swing MT", "Swing %", "Max |op| %", "Max |emb| %"});
+    for (const auto& row : r.tornado) {
+      t.add_row({std::string(axis_name(row.axis)),
+                 format_axis_value(row.low), format_axis_value(row.high),
+                 format_double(row.low_annualized_mt, 0),
+                 format_double(row.high_annualized_mt, 0),
+                 format_double(row.swing_mt, 0),
+                 format_double(row.swing_pct, 1),
+                 format_double(row.op_max_abs_pct, 1),
+                 format_double(row.emb_max_abs_pct, 1)});
+    }
+    out += t.render();
+  }
+
+  auto dist_line = [](const util::Summary& s) {
+    return "min " + format_double(s.min, 0) + " | p05 " +
+           format_double(s.p05, 0) + " | median " +
+           format_double(s.median, 0) + " | mean " +
+           format_double(s.mean, 0) + " | p95 " + format_double(s.p95, 0) +
+           " | max " + format_double(s.max, 0);
+  };
+  out += "\nFleet totals across all " + std::to_string(r.cells.size()) +
+         " cells:\n";
+  out += "  annualized (MT CO2e/yr):  " + dist_line(r.annualized_mt) + "\n";
+  out += "  operational (MT CO2e/yr): " + dist_line(r.op_total_mt) + "\n";
+  out += "  embodied (MT CO2e):       " + dist_line(r.emb_total_mt) + "\n";
+  return out;
+}
+
+}  // namespace easyc::analysis

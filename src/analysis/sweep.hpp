@@ -1,0 +1,217 @@
+// Scenario-grid sweep engine: expand axis specifications into thousands
+// of derived scenarios and drive them through the shared
+// AssessmentEngine in batched cell blocks.
+//
+// The paper probes how much EasyC's priors matter with exactly two
+// hand-picked scenarios (Fig. 9, the +/-77.5% ACI swing); the ROADMAP's
+// north star asks for "as many scenarios as you can imagine". Since
+// per-(record, scenario) assessment became memoized, persistent, and
+// sharded, the marginal cost of a derived scenario is near zero — this
+// module supplies the generator. A SweepSpec declares value lists or
+// linspace ranges over the model's what-if axes (grid ACI, PUE, fab
+// electricity intensity, utilization prior, amortization lifetime) plus
+// optional seeded Monte-Carlo draws from model::PriorRanges; the
+// SweepEngine expands the cartesian grid into derived ScenarioSpecs,
+// runs them in batched blocks over one AssessmentEngine (so the LRU
+// memo cache and thread pool amortize across the whole grid), and
+// reduces the per-cell results into a SweepReport: per-axis tornado
+// swings (reusing analysis::sensitivity's two-scenario compare as the
+// inner kernel), total-footprint percentiles across every cell, and
+// the engine CacheStats that make the memoization win measurable.
+//
+// Determinism: each cell is a pure function of (record content, derived
+// spec), batches are ordered engine calls, and every reduction iterates
+// in registration order, so the rendered report is byte-identical for
+// any thread count, any batch size, and any cache state (cold, warm,
+// or restored from a snapshot file). The lifetime axis is deliberately
+// cheap: service_years is excluded from ScenarioSpec::fingerprint(),
+// so lifetime-derived cells alias their siblings' assessments and cost
+// only cache lookups.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/assessment_engine.hpp"
+#include "analysis/scenario.hpp"
+#include "easyc/uncertainty.hpp"
+#include "util/stats.hpp"
+
+namespace easyc::analysis {
+
+/// The sweepable what-if axes — exactly the ScenarioSpec override knobs
+/// (lifetime reaches annualized totals only; the rest reach the model).
+enum class SweepAxis {
+  kAci,          ///< aci_override_g_kwh (gCO2e/kWh, fleet-wide)
+  kPue,          ///< pue_override
+  kFab,          ///< fab_aci_kg_kwh (kgCO2e/kWh)
+  kUtilization,  ///< default_utilization prior, (0,1]
+  kLifetime,     ///< service_years for amortization
+};
+
+inline constexpr size_t kNumSweepAxes =
+    static_cast<size_t>(SweepAxis::kLifetime) + 1;
+
+/// Canonical grammar name ("aci", "pue", "fab", "util", "life").
+std::string_view axis_name(SweepAxis axis);
+
+/// Parse a grammar name; accepts the canonical short form plus the
+/// spelled-out aliases "utilization" and "lifetime". nullopt = unknown.
+std::optional<SweepAxis> axis_from_name(std::string_view name);
+
+/// Set the one override an axis controls, leaving the rest of the spec
+/// (and its name) untouched.
+ScenarioSpec apply_axis(ScenarioSpec spec, SweepAxis axis, double value);
+
+/// One axis of the grid: the values it takes, in declaration order.
+struct AxisValues {
+  SweepAxis axis = SweepAxis::kAci;
+  std::vector<double> values;
+};
+
+/// Optional seeded Monte-Carlo arm: `draws` derived scenarios sampled
+/// from model::PriorRanges via model::perturb_options (the same prior
+/// model the uncertainty module uses). Only the spec-expressible subset
+/// of a draw reaches a derived scenario: the utilization and fab
+/// intensity perturbations always, the ACI scale only when the base
+/// scenario pins an absolute aci_override_g_kwh to scale.
+struct MonteCarloSpec {
+  size_t draws = 0;
+  uint64_t seed = 0;
+  model::PriorRanges ranges;
+};
+
+/// A declarative sweep: a base scenario, the axes to vary, and an
+/// optional Monte-Carlo arm. Expansion derives (in this order) the base
+/// cell, two single-axis tornado endpoints per multi-valued axis, the
+/// full cartesian grid, and the Monte-Carlo draws.
+struct SweepSpec {
+  ScenarioSpec base;             ///< derived cells start from this spec
+  std::vector<AxisValues> axes;  ///< each axis at most once
+  std::optional<MonteCarloSpec> monte_carlo;
+
+  /// Parse the axis-spec grammar:
+  ///
+  ///   spec  := part (';' part)*
+  ///   part  := axis '=' values | 'mc=' draws '@' seed
+  ///   axis  := 'aci' | 'pue' | 'fab' | 'util' | 'life'
+  ///   values:= v (',' v)*            -- explicit list
+  ///          | lo ':' hi ':' n       -- n-point linspace, n >= 2
+  ///
+  /// e.g. "aci=25,229,600;pue=1.1:1.6:6;life=4,6,8;mc=200@42".
+  /// Throws util::ParseError on unknown axes, malformed values,
+  /// duplicate axes, or duplicate values within one axis.
+  static SweepSpec parse(std::string_view text,
+                         ScenarioSpec base = scenarios::enhanced());
+
+  size_t grid_cells() const;   ///< product of axis sizes (0 without axes)
+  size_t total_cells() const;  ///< base + endpoints + grid + Monte-Carlo
+};
+
+/// Materialize every derived scenario of a sweep as a ScenarioSet, in
+/// the expansion order documented on SweepSpec. Cell names are
+/// deterministic: "sweep/base", "sweep/axis/<axis>=<value>",
+/// "sweep/grid/<axis>=<v>/...", "sweep/mc/<index>". Throws util::Error
+/// when a derived spec fails ScenarioSet validation (e.g. a pue axis
+/// value below 1).
+ScenarioSet expand_sweep(const SweepSpec& spec);
+
+/// One derived scenario's aggregate footprint (full per-record series
+/// are reduced batch by batch; only the tornado endpoints retain them).
+struct SweepCell {
+  std::string name;
+  double op_total_mt = 0.0;      ///< covered operational total, MT/yr
+  double emb_total_mt = 0.0;     ///< covered embodied total, MT
+  double annualized_mt = 0.0;    ///< op + emb / service_years, MT/yr
+  int op_covered = 0;
+  int emb_covered = 0;
+};
+
+/// One axis's tornado bar: the base-anchored swing between the axis's
+/// extreme values with every other knob at the base scenario's value.
+/// The low/high comparison is analysis::sensitivity's two-scenario
+/// kernel, so the per-system extremes come along for free.
+struct TornadoRow {
+  SweepAxis axis = SweepAxis::kAci;
+  double low = 0.0;               ///< smallest axis value
+  double high = 0.0;              ///< largest axis value
+  double low_annualized_mt = 0.0;
+  double high_annualized_mt = 0.0;
+  double swing_mt = 0.0;          ///< high - low, annualized MT/yr
+  double swing_pct = 0.0;         ///< swing vs the base cell's annualized
+  double op_total_pct = 0.0;      ///< aggregate op change low -> high
+  double emb_total_pct = 0.0;
+  double op_max_abs_pct = 0.0;    ///< largest per-system |op change|
+  double emb_max_abs_pct = 0.0;
+};
+
+struct SweepReport {
+  std::string base_name;          ///< the base scenario swept around
+  size_t num_records = 0;
+  size_t axis_cells = 0;          ///< tornado endpoint count
+  size_t grid_cells = 0;
+  size_t mc_cells = 0;
+  size_t batches = 0;             ///< engine blocks the sweep ran as
+
+  SweepCell base;                 ///< the base cell's aggregates
+  std::vector<SweepCell> cells;   ///< every cell, registration order
+  std::vector<TornadoRow> tornado;  ///< spec axis order
+
+  /// Distributions over all cells (base + endpoints + grid + draws).
+  util::Summary annualized_mt;
+  util::Summary op_total_mt;
+  util::Summary emb_total_mt;
+
+  /// Engine cache activity during this sweep (`entries` is the resident
+  /// count afterwards). Not part of the rendered report: hit counts
+  /// legitimately differ between cold and warm-started runs while the
+  /// report stays byte-identical.
+  par::CacheStats cache;
+};
+
+/// Drives a SweepSpec through an AssessmentEngine in batched cell
+/// blocks: every batch is one engine call over all records, so the
+/// thread pool parallelizes within a block and the memo cache carries
+/// aliases (lifetime cells, endpoint/grid coincidences) across blocks.
+class SweepEngine {
+ public:
+  struct Options {
+    /// Engine to run on; null = a private engine on `pool`. A shared
+    /// engine keeps its memo cache warm across sweeps and lets callers
+    /// persist it (AssessmentEngine::save_cache/load_cache).
+    AssessmentEngine* engine = nullptr;
+    /// Pool for the private engine (ignored when `engine` is set).
+    par::ThreadPool* pool = nullptr;
+    /// Derived scenarios per engine block. Bounds peak memory (one
+    /// block's full per-record results are alive at a time) without
+    /// affecting results: reports are identical for any batch size.
+    size_t batch_size = 64;
+  };
+
+  SweepEngine();  // default options
+  explicit SweepEngine(Options options);
+
+  /// Expand `spec` and assess every derived scenario over `records`.
+  /// Deterministic: byte-identical SweepCells and tornado rows for any
+  /// pool size, batch size, or cache state.
+  SweepReport run(const std::vector<top500::SystemRecord>& records,
+                  const SweepSpec& spec);
+
+  /// The engine the sweep runs on (the shared one, or the private one).
+  AssessmentEngine& engine();
+
+ private:
+  Options options_;
+  std::unique_ptr<AssessmentEngine> owned_engine_;
+};
+
+/// Render the deterministic part of a report (everything but the cache
+/// stats and batch shape) as the CLI's stdout block: header, tornado
+/// table, and the footprint percentiles.
+std::string render_sweep_report(const SweepReport& report);
+
+}  // namespace easyc::analysis

@@ -17,6 +17,23 @@ struct TrialTotals {
 TrialTotals run_trial(const std::vector<Inputs>& inputs,
                       const EasyCOptions& base, const PriorRanges& ranges,
                       util::Rng rng) {
+  double aci_scale = 1.0;
+  EasyCModel model(perturb_options(base, ranges, rng, &aci_scale));
+  TrialTotals t;
+  for (const auto& in : inputs) {
+    const auto a = model.assess(in);
+    if (a.operational.ok()) t.op_mt += a.operational.value().mt_co2e;
+    if (a.embodied.ok()) t.emb_mt += a.embodied.value().total_mt;
+  }
+  t.op_mt *= aci_scale;
+  return t;
+}
+
+}  // namespace
+
+EasyCOptions perturb_options(const EasyCOptions& base,
+                             const PriorRanges& ranges, util::Rng& rng,
+                             double* aci_scale) {
   auto jitter = [&rng](double center, double rel) {
     return center * rng.uniform(1.0 - rel, 1.0 + rel);
   };
@@ -38,20 +55,10 @@ TrialTotals run_trial(const std::vector<Inputs>& inputs,
   // ACI perturbation is applied as a post-scale on operational carbon:
   // intensity enters the model linearly, so scaling the result is exact
   // and avoids cloning the database per trial.
-  const double aci_scale = 1.0 + ranges.aci_rel * rng.uniform(-1.0, 1.0);
-
-  EasyCModel model(opt);
-  TrialTotals t;
-  for (const auto& in : inputs) {
-    const auto a = model.assess(in);
-    if (a.operational.ok()) t.op_mt += a.operational.value().mt_co2e;
-    if (a.embodied.ok()) t.emb_mt += a.embodied.value().total_mt;
-  }
-  t.op_mt *= aci_scale;
-  return t;
+  const double scale = 1.0 + ranges.aci_rel * rng.uniform(-1.0, 1.0);
+  if (aci_scale != nullptr) *aci_scale = scale;
+  return opt;
 }
-
-}  // namespace
 
 UncertaintyResult run_uncertainty(const std::vector<Inputs>& inputs,
                                   const EasyCOptions& base_options,

@@ -13,6 +13,7 @@
 
 #include "easyc/model.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace easyc::model {
@@ -32,6 +33,20 @@ struct UncertaintyResult {
   util::Summary embodied_mt;     ///< distribution of fleet embodied carbon
   size_t trials = 0;
 };
+
+/// One Monte-Carlo perturbation of the prior-backed options: every
+/// sampled knob drawn uniformly within `ranges` around its value in
+/// `base` (utilization clamped to the model's (0.05, 1] domain). This
+/// is the sampling kernel of run_uncertainty, exposed so other drivers
+/// — the sweep engine's seeded scenario draws — share one prior model
+/// instead of re-inventing the distributions. ACI enters the model
+/// linearly, so its perturbation is reported as a multiplicative scale
+/// on operational carbon via `aci_scale` (pass nullptr to discard).
+/// Consumes a fixed number of draws from `rng` per call, so forked
+/// per-trial streams stay aligned across callers.
+EasyCOptions perturb_options(const EasyCOptions& base,
+                             const PriorRanges& ranges, util::Rng& rng,
+                             double* aci_scale = nullptr);
 
 /// Run `trials` Monte-Carlo samples of fleet totals for `inputs` under
 /// perturbed options. Systems that fail coverage under a sample simply

@@ -1,5 +1,7 @@
 #include "util/args.hpp"
 
+#include <cctype>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -21,6 +23,19 @@ void ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (!starts_with(arg, "--")) {
+      // "-flag" is a typo for "--flag", never a positional: silently
+      // treating it as one made `tool -turnover` ignore the flag and
+      // fall through to a default mode. Bare "-" and negative numbers
+      // ("-3.5") stay positional.
+      if (arg.size() > 1 && arg[0] == '-' &&
+          !(std::isdigit(static_cast<unsigned char>(arg[1])) ||
+            arg[1] == '.')) {
+        throw ParseError("unknown flag " + arg + " (flags start with --)");
+      }
+      if (!allow_positional_) {
+        throw ParseError("unexpected argument '" + arg +
+                         "' (this tool takes only --flags)");
+      }
       positional_.push_back(std::move(arg));
       continue;
     }
@@ -53,6 +68,13 @@ void ArgParser::parse(int argc, const char* const* argv) {
 
 bool ArgParser::has(const std::string& name) const {
   return values_.count(name) > 0;
+}
+
+std::vector<std::string> ArgParser::given() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [name, value] : values_) out.push_back(name);
+  return out;
 }
 
 std::optional<std::string> ArgParser::get(const std::string& name) const {

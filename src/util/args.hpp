@@ -2,7 +2,12 @@
 //
 // Supports --flag=value, --flag value, and boolean --flag forms, with
 // typed accessors and an auto-generated usage string. Unknown flags are
-// an error (catching typos beats silently ignoring them).
+// an error (catching typos beats silently ignoring them), and that
+// includes single-dash spellings like "-turnover": anything that looks
+// like a flag attempt must match a declared flag. Tools that take no
+// positional operands can opt into rejecting those too
+// (allow_positional), so a stray argument can never be silently
+// dropped.
 #pragma once
 
 #include <map>
@@ -21,10 +26,21 @@ class ArgParser {
   void add_flag(const std::string& name, const std::string& help,
                 bool takes_value = true);
 
-  /// Parse argv. Throws ParseError on unknown flags or a missing value.
+  /// Whether bare (non-flag) arguments are collected into positional()
+  /// (the default) or rejected with ParseError — the right setting for
+  /// tools whose every input is a named flag.
+  void allow_positional(bool allowed) { allow_positional_ = allowed; }
+
+  /// Parse argv. Throws ParseError on unknown flags, a missing value,
+  /// single-dash flag lookalikes ("-flag"), or — when positional
+  /// arguments are disallowed — any bare argument.
   void parse(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
+  /// Names of every flag present on the parsed command line, in
+  /// lexicographic order. Lets mode dispatchers reject flags their
+  /// mode would otherwise silently ignore.
+  std::vector<std::string> given() const;
   std::optional<std::string> get(const std::string& name) const;
   std::optional<double> get_double(const std::string& name) const;
   std::optional<long long> get_int(const std::string& name) const;
@@ -40,6 +56,7 @@ class ArgParser {
     bool takes_value = true;
   };
   std::string description_;
+  bool allow_positional_ = true;
   std::map<std::string, Spec> specs_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -47,6 +47,36 @@ TEST(Args, UnknownFlagThrows) {
   EXPECT_THROW(p.parse(2, argv), ParseError);
 }
 
+TEST(Args, SingleDashFlagLookalikeThrows) {
+  // Regression: "-verbose" used to be collected as a positional and
+  // silently ignored, so a forgotten dash flipped the tool into a
+  // different mode without a word.
+  auto p = make_parser();
+  const char* argv[] = {"tool", "-verbose"};
+  EXPECT_THROW(p.parse(2, argv), ParseError);
+  const char* argv2[] = {"tool", "-name=x"};
+  EXPECT_THROW(p.parse(2, argv2), ParseError);
+}
+
+TEST(Args, NegativeNumbersAndBareDashStayPositional) {
+  auto p = make_parser();
+  const char* argv[] = {"tool", "-3.5", "-.5", "-"};
+  p.parse(4, argv);
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"-3.5", "-.5", "-"}));
+}
+
+TEST(Args, DisallowedPositionalThrows) {
+  // Tools whose every input is a named flag opt out of positionals so
+  // a stray argument can never be dropped on the floor.
+  auto p = make_parser();
+  p.allow_positional(false);
+  const char* stray[] = {"tool", "--name=x", "oops"};
+  EXPECT_THROW(p.parse(3, stray), ParseError);
+  const char* clean[] = {"tool", "--name=x"};
+  p.parse(2, clean);
+  EXPECT_EQ(*p.get("name"), "x");
+}
+
 TEST(Args, MissingValueThrows) {
   auto p = make_parser();
   const char* argv[] = {"tool", "--name"};

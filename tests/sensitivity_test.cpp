@@ -1,0 +1,101 @@
+// Sensitivity kernel edge cases (the Fig.-9 machinery the sweep engine
+// reuses as its tornado inner loop): populations with no overlap
+// between the two scenarios, newly covered systems that must only
+// reach the aggregates, and the zero-baseline percent guard.
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/assessment_engine.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+std::vector<top500::SystemRecord> ranked_records(int n) {
+  std::vector<top500::SystemRecord> records(n);
+  for (int i = 0; i < n; ++i) {
+    records[i].rank = i + 1;
+    records[i].name = "sys-" + std::to_string(i + 1);
+  }
+  return records;
+}
+
+// A hand-built scenario result: the kernel only reads the carbon
+// series (and the spec's service life through total()).
+ScenarioResults results_with(std::string name, CarbonSeries operational,
+                             CarbonSeries embodied) {
+  ScenarioResults r;
+  r.spec.name = std::move(name);
+  r.operational = std::move(operational);
+  r.embodied = std::move(embodied);
+  return r;
+}
+
+TEST(Sensitivity, EmptyOverlapPopulationYieldsNoDeltas) {
+  // The two scenarios cover disjoint systems: the per-system Fig.-9
+  // population is empty, but the aggregate comparison still holds —
+  // each side's total is its own covered sum.
+  const auto records = ranked_records(2);
+  const auto base =
+      results_with("base", {10.0, std::nullopt}, {4.0, std::nullopt});
+  const auto enh =
+      results_with("enh", {std::nullopt, 30.0}, {std::nullopt, 9.0});
+
+  const SensitivityReport s = sensitivity(records, base, enh);
+  EXPECT_TRUE(s.operational.empty());
+  EXPECT_TRUE(s.embodied.empty());
+  EXPECT_DOUBLE_EQ(s.op_max_abs_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.emb_max_abs_pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.op_total_baseline_mt, 10.0);
+  EXPECT_DOUBLE_EQ(s.op_total_enhanced_mt, 30.0);
+  EXPECT_DOUBLE_EQ(s.emb_total_baseline_mt, 4.0);
+  EXPECT_DOUBLE_EQ(s.emb_total_enhanced_mt, 9.0);
+  EXPECT_DOUBLE_EQ(s.op_total_pct, 200.0);
+  EXPECT_DOUBLE_EQ(s.emb_total_pct, 125.0);
+}
+
+TEST(Sensitivity, NewlyCoveredSystemsCountOnlyInAggregates) {
+  // System 2 gains coverage under the enhanced scenario. The paper
+  // excludes it from the per-system Fig.-9 deltas (there is no
+  // baseline value to compare against) and reports it through the
+  // aggregate change instead.
+  const auto records = ranked_records(2);
+  const auto base = results_with("base", {10.0, std::nullopt},
+                                 {4.0, std::nullopt});
+  const auto enh = results_with("enh", {12.0, 30.0}, {5.0, 9.0});
+
+  const SensitivityReport s = sensitivity(records, base, enh);
+  ASSERT_EQ(s.operational.size(), 1u);
+  EXPECT_EQ(s.operational[0].rank, 1);
+  EXPECT_DOUBLE_EQ(s.operational[0].delta_mt, 2.0);
+  EXPECT_DOUBLE_EQ(s.operational[0].pct, 20.0);
+  EXPECT_DOUBLE_EQ(s.op_max_abs_pct, 20.0);  // system 2 not consulted
+
+  ASSERT_EQ(s.embodied.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.embodied[0].delta_mt, 1.0);
+
+  // Aggregates include the newly covered system on the enhanced side.
+  EXPECT_DOUBLE_EQ(s.op_total_baseline_mt, 10.0);
+  EXPECT_DOUBLE_EQ(s.op_total_enhanced_mt, 42.0);
+  EXPECT_DOUBLE_EQ(s.op_total_pct, 320.0);
+  EXPECT_DOUBLE_EQ(s.emb_total_enhanced_mt, 14.0);
+}
+
+TEST(Sensitivity, ZeroBaselineDeltaReportsZeroPercent) {
+  // A covered-but-zero baseline value cannot anchor a percent change;
+  // the kernel reports the absolute delta and a 0% (not inf/NaN).
+  const auto records = ranked_records(1);
+  const auto base = results_with("base", {0.0}, {0.0});
+  const auto enh = results_with("enh", {5.0}, {2.0});
+
+  const SensitivityReport s = sensitivity(records, base, enh);
+  ASSERT_EQ(s.operational.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.operational[0].delta_mt, 5.0);
+  EXPECT_DOUBLE_EQ(s.operational[0].pct, 0.0);
+  EXPECT_DOUBLE_EQ(s.op_max_abs_pct, 0.0);
+  // The aggregate guard matches: pct_change(0, x) is defined as 0.
+  EXPECT_DOUBLE_EQ(s.op_total_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace easyc::analysis

@@ -1,0 +1,261 @@
+// Sweep engine: axis-spec grammar, grid expansion counts and naming,
+// axis-override correctness against hand-built specs, Monte-Carlo seed
+// determinism, and the engine guarantees (1-vs-N-thread and batch-size
+// bit-identity, cache amortization across aliased cells).
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.hpp"
+#include "top500/generator.hpp"
+#include "util/error.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+namespace sc = scenarios;
+
+// A 60-record slice of the generated list: plenty of coverage variety,
+// fast enough to sweep many times in one test binary.
+const std::vector<top500::SystemRecord>& records60() {
+  static const auto kRecords = [] {
+    auto all = top500::generate_records();
+    all.resize(60);
+    return all;
+  }();
+  return kRecords;
+}
+
+// --- grammar --------------------------------------------------------
+
+TEST(SweepSpec, AxisNamesRoundTripAndAliases) {
+  for (const SweepAxis a :
+       {SweepAxis::kAci, SweepAxis::kPue, SweepAxis::kFab,
+        SweepAxis::kUtilization, SweepAxis::kLifetime}) {
+    EXPECT_EQ(axis_from_name(axis_name(a)), a);
+  }
+  EXPECT_EQ(axis_from_name("utilization"), SweepAxis::kUtilization);
+  EXPECT_EQ(axis_from_name("lifetime"), SweepAxis::kLifetime);
+  EXPECT_FALSE(axis_from_name("watts").has_value());
+}
+
+TEST(SweepSpec, ParsesListsRangesAndMonteCarlo) {
+  const auto spec =
+      SweepSpec::parse("aci=25,100; pue=1.1:1.5:3 ;life=4,8;mc=16@7");
+  ASSERT_EQ(spec.axes.size(), 3u);
+  EXPECT_EQ(spec.axes[0].axis, SweepAxis::kAci);
+  EXPECT_EQ(spec.axes[0].values, (std::vector<double>{25.0, 100.0}));
+  EXPECT_EQ(spec.axes[1].axis, SweepAxis::kPue);
+  ASSERT_EQ(spec.axes[1].values.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.axes[1].values[0], 1.1);
+  EXPECT_NEAR(spec.axes[1].values[1], 1.3, 1e-12);
+  EXPECT_DOUBLE_EQ(spec.axes[1].values[2], 1.5);
+  EXPECT_EQ(spec.axes[2].axis, SweepAxis::kLifetime);
+  ASSERT_TRUE(spec.monte_carlo.has_value());
+  EXPECT_EQ(spec.monte_carlo->draws, 16u);
+  EXPECT_EQ(spec.monte_carlo->seed, 7u);
+
+  EXPECT_EQ(spec.grid_cells(), 12u);
+  // 1 base + 2 endpoints per multi-valued axis + grid + draws.
+  EXPECT_EQ(spec.total_cells(), 1u + 6u + 12u + 16u);
+}
+
+TEST(SweepSpec, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(SweepSpec::parse(""), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("watts=1,2"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("aci=25;aci=50"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("aci=25,banana"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("aci=1:2:1"), util::ParseError);   // n < 2
+  EXPECT_THROW(SweepSpec::parse("aci=5:5:3"), util::ParseError);   // lo == hi
+  EXPECT_THROW(SweepSpec::parse("aci=1:2"), util::ParseError);     // not lo:hi:n
+  EXPECT_THROW(SweepSpec::parse("aci=25,25"), util::ParseError);   // duplicate
+  EXPECT_THROW(SweepSpec::parse("aci=25;;pue=1.2"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("mc=16"), util::ParseError);       // no seed
+  EXPECT_THROW(SweepSpec::parse("mc=0@7"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("mc=2@-1"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("mc=4@1;mc=4@2"), util::ParseError);
+  // Semantic validation happens at expansion, via ScenarioSet::add.
+  EXPECT_THROW(expand_sweep(SweepSpec::parse("pue=0.5,1.2")), util::Error);
+}
+
+// --- expansion ------------------------------------------------------
+
+TEST(SweepSpec, ApplyAxisMatchesHandBuiltSpecs) {
+  // The stock renewables-grid what-if *is* enhanced + aci=25: deriving
+  // it through the axis machinery must land on the same assessment
+  // identity (equal fingerprints => the memo cache serves either).
+  EXPECT_EQ(apply_axis(sc::enhanced(), SweepAxis::kAci, 25.0).fingerprint(),
+            sc::renewables_grid().fingerprint());
+
+  // The lifetime axis only reaches annualization: same fingerprint as
+  // its base (the cache win behind cheap lifetime sweeps), new
+  // service_years — exactly the stock extended-lifetime what-if.
+  const ScenarioSpec life8 = apply_axis(sc::enhanced(), SweepAxis::kLifetime,
+                                        8.0);
+  EXPECT_EQ(life8.fingerprint(), sc::enhanced().fingerprint());
+  EXPECT_DOUBLE_EQ(life8.service_years,
+                   sc::extended_lifetime().service_years);
+
+  const auto opt = apply_axis(sc::baseline(), SweepAxis::kPue, 1.25)
+                       .to_options();
+  EXPECT_EQ(opt.operational.pue_override, 1.25);
+  const auto fab = apply_axis(sc::baseline(), SweepAxis::kFab, 0.2);
+  EXPECT_EQ(fab.fab_aci_kg_kwh, 0.2);
+  const auto util = apply_axis(sc::baseline(), SweepAxis::kUtilization, 0.6);
+  EXPECT_EQ(util.default_utilization, 0.6);
+}
+
+TEST(SweepExpansion, NamesAreOrderedUniqueAndCorrect) {
+  const auto spec = SweepSpec::parse("aci=25,100;life=4,8;mc=3@9");
+  const ScenarioSet set = expand_sweep(spec);
+  ASSERT_EQ(set.size(), spec.total_cells());
+
+  EXPECT_EQ(set.specs().front().name, "sweep/base");
+  EXPECT_EQ(set.specs().front().fingerprint(), sc::enhanced().fingerprint());
+  EXPECT_TRUE(set.contains("sweep/axis/aci=25"));
+  EXPECT_TRUE(set.contains("sweep/axis/aci=100"));
+  EXPECT_TRUE(set.contains("sweep/axis/life=4"));
+  EXPECT_TRUE(set.contains("sweep/mc/0002"));
+  EXPECT_FALSE(set.contains("sweep/mc/0003"));
+
+  // A grid cell carries exactly the overrides its name declares —
+  // identical to deriving the same cell by hand.
+  const ScenarioSpec& cell = set.at("sweep/grid/aci=25/life=4");
+  const ScenarioSpec by_hand = apply_axis(
+      apply_axis(sc::enhanced(), SweepAxis::kAci, 25.0),
+      SweepAxis::kLifetime, 4.0);
+  EXPECT_EQ(cell.fingerprint(), by_hand.fingerprint());
+  EXPECT_DOUBLE_EQ(cell.service_years, 4.0);
+  EXPECT_EQ(cell.aci_override_g_kwh, 25.0);
+  // ...and the single-axis endpoint aliases the stock what-if.
+  EXPECT_EQ(set.at("sweep/axis/aci=25").fingerprint(),
+            sc::renewables_grid().fingerprint());
+}
+
+TEST(SweepExpansion, MonteCarloDrawsAreSeededAndSpecExpressible) {
+  const auto a = expand_sweep(SweepSpec::parse("mc=6@42"));
+  const auto b = expand_sweep(SweepSpec::parse("mc=6@42"));
+  const auto c = expand_sweep(SweepSpec::parse("mc=6@43"));
+  ASSERT_EQ(a.size(), 7u);  // base + draws
+  bool any_differs = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.specs()[i].fingerprint(), b.specs()[i].fingerprint());
+    any_differs |= a.specs()[i].fingerprint() != c.specs()[i].fingerprint();
+  }
+  EXPECT_TRUE(any_differs);
+
+  // Draws perturb the spec-expressible priors around the base values.
+  const ScenarioSpec& draw = a.at("sweep/mc/0000");
+  ASSERT_TRUE(draw.default_utilization.has_value());
+  ASSERT_TRUE(draw.fab_aci_kg_kwh.has_value());
+  const model::PriorRanges ranges;
+  const model::EasyCOptions base = sc::enhanced().to_options();
+  EXPECT_NEAR(*draw.default_utilization, base.operational.default_utilization,
+              base.operational.default_utilization * ranges.utilization_rel +
+                  1e-12);
+  EXPECT_NEAR(*draw.fab_aci_kg_kwh, base.embodied.fab_aci_kg_kwh,
+              base.embodied.fab_aci_kg_kwh * ranges.fab_aci_rel + 1e-12);
+  // No absolute ACI override on the base scenario => none on the draw.
+  EXPECT_FALSE(draw.aci_override_g_kwh.has_value());
+}
+
+// --- engine ---------------------------------------------------------
+
+TEST(SweepEngine, ReportIsBitIdenticalForAnyThreadCountAndBatchSize) {
+  const auto spec = SweepSpec::parse("aci=25,300;util=0.6:0.9:3;mc=8@3");
+
+  par::ThreadPool serial(1);
+  SweepEngine::Options one;
+  one.pool = &serial;
+  one.batch_size = 5;
+  const SweepReport a = SweepEngine(one).run(records60(), spec);
+
+  par::ThreadPool wide(4);
+  SweepEngine::Options many;
+  many.pool = &wide;
+  many.batch_size = 1000;  // everything in one block
+  const SweepReport b = SweepEngine(many).run(records60(), spec);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].name, b.cells[i].name);
+    EXPECT_EQ(a.cells[i].op_total_mt, b.cells[i].op_total_mt) << i;
+    EXPECT_EQ(a.cells[i].emb_total_mt, b.cells[i].emb_total_mt) << i;
+    EXPECT_EQ(a.cells[i].annualized_mt, b.cells[i].annualized_mt) << i;
+  }
+  EXPECT_EQ(render_sweep_report(a), render_sweep_report(b));
+  EXPECT_NE(a.batches, b.batches);  // the runs really differed in shape
+}
+
+TEST(SweepEngine, SeedDeterminismReachesTheReport) {
+  const SweepReport a =
+      SweepEngine().run(records60(), SweepSpec::parse("mc=12@7"));
+  const SweepReport b =
+      SweepEngine().run(records60(), SweepSpec::parse("mc=12@7"));
+  const SweepReport c =
+      SweepEngine().run(records60(), SweepSpec::parse("mc=12@8"));
+  EXPECT_EQ(render_sweep_report(a), render_sweep_report(b));
+  EXPECT_NE(render_sweep_report(a), render_sweep_report(c));
+}
+
+TEST(SweepEngine, LifetimeAxisCellsAliasTheirBaseAssessments) {
+  // life is excluded from the assessment fingerprint, so a pure
+  // lifetime sweep computes each record exactly once — every other
+  // cell is lookups. 5 cells (base + 2 endpoints + 2 grid) x 60
+  // records = 300 lookups, 60 misses.
+  AssessmentEngine engine;
+  SweepEngine::Options opt;
+  opt.engine = &engine;
+  const SweepReport r =
+      SweepEngine(opt).run(records60(), SweepSpec::parse("life=4,8"));
+  EXPECT_EQ(r.cells.size(), 5u);
+  EXPECT_EQ(r.cache.lookups(), 300u);
+  EXPECT_EQ(r.cache.misses, 60u);
+  EXPECT_EQ(r.cache.hits, 240u);
+
+  // Same engine, same sweep: pure lookups, byte-identical report.
+  const SweepReport warm =
+      SweepEngine(opt).run(records60(), SweepSpec::parse("life=4,8"));
+  EXPECT_DOUBLE_EQ(warm.cache.hit_rate(), 1.0);
+  EXPECT_EQ(render_sweep_report(r), render_sweep_report(warm));
+}
+
+TEST(SweepEngine, TornadoSwingsPointTheRightWay) {
+  const SweepReport r = SweepEngine().run(
+      records60(), SweepSpec::parse("aci=25,600;life=4,8"));
+  ASSERT_EQ(r.tornado.size(), 2u);
+
+  const TornadoRow& aci = r.tornado[0];
+  EXPECT_EQ(aci.axis, SweepAxis::kAci);
+  EXPECT_DOUBLE_EQ(aci.low, 25.0);
+  EXPECT_DOUBLE_EQ(aci.high, 600.0);
+  // A dirtier grid means more operational carbon.
+  EXPECT_GT(aci.swing_mt, 0.0);
+  EXPECT_GT(aci.op_max_abs_pct, 100.0);   // 25 -> 600 is a 24x ACI
+  EXPECT_DOUBLE_EQ(aci.emb_max_abs_pct, 0.0);  // embodied ignores the grid
+
+  const TornadoRow& life = r.tornado[1];
+  EXPECT_EQ(life.axis, SweepAxis::kLifetime);
+  // Longer amortization lowers the annualized total...
+  EXPECT_LT(life.swing_mt, 0.0);
+  // ...without touching any per-record assessment.
+  EXPECT_DOUBLE_EQ(life.op_max_abs_pct, 0.0);
+  EXPECT_DOUBLE_EQ(life.emb_max_abs_pct, 0.0);
+
+  // An endpoint cell and a grid cell that share every model-reaching
+  // override are the same assessment under different names (the
+  // endpoint keeps life at base 6, the grid cell sets life=4 — but
+  // the operational total never depends on life); their per-record
+  // aggregates must agree exactly.
+  const auto cell = [&](const std::string& name) -> const SweepCell& {
+    for (const auto& c : r.cells) {
+      if (c.name == name) return c;
+    }
+    throw util::Error("no cell named " + name);
+  };
+  EXPECT_DOUBLE_EQ(cell("sweep/axis/aci=25").op_total_mt,
+                   cell("sweep/grid/aci=25/life=4").op_total_mt);
+}
+
+}  // namespace
+}  // namespace easyc::analysis

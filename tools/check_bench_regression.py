@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the engine/sweep benches.
+
+Compares one or more google-benchmark ``--benchmark_format=json`` (or
+``--benchmark_out=<file> --benchmark_out_format=json``) result files
+against a committed baseline and fails when any benchmark's real time
+regressed by more than the threshold.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline.json \
+      --current engine.json [--current sweep.json ...] [--threshold 20]
+
+  # refresh the committed baseline from the current run(s)
+  check_bench_regression.py --baseline bench/baseline.json \
+      --current engine.json --current sweep.json --update-baseline
+
+  # prove the gate works (no files needed): passes an unchanged run,
+  # fails an injected +25% regression, round-trips --update-baseline
+  check_bench_regression.py --self-test
+
+Gate rules:
+  * a benchmark slower than baseline by > threshold %  -> FAIL
+  * a baseline benchmark missing from the current runs -> FAIL
+    (silently dropping a benchmark is how a gate rots)
+  * a new benchmark absent from the baseline           -> note only;
+    commit a refreshed baseline to start gating it
+  * aggregate rows (mean/median/stddev/cv) are ignored; only
+    per-iteration measurements gate.
+
+Times are normalized to nanoseconds before comparing, so a baseline
+written in ms gates a run reported in ns.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+_NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def _to_ns(value, unit):
+    try:
+        return float(value) * _NS_PER_UNIT[unit]
+    except KeyError:
+        raise SystemExit(f"error: unknown time_unit '{unit}'")
+
+
+def load_benchmarks(path_or_obj):
+    """Return {name: real_time_ns} for one result file (or parsed dict)."""
+    if isinstance(path_or_obj, dict):
+        doc = path_or_obj
+    else:
+        try:
+            doc = json.loads(Path(path_or_obj).read_text())
+        except FileNotFoundError:
+            raise SystemExit(f"error: no such file: {path_or_obj}")
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"error: {path_or_obj} is not JSON: {e}")
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # google-benchmark marks mean/median/stddev rows as aggregates;
+        # older versions omit run_type but suffix the name instead.
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        name = b["name"]
+        if any(name.endswith(s) for s in ("_mean", "_median", "_stddev", "_cv")):
+            continue
+        out[name] = _to_ns(b["real_time"], b.get("time_unit", "ns"))
+    return out
+
+
+def merge_currents(paths):
+    merged = {}
+    for p in paths:
+        for name, ns in load_benchmarks(p).items():
+            if name in merged:
+                raise SystemExit(
+                    f"error: benchmark '{name}' appears in more than one "
+                    "--current file")
+            merged[name] = ns
+    return merged
+
+
+def write_baseline(path, benchmarks):
+    doc = {
+        "comment": [
+            "Committed benchmark baseline for tools/check_bench_regression.py.",
+            "Refresh with: check_bench_regression.py --baseline <this file>",
+            "  --current <run.json> [--current ...] --update-baseline",
+        ],
+        "benchmarks": [
+            {"name": name, "real_time": ns, "time_unit": "ns",
+             "run_type": "iteration"}
+            for name, ns in sorted(benchmarks.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def compare(baseline, current, threshold_pct):
+    """Return (failures, lines): gate verdict plus a printable table."""
+    failures = []
+    lines = []
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not measured")
+            lines.append(f"  MISSING {name}")
+            continue
+        cur_ns = current[name]
+        delta_pct = (cur_ns - base_ns) / base_ns * 100.0 if base_ns else 0.0
+        verdict = "ok"
+        if delta_pct > threshold_pct:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: {base_ns:.0f} ns -> {cur_ns:.0f} ns "
+                f"({delta_pct:+.1f}% > +{threshold_pct:.0f}%)")
+        lines.append(
+            f"  {verdict:>9} {name}: {base_ns:.0f} ns -> {cur_ns:.0f} ns "
+            f"({delta_pct:+.1f}%)")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"      NEW {name}: {current[name]:.0f} ns "
+                     "(not gated; refresh the baseline to gate it)")
+    return failures, lines
+
+
+def self_test():
+    """Exercise the gate end to end with synthetic results."""
+    def doc(scale):
+        return {
+            "benchmarks": [
+                {"name": "BM_Fast", "real_time": 100.0 * scale,
+                 "time_unit": "ns", "run_type": "iteration"},
+                {"name": "BM_Slow/8", "real_time": 2.0 * scale,
+                 "time_unit": "ms", "run_type": "iteration"},
+                # aggregates must never gate
+                {"name": "BM_Slow/8_mean", "real_time": 99.0,
+                 "time_unit": "ms", "run_type": "aggregate"},
+            ]
+        }
+
+    baseline = load_benchmarks(doc(1.0))
+    assert set(baseline) == {"BM_Fast", "BM_Slow/8"}, baseline
+    assert baseline["BM_Slow/8"] == 2.0e6, baseline
+
+    # Unchanged run: passes.
+    failures, _ = compare(baseline, load_benchmarks(doc(1.0)), 20.0)
+    assert not failures, failures
+
+    # A +10% drift stays under a 20% gate.
+    failures, _ = compare(baseline, load_benchmarks(doc(1.10)), 20.0)
+    assert not failures, failures
+
+    # An injected +25% regression fails it, naming every benchmark.
+    failures, _ = compare(baseline, load_benchmarks(doc(1.25)), 20.0)
+    assert len(failures) == 2, failures
+
+    # A benchmark that vanishes from the run fails the gate.
+    shrunk = load_benchmarks(doc(1.0))
+    del shrunk["BM_Fast"]
+    failures, _ = compare(baseline, shrunk, 20.0)
+    assert failures and "not measured" in failures[0], failures
+
+    # A new benchmark is reported but does not gate.
+    grown = dict(load_benchmarks(doc(1.0)), BM_New=5.0)
+    failures, lines = compare(baseline, grown, 20.0)
+    assert not failures, failures
+    assert any("NEW BM_New" in l for l in lines), lines
+
+    # --update-baseline round-trips through the file format.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "baseline.json"
+        write_baseline(path, baseline)
+        assert load_benchmarks(path) == baseline
+    print("self-test: all gate behaviours verified")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Fail CI when a benchmark regresses past a threshold.")
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--current", action="append", default=[],
+                        help="google-benchmark JSON result (repeatable)")
+    parser.add_argument("--threshold", type=float, default=20.0,
+                        help="max tolerated real-time regression, %% "
+                             "(default: 20)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from the --current runs "
+                             "instead of gating")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate logic on synthetic data")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and at least one --current are required "
+                     "(or --self-test)")
+
+    current = merge_currents(args.current)
+    if args.update_baseline:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {len(current)} benchmarks -> "
+              f"{args.baseline}")
+        return 0
+
+    baseline = load_benchmarks(args.baseline)
+    if not baseline:
+        raise SystemExit(f"error: baseline {args.baseline} has no benchmarks")
+    failures, lines = compare(baseline, current, args.threshold)
+    print(f"benchmark regression gate: {len(baseline)} gated, "
+          f"threshold +{args.threshold:.0f}% real time")
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("PASS: no benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,9 +18,11 @@
 #include "analysis/coverage.hpp"
 #include "analysis/pipeline.hpp"
 #include "analysis/scenario.hpp"
+#include "analysis/sweep.hpp"
 #include "analysis/turnover.hpp"
 #include "easyc/amortization.hpp"
 #include "easyc/model.hpp"
+#include "parallel/thread_pool.hpp"
 #include "report/experiments.hpp"
 #include "top500/history.hpp"
 #include "top500/import.hpp"
@@ -73,9 +75,23 @@ void declare_flags(util::ArgParser& args) {
   args.add_flag("editions",
                 "list editions for --turnover (default 8, minimum 2)");
   args.add_flag("cache-file",
-                "persist the assessment memo cache across --turnover runs: "
-                "warm-start from this snapshot file when it exists and save "
-                "it back after the run");
+                "persist the assessment memo cache across --turnover and "
+                "--sweep runs: warm-start from this snapshot file when it "
+                "exists and save it back after the run");
+  args.add_flag("sweep",
+                "expand an axis spec into a scenario grid and assess every "
+                "derived scenario over the Nov-2024 list; e.g. "
+                "\"aci=25:600:6;pue=1.1,1.3,1.6;util=0.5:0.95:4;life=4,6,8;"
+                "mc=100@42\" (axes: aci, pue, fab, util, life)");
+  args.add_flag("sweep-base",
+                "registered scenario the sweep derives from "
+                "(default: enhanced; see --list-scenarios)");
+  args.add_flag("threads",
+                "worker threads for --sweep (default: hardware concurrency); "
+                "results are bit-identical for every value");
+  args.add_flag("sweep-batch",
+                "derived scenarios per engine block for --sweep (default "
+                "64; bounds memory, never changes results)");
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
@@ -232,6 +248,43 @@ int assess_top500_export(const std::string& path,
   return 0;
 }
 
+// Warm-start diagnostics go to stderr so the report on stdout stays
+// byte-identical between cold and warm-started runs (CI diffs it).
+void warm_start_cache(easyc::analysis::AssessmentEngine& engine,
+                      const std::string& cache_file) {
+  if (std::ifstream probe(cache_file, std::ios::binary); probe) {
+    try {
+      const size_t n = engine.load_cache(cache_file);
+      std::fprintf(stderr, "cache warm-start: %zu entries from %s\n", n,
+                   cache_file.c_str());
+    } catch (const util::Error& e) {
+      // A cache is advisory: a stale/corrupt/unreadable snapshot
+      // costs a cold run, never a wrong result or a failed one.
+      std::fprintf(stderr, "cache file %s rejected (%s); starting cold\n",
+                   cache_file.c_str(), e.what());
+    }
+  } else {
+    std::fprintf(stderr, "cache file %s not found; starting cold\n",
+                 cache_file.c_str());
+  }
+}
+
+// Save last, and never let a save failure eat the report the user
+// already paid to compute: like a rejected load, a failed save only
+// costs the *next* run its warm start.
+void save_cache_snapshot(const easyc::analysis::AssessmentEngine& engine,
+                         const std::string& cache_file) {
+  try {
+    engine.save_cache(cache_file);
+    std::fprintf(stderr, "cache saved: %llu entries to %s\n",
+                 static_cast<unsigned long long>(engine.cache_stats().entries),
+                 cache_file.c_str());
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "warning: could not save cache to %s (%s)\n",
+                 cache_file.c_str(), e.what());
+  }
+}
+
 int run_turnover(int editions, const std::optional<std::string>& cache_file) {
   if (editions < 2) {
     throw util::Error("--editions must be at least 2 (growth needs a cycle)");
@@ -243,26 +296,7 @@ int run_turnover(int editions, const std::optional<std::string>& cache_file) {
   const auto history = easyc::top500::generate_history(cfg);
 
   easyc::analysis::AssessmentEngine engine;
-  // Warm-start diagnostics go to stderr so the report on stdout stays
-  // byte-identical between cold and warm-started runs (CI diffs it).
-  if (cache_file) {
-    if (std::ifstream probe(*cache_file, std::ios::binary); probe) {
-      try {
-        const size_t n = engine.load_cache(*cache_file);
-        std::fprintf(stderr, "cache warm-start: %zu entries from %s\n", n,
-                     cache_file->c_str());
-      } catch (const util::Error& e) {
-        // A cache is advisory: a stale/corrupt/unreadable snapshot
-        // costs a cold run, never a wrong result or a failed one.
-        std::fprintf(stderr,
-                     "cache file %s rejected (%s); starting cold\n",
-                     cache_file->c_str(), e.what());
-      }
-    } else {
-      std::fprintf(stderr, "cache file %s not found; starting cold\n",
-                   cache_file->c_str());
-    }
-  }
+  if (cache_file) warm_start_cache(engine, *cache_file);
   easyc::analysis::TurnoverOptions opts;
   opts.engine = &engine;
   const auto report = easyc::analysis::analyze_turnover(history, opts);
@@ -279,21 +313,53 @@ int run_turnover(int editions, const std::optional<std::string>& cache_file) {
   }
   std::fputs(t.render().c_str(), stdout);
 
-  // Save last, and never let a save failure eat the report the user
-  // already paid to compute: like a rejected load, a failed save only
-  // costs the *next* run its warm start.
-  if (cache_file) {
-    try {
-      engine.save_cache(*cache_file);
-      std::fprintf(stderr, "cache saved: %llu entries to %s\n",
-                   static_cast<unsigned long long>(
-                       engine.cache_stats().entries),
-                   cache_file->c_str());
-    } catch (const util::Error& e) {
-      std::fprintf(stderr, "warning: could not save cache to %s (%s)\n",
-                   cache_file->c_str(), e.what());
-    }
+  if (cache_file) save_cache_snapshot(engine, *cache_file);
+  return 0;
+}
+
+int run_sweep(const std::string& axis_text, const std::string& base_name,
+              std::optional<long long> threads,
+              std::optional<long long> batch,
+              const std::optional<std::string>& cache_file) {
+  const auto set = cli_scenarios();
+  const auto spec =
+      easyc::analysis::SweepSpec::parse(axis_text, set.at(base_name));
+  std::fprintf(stderr, "expanding %zu derived scenarios from '%s'...\n",
+               spec.total_cells(), base_name.c_str());
+
+  const auto records = easyc::top500::generate_records();
+
+  if (threads && *threads < 1) {
+    throw util::Error("--threads must be at least 1");
   }
+  easyc::par::ThreadPool pool(
+      threads ? static_cast<unsigned>(*threads) : 0u);
+  easyc::analysis::AssessmentEngine engine({.pool = &pool});
+  if (cache_file) warm_start_cache(engine, *cache_file);
+
+  easyc::analysis::SweepEngine::Options opt;
+  opt.engine = &engine;
+  if (batch) {
+    if (*batch < 1) throw util::Error("--sweep-batch must be at least 1");
+    opt.batch_size = static_cast<size_t>(*batch);
+  }
+  easyc::analysis::SweepEngine sweep(opt);
+  const auto report = sweep.run(records, spec);
+
+  std::fputs(easyc::analysis::render_sweep_report(report).c_str(), stdout);
+  // Cache activity is run-local (a warm restart legitimately differs),
+  // so it goes to stderr and the report on stdout stays byte-identical
+  // across 1-vs-N threads, batch sizes, and --cache-file warm starts.
+  std::fprintf(stderr,
+               "Assessment cache: %llu hits / %llu misses (%.1f%% hit "
+               "rate), %llu evictions, %llu resident\n",
+               static_cast<unsigned long long>(report.cache.hits),
+               static_cast<unsigned long long>(report.cache.misses),
+               report.cache.hit_rate() * 100.0,
+               static_cast<unsigned long long>(report.cache.evictions),
+               static_cast<unsigned long long>(report.cache.entries));
+
+  if (cache_file) save_cache_snapshot(engine, *cache_file);
   return 0;
 }
 
@@ -304,6 +370,10 @@ int main(int argc, char** argv) {
       "easyc — carbon-footprint assessment from a few key metrics "
       "(EasyC model)");
   declare_flags(args);
+  // Every input is a named flag; a bare argument is always a mistake
+  // (e.g. a missing "--" or an unquoted value) and must not be
+  // silently dropped.
+  args.allow_positional(false);
   try {
     args.parse(argc, argv);
     if (args.has("help") || argc == 1) {
@@ -317,7 +387,40 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    // The simulated-history modes take a closed flag set; any other
+    // flag on their command line would otherwise be silently ignored
+    // (e.g. --sweep ... --service-years 4 running with the base
+    // scenario's lifetime), which is exactly the failure mode strict
+    // parsing exists to prevent.
+    auto require_only = [&](const char* mode,
+                            std::initializer_list<const char*> allowed) {
+      for (const auto& name : args.given()) {
+        bool ok = false;
+        for (const char* a : allowed) ok = ok || name == a;
+        if (!ok) {
+          throw util::Error("--" + name + " does not apply to --" + mode +
+                            " runs");
+        }
+      }
+    };
+    if (auto sweep_spec = args.get("sweep")) {
+      require_only("sweep",
+                   {"sweep", "sweep-base", "threads", "sweep-batch",
+                    "cache-file"});
+      return run_sweep(*sweep_spec,
+                       args.get("sweep-base").value_or(std::string(
+                           easyc::analysis::scenarios::kEnhancedName)),
+                       args.get_int("threads"), args.get_int("sweep-batch"),
+                       args.get("cache-file"));
+    }
+    for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch"}) {
+      if (args.has(sweep_only)) {
+        throw util::Error(std::string("--") + sweep_only +
+                          " applies only to --sweep runs");
+      }
+    }
     if (args.has("turnover")) {
+      require_only("turnover", {"turnover", "editions", "cache-file"});
       return run_turnover(
           static_cast<int>(args.get_double("editions").value_or(8.0)),
           args.get("cache-file"));
@@ -326,7 +429,8 @@ int main(int argc, char** argv) {
       throw util::Error("--editions applies only to --turnover runs");
     }
     if (args.has("cache-file")) {
-      throw util::Error("--cache-file applies only to --turnover runs");
+      throw util::Error(
+          "--cache-file applies only to --turnover and --sweep runs");
     }
     model::EasyCOptions opt;
     if (args.has("approximate-accelerators")) {
@@ -366,6 +470,10 @@ int main(int argc, char** argv) {
         [&](const std::string& key) { return args.get(key); });
     return assess_single(in, opt,
                          args.get_double("service-years").value_or(6.0));
+  } catch (const util::ParseError& e) {
+    std::fprintf(stderr, "error: %s\nrun %s --help for usage\n", e.what(),
+                 argv[0]);
+    return 1;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
