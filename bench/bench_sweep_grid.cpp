@@ -12,10 +12,13 @@
 #include "bench/common.hpp"
 
 #include <chrono>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/sweep.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -65,6 +68,27 @@ std::string sweep_report() {
          format_double(n / t_warm, 0) + " cells/sec, " +
          format_double(warm_rate * 100, 1) + "% hits, " +
          format_double(t_cold / t_warm, 2) + "x)\n";
+
+  // Adaptive refinement economics on a fresh engine: every round keeps
+  // the previous values, so the refined rounds re-run the old grid as
+  // cache lookups and only pay for the densified cells.
+  {
+    easyc::par::ThreadPool worker(1);
+    AssessmentEngine fresh({.pool = &worker});
+    SweepEngine::Options aopt;
+    aopt.engine = &fresh;
+    easyc::analysis::RefineOptions refine;
+    refine.top_axes = 2;
+    refine.rounds = 2;
+    const auto report =
+        SweepEngine(aopt).run_adaptive(records500(), spec, refine);
+    out += "  adaptive (--sweep-refine 2@2):\n";
+    for (const auto& round : report.refinement) {
+      out += "    round " + std::to_string(round.round) + ": " +
+             std::to_string(round.cells) + " cells, " +
+             format_double(round.cache.hit_rate() * 100, 1) + "% hits\n";
+    }
+  }
   return out;
 }
 
@@ -111,6 +135,52 @@ void BM_SweepWarmGrid(benchmark::State& state) {
                           static_cast<int64_t>(spec.total_cells()));
 }
 BENCHMARK(BM_SweepWarmGrid)->Unit(benchmark::kMillisecond);
+
+// The sweep reduction's summary kernel over a grid-sized sample, three
+// summaries per iteration like the report reduction (annualized, op,
+// emb). util::summarize now sorts once and reads every order statistic
+// from the sorted copy instead of re-copying and re-sorting per
+// percentile (plus separate min/max scans); the outputs are
+// bit-identical (stats_test pins every field against the independent
+// computations), only the redundant O(n log n) passes are gone.
+void BM_SweepReduceSummaries(benchmark::State& state) {
+  std::vector<double> cells(4096);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<double>((i * 7919) % 4096) * 0.5;
+  }
+  for (auto _ : state) {
+    auto a = easyc::util::summarize(cells);
+    auto b = easyc::util::summarize(cells);
+    auto c = easyc::util::summarize(cells);
+    benchmark::DoNotOptimize(&a);
+    benchmark::DoNotOptimize(&b);
+    benchmark::DoNotOptimize(&c);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * cells.size()));
+}
+BENCHMARK(BM_SweepReduceSummaries)->Unit(benchmark::kMicrosecond);
+
+// Warm grid with the per-cell CSV sink attached: the marginal cost of
+// --cells-out on top of the assessment (string formatting + quoting).
+void BM_SweepWarmGridCsvExport(benchmark::State& state) {
+  const auto spec = SweepSpec::parse(kGridSpec);
+  AssessmentEngine engine;
+  SweepEngine::Options opt;
+  opt.engine = &engine;
+  SweepEngine sweep(opt);
+  sweep.run(records500(), spec);  // prime
+  for (auto _ : state) {
+    std::ostringstream csv;
+    easyc::analysis::CsvCellSink sink(csv);
+    auto report = sweep.run(records500(), spec, &sink);
+    benchmark::DoNotOptimize(&report);
+    benchmark::DoNotOptimize(&csv);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(spec.total_cells()));
+}
+BENCHMARK(BM_SweepWarmGridCsvExport)->Unit(benchmark::kMillisecond);
 
 // Seeded Monte-Carlo arm: 64 prior draws, cold. Dominated by model
 // evaluations (every draw is a distinct fingerprint).

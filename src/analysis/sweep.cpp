@@ -1,12 +1,16 @@
 #include "analysis/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
+#include <ostream>
+#include <set>
 #include <utility>
 
 #include "analysis/sensitivity.hpp"
 #include "util/ascii.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -51,6 +55,31 @@ std::vector<AxisEndpoints> tornado_endpoints(const SweepSpec& spec) {
 
 constexpr std::string_view kBaseCellName = "sweep/base";
 
+// Physical-range guard for axis values, applied at parse time so a
+// meaningless spec fails with a grammar-level message naming the axis
+// and value instead of surfacing later from ScenarioSet validation
+// (which stays in place as the backstop for hand-built SweepSpecs).
+const char* axis_range_complaint(SweepAxis axis, double v) {
+  switch (axis) {
+    case SweepAxis::kAci:
+      if (!(v >= 0.0)) return "grid intensity (gCO2e/kWh) must be >= 0";
+      break;
+    case SweepAxis::kPue:
+      if (!(v >= 1.0)) return "PUE must be >= 1 (facility draws at least IT power)";
+      break;
+    case SweepAxis::kFab:
+      if (!(v >= 0.0)) return "fab intensity (kgCO2e/kWh) must be >= 0";
+      break;
+    case SweepAxis::kUtilization:
+      if (!(v > 0.0 && v <= 1.0)) return "utilization must be in (0,1]";
+      break;
+    case SweepAxis::kLifetime:
+      if (!(v > 0.0)) return "lifetime (years) must be > 0";
+      break;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 std::string_view axis_name(SweepAxis axis) {
@@ -82,6 +111,40 @@ ScenarioSpec apply_axis(ScenarioSpec spec, SweepAxis axis, double value) {
     case SweepAxis::kLifetime: spec.service_years = value; break;
   }
   return spec;
+}
+
+std::optional<double> axis_value(const ScenarioSpec& spec, SweepAxis axis) {
+  switch (axis) {
+    case SweepAxis::kAci: return spec.aci_override_g_kwh;
+    case SweepAxis::kPue: return spec.pue_override;
+    case SweepAxis::kFab: return spec.fab_aci_kg_kwh;
+    case SweepAxis::kUtilization: return spec.default_utilization;
+    case SweepAxis::kLifetime: return spec.service_years;
+  }
+  return std::nullopt;
+}
+
+std::string_view cell_kind_name(SweepCellKind kind) {
+  switch (kind) {
+    case SweepCellKind::kBase: return "base";
+    case SweepCellKind::kAxisEndpoint: return "axis";
+    case SweepCellKind::kGrid: return "grid";
+    case SweepCellKind::kMonteCarlo: return "mc";
+  }
+  return "?";
+}
+
+SweepCellKind cell_kind_from_name(std::string_view cell_name) {
+  if (cell_name == kBaseCellName) return SweepCellKind::kBase;
+  if (util::starts_with(cell_name, "sweep/axis/")) {
+    return SweepCellKind::kAxisEndpoint;
+  }
+  if (util::starts_with(cell_name, "sweep/grid/")) return SweepCellKind::kGrid;
+  if (util::starts_with(cell_name, "sweep/mc/")) {
+    return SweepCellKind::kMonteCarlo;
+  }
+  throw util::Error("'" + std::string(cell_name) +
+                    "' is not a sweep cell name");
 }
 
 SweepSpec SweepSpec::parse(std::string_view text, ScenarioSpec base) {
@@ -157,6 +220,15 @@ SweepSpec SweepSpec::parse(std::string_view text, ScenarioSpec base) {
       }
     } else {
       fail("axis '" + key + "': values are v1,v2,... or lo:hi:n");
+    }
+    // Range-check the materialized values, so a meaningless list entry
+    // and a linspace that strays out of range (e.g. "life=0:8:5", which
+    // starts at a zero-year lifetime) fail identically.
+    for (const double v : av.values) {
+      if (const char* complaint = axis_range_complaint(*axis, v)) {
+        fail("axis '" + key + "': value " + format_axis_value(v) + " — " +
+             complaint);
+      }
     }
     for (size_t i = 0; i < av.values.size(); ++i) {
       for (size_t j = i + 1; j < av.values.size(); ++j) {
@@ -261,6 +333,64 @@ ScenarioSet expand_sweep(const SweepSpec& spec) {
   return set;
 }
 
+namespace {
+
+// Aggregates are exported at full double precision (%.17g): the
+// acceptance contract diffs exported files across thread counts and
+// cache states byte for byte, and a lossless decimal form also lets
+// downstream plotting recover the exact computed values.
+std::string format_exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string format_fingerprint(uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+CsvCellSink::CsvCellSink(std::ostream& out) : out_(out) {
+  out_ << util::csv_format_row(columns());
+}
+
+const std::vector<std::string>& CsvCellSink::columns() {
+  static const std::vector<std::string> kColumns = {
+      "round",       "index",       "kind",
+      "scenario",    "fingerprint", "aci_g_kwh",
+      "pue",         "fab_kg_kwh",  "utilization",
+      "service_years", "op_total_mt", "emb_total_mt",
+      "annualized_mt", "op_covered",  "emb_covered",
+      "description"};
+  return kColumns;
+}
+
+void CsvCellSink::cell(size_t round, size_t index, const SweepCell& c) {
+  std::vector<std::string> fields;
+  fields.reserve(columns().size());
+  fields.push_back(std::to_string(round));
+  fields.push_back(std::to_string(index));
+  fields.push_back(std::string(cell_kind_name(c.kind)));
+  fields.push_back(c.name);
+  fields.push_back(format_fingerprint(c.fingerprint));
+  for (size_t a = 0; a < kNumSweepAxes; ++a) {
+    const auto& v = c.coords[a];
+    fields.push_back(v ? format_exact(*v) : "");
+  }
+  fields.push_back(format_exact(c.op_total_mt));
+  fields.push_back(format_exact(c.emb_total_mt));
+  fields.push_back(format_exact(c.annualized_mt));
+  fields.push_back(std::to_string(c.op_covered));
+  fields.push_back(std::to_string(c.emb_covered));
+  fields.push_back(c.description);
+
+  out_ << util::csv_format_row(fields);
+}
+
 SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
 
 SweepEngine::SweepEngine(Options options) : options_(options) {
@@ -275,7 +405,14 @@ SweepEngine::SweepEngine(Options options) : options_(options) {
 AssessmentEngine& SweepEngine::engine() { return *options_.engine; }
 
 SweepReport SweepEngine::run(
-    const std::vector<top500::SystemRecord>& records, const SweepSpec& spec) {
+    const std::vector<top500::SystemRecord>& records, const SweepSpec& spec,
+    SweepCellSink* sink) {
+  return run_round(records, spec, /*round=*/0, sink);
+}
+
+SweepReport SweepEngine::run_round(
+    const std::vector<top500::SystemRecord>& records, const SweepSpec& spec,
+    size_t round, SweepCellSink* sink) {
   const ScenarioSet expanded = expand_sweep(spec);
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
@@ -310,12 +447,23 @@ SweepReport SweepEngine::run(
     for (auto& r : assessed.scenarios) {
       SweepCell cell;
       cell.name = r.spec.name;
+      cell.description = r.spec.description;
+      cell.kind = cell_kind_from_name(r.spec.name);
+      cell.fingerprint = r.spec.fingerprint();
+      for (size_t a = 0; a < kNumSweepAxes; ++a) {
+        cell.coords[a] = axis_value(r.spec, static_cast<SweepAxis>(a));
+      }
       cell.op_total_mt = r.total(true);
       cell.emb_total_mt = r.total(false);
       cell.annualized_mt = r.annualized_total_mt();
       cell.op_covered = r.coverage.operational;
       cell.emb_covered = r.coverage.embodied;
       report.cells.push_back(std::move(cell));
+      // Batches are ordered engine calls, so emission order is the
+      // expansion order for every thread count / batch size.
+      if (sink != nullptr) {
+        sink->cell(round, report.cells.size() - 1, report.cells.back());
+      }
       if (auto it = retained.find(r.spec.name); it != retained.end()) {
         it->second = std::move(r);
       }
@@ -365,6 +513,124 @@ SweepReport SweepEngine::run(
   return report;
 }
 
+namespace {
+
+// Pick and densify the top-K axes of `spec` (mutating it) from the last
+// round's report. An axis's marginal response is the mean annualized
+// total over the grid cells pinned at each of its values (every other
+// axis marginalized out); the steepest adjacent pair gets `points` new
+// values strictly inside it, keeping every old value so the previous
+// grid re-runs as pure cache lookups. Returns the per-axis trace; empty
+// when nothing could be refined. Deterministic: ranking is
+// stable-sorted (spec order breaks |swing| ties), segment ties resolve
+// to the lower pair, and inputs are deterministic cell aggregates.
+std::vector<RefinedAxis> refine_spec(SweepSpec& spec, const SweepReport& last,
+                                     const RefineOptions& opt) {
+  std::vector<const TornadoRow*> ranked;
+  ranked.reserve(last.tornado.size());
+  for (const auto& row : last.tornado) ranked.push_back(&row);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const TornadoRow* a, const TornadoRow* b) {
+                     return std::abs(a->swing_mt) > std::abs(b->swing_mt);
+                   });
+
+  std::vector<RefinedAxis> out;
+  for (const TornadoRow* row : ranked) {
+    if (out.size() >= opt.top_axes) break;
+    const auto axis_it =
+        std::find_if(spec.axes.begin(), spec.axes.end(),
+                     [&](const AxisValues& a) { return a.axis == row->axis; });
+    if (axis_it == spec.axes.end()) continue;
+
+    std::vector<double> sorted = axis_it->values;
+    std::sort(sorted.begin(), sorted.end());
+
+    std::vector<double> marginal(sorted.size(), 0.0);
+    std::vector<size_t> counts(sorted.size(), 0);
+    for (const auto& cell : last.cells) {
+      if (cell.kind != SweepCellKind::kGrid) continue;
+      const auto v = cell.coords[static_cast<size_t>(row->axis)];
+      if (!v) continue;
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        // Exact compare is safe: the coordinate is the same double the
+        // expansion applied, which came from this axis's value list.
+        if (*v == sorted[i]) {
+          marginal[i] += cell.annualized_mt;
+          ++counts[i];
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (counts[i] > 0) marginal[i] /= static_cast<double>(counts[i]);
+    }
+
+    size_t seg = 0;
+    double steepest = -1.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double delta = std::abs(marginal[i + 1] - marginal[i]);
+      if (delta > steepest) {
+        steepest = delta;
+        seg = i;
+      }
+    }
+
+    RefinedAxis refined;
+    refined.axis = row->axis;
+    refined.seg_lo = sorted[seg];
+    refined.seg_hi = sorted[seg + 1];
+    refined.swing_mt = row->swing_mt;
+
+    // New values that collide with an existing one at naming precision
+    // are skipped: the axis is already as dense as names can express.
+    std::set<std::string> existing;
+    for (const double v : sorted) existing.insert(format_axis_value(v));
+    std::vector<double> merged = sorted;
+    for (size_t j = 1; j <= opt.points; ++j) {
+      const double v = refined.seg_lo +
+                       (refined.seg_hi - refined.seg_lo) *
+                           static_cast<double>(j) /
+                           static_cast<double>(opt.points + 1);
+      if (existing.insert(format_axis_value(v)).second) {
+        merged.push_back(v);
+        ++refined.added;
+      }
+    }
+    if (refined.added == 0) continue;
+    std::sort(merged.begin(), merged.end());
+    axis_it->values = std::move(merged);
+    out.push_back(refined);
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepReport SweepEngine::run_adaptive(
+    const std::vector<top500::SystemRecord>& records, const SweepSpec& spec,
+    const RefineOptions& refine, SweepCellSink* sink) {
+  const par::CacheStats before = options_.engine->cache_stats();
+
+  SweepSpec current = spec;
+  SweepReport report = run_round(records, current, 0, sink);
+  report.refinement.push_back(
+      RefinementRound{0, report.cells.size(), {}, report.cache});
+
+  for (size_t round = 1; round <= refine.rounds; ++round) {
+    std::vector<RefinedAxis> refined = refine_spec(current, report, refine);
+    if (refined.empty()) break;  // nothing left to densify
+
+    std::vector<RefinementRound> trace = std::move(report.refinement);
+    report = run_round(records, current, round, sink);
+    trace.push_back(RefinementRound{round, report.cells.size(),
+                                    std::move(refined), report.cache});
+    report.refinement = std::move(trace);
+  }
+
+  report.cache = options_.engine->cache_stats().since(before);
+  return report;
+}
+
 std::string render_sweep_report(const SweepReport& r) {
   using util::format_double;
   std::string out = "Parameter sweep — " + std::to_string(r.cells.size()) +
@@ -396,6 +662,31 @@ std::string render_sweep_report(const SweepReport& r) {
                  format_double(row.emb_max_abs_pct, 1)});
     }
     out += t.render();
+  }
+
+  // The refinement trace renders only its deterministic fields (each
+  // round's cache stats stay off stdout, like the sweep-level stats).
+  if (r.refinement.size() > 1) {
+    out += "\nAdaptive refinement — " +
+           std::to_string(r.refinement.size() - 1) +
+           " round(s) after the coarse grid:\n";
+    for (const auto& round : r.refinement) {
+      if (round.round == 0) {
+        out += "  round 0 (coarse): " + std::to_string(round.cells) +
+               " cells\n";
+        continue;
+      }
+      std::string axes;
+      for (const auto& ax : round.refined) {
+        if (!axes.empty()) axes += ", ";
+        axes += std::string(axis_name(ax.axis)) + " in [" +
+                format_axis_value(ax.seg_lo) + ", " +
+                format_axis_value(ax.seg_hi) + "] +" +
+                std::to_string(ax.added) + " values";
+      }
+      out += "  round " + std::to_string(round.round) + ": " + axes + " — " +
+             std::to_string(round.cells) + " cells\n";
+    }
   }
 
   auto dist_line = [](const util::Summary& s) {

@@ -29,7 +29,9 @@
 // only cache lookups.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -120,15 +122,70 @@ struct SweepSpec {
 /// value below 1).
 ScenarioSet expand_sweep(const SweepSpec& spec);
 
+/// Which expansion arm produced a cell. Recoverable from the cell's
+/// deterministic name (see cell_kind_from_name), tracked explicitly so
+/// reductions and exports never re-parse names.
+enum class SweepCellKind { kBase, kAxisEndpoint, kGrid, kMonteCarlo };
+
+/// Export label ("base", "axis", "grid", "mc").
+std::string_view cell_kind_name(SweepCellKind kind);
+
+/// Inverse of the expansion naming scheme ("sweep/base",
+/// "sweep/axis/...", "sweep/grid/...", "sweep/mc/..."). Throws
+/// util::Error for a name this module never generates.
+SweepCellKind cell_kind_from_name(std::string_view cell_name);
+
+/// The one override value `axis` holds in a derived spec: the optional
+/// override knob for aci/pue/fab/util (nullopt = model default), the
+/// always-present service_years for life.
+std::optional<double> axis_value(const ScenarioSpec& spec, SweepAxis axis);
+
 /// One derived scenario's aggregate footprint (full per-record series
 /// are reduced batch by batch; only the tornado endpoints retain them).
 struct SweepCell {
   std::string name;
+  std::string description;
+  SweepCellKind kind = SweepCellKind::kBase;
+  uint64_t fingerprint = 0;      ///< the spec's assessment identity
+  /// Effective axis coordinates of the derived spec, indexed by
+  /// SweepAxis (axis_value over every axis).
+  std::array<std::optional<double>, kNumSweepAxes> coords;
   double op_total_mt = 0.0;      ///< covered operational total, MT/yr
   double emb_total_mt = 0.0;     ///< covered embodied total, MT
   double annualized_mt = 0.0;    ///< op + emb / service_years, MT/yr
   int op_covered = 0;
   int emb_covered = 0;
+};
+
+/// Streaming consumer of per-cell sweep results. `cell` is invoked once
+/// per assessed cell, always in deterministic order — rounds ascending,
+/// cells in expansion order within a round — regardless of thread
+/// count, batch size, or cache state: the bit-identity guarantee of the
+/// rendered report extends to anything a sink writes. `round` is 0 for
+/// the coarse grid (and for every SweepEngine::run cell); adaptive
+/// refinement re-emits each round's cells with its round number.
+class SweepCellSink {
+ public:
+  virtual ~SweepCellSink() = default;
+  virtual void cell(size_t round, size_t index, const SweepCell& cell) = 0;
+};
+
+/// RFC-4180 CSV sink: a header row on construction, then one row per
+/// cell — round, index, kind, scenario name, assessment fingerprint
+/// (hex), the five axis coordinates (empty = model default), footprint
+/// aggregates, coverage counts, and the cell description. Every field
+/// is routed through util::csv_escape, so scenario names/descriptions
+/// embedding ',', '"', or newlines round-trip through any CSV reader.
+class CsvCellSink : public SweepCellSink {
+ public:
+  explicit CsvCellSink(std::ostream& out);
+  void cell(size_t round, size_t index, const SweepCell& cell) override;
+
+  /// The column schema, in emission order (documented in README.md).
+  static const std::vector<std::string>& columns();
+
+ private:
+  std::ostream& out_;
 };
 
 /// One axis's tornado bar: the base-anchored swing between the axis's
@@ -149,6 +206,28 @@ struct TornadoRow {
   double emb_max_abs_pct = 0.0;
 };
 
+/// One axis's contribution to a refinement round: the steepest adjacent
+/// value pair of its marginal response, densified with new points.
+struct RefinedAxis {
+  SweepAxis axis = SweepAxis::kAci;
+  double seg_lo = 0.0;   ///< steepest segment, lower value
+  double seg_hi = 0.0;   ///< steepest segment, upper value
+  size_t added = 0;      ///< new values inserted (after precision dedup)
+  double swing_mt = 0.0; ///< the tornado swing that ranked this axis
+};
+
+/// Per-round trace of an adaptive sweep. Round 0 is the coarse grid
+/// (no refined axes); each later round re-runs the grid with the
+/// refined axes. `cache` is the engine activity attributable to this
+/// round — it legitimately differs between cold and warm-started runs
+/// and is therefore never rendered; everything else is deterministic.
+struct RefinementRound {
+  size_t round = 0;
+  size_t cells = 0;               ///< cells assessed this round
+  std::vector<RefinedAxis> refined;
+  par::CacheStats cache;
+};
+
 struct SweepReport {
   std::string base_name;          ///< the base scenario swept around
   size_t num_records = 0;
@@ -166,11 +245,31 @@ struct SweepReport {
   util::Summary op_total_mt;
   util::Summary emb_total_mt;
 
-  /// Engine cache activity during this sweep (`entries` is the resident
-  /// count afterwards). Not part of the rendered report: hit counts
+  /// Adaptive-refinement trace: empty for a plain run; round 0 (the
+  /// coarse grid) plus one entry per executed refinement round for
+  /// run_adaptive. Everything but each round's `cache` is rendered.
+  std::vector<RefinementRound> refinement;
+
+  /// Engine cache activity during this sweep — cumulative across every
+  /// round for run_adaptive (`entries` is the resident count
+  /// afterwards). Not part of the rendered report: hit counts
   /// legitimately differ between cold and warm-started runs while the
   /// report stays byte-identical.
   par::CacheStats cache;
+};
+
+/// Tornado-guided refinement: after the coarse grid, rank the
+/// multi-valued axes by |tornado swing|, pick the top K, and densify
+/// each around the steepest segment of its grid-marginal response for R
+/// rounds. Every round keeps the previous round's values (the old grid
+/// is a pure cache lookup) and inserts `points` new values strictly
+/// inside the steepest adjacent pair, so refinement rounds hit the
+/// shared AssessmentEngine cache at least as often as the coarse round
+/// — strictly more often when the sweep starts cold.
+struct RefineOptions {
+  size_t top_axes = 2;  ///< K: axes refined per round, ranked by |swing|
+  size_t rounds = 1;    ///< R: refinement rounds after the coarse grid
+  size_t points = 4;    ///< new values per refined axis per round
 };
 
 /// Drives a SweepSpec through an AssessmentEngine in batched cell
@@ -197,21 +296,40 @@ class SweepEngine {
 
   /// Expand `spec` and assess every derived scenario over `records`.
   /// Deterministic: byte-identical SweepCells and tornado rows for any
-  /// pool size, batch size, or cache state.
+  /// pool size, batch size, or cache state. When `sink` is non-null it
+  /// receives every cell, in expansion order, as its batch completes.
   SweepReport run(const std::vector<top500::SystemRecord>& records,
-                  const SweepSpec& spec);
+                  const SweepSpec& spec, SweepCellSink* sink = nullptr);
+
+  /// Coarse grid plus tornado-guided refinement (see RefineOptions).
+  /// Returns the final round's report with the full per-round trace in
+  /// SweepReport::refinement and cumulative cache stats. Refinement
+  /// decisions are pure functions of deterministic cell aggregates, so
+  /// the report and everything `sink` receives stay byte-identical for
+  /// any pool size, batch size, or cache state. Rounds stop early when
+  /// no axis can be refined (no multi-valued axes, or the steepest
+  /// segments are already denser than the naming precision).
+  SweepReport run_adaptive(const std::vector<top500::SystemRecord>& records,
+                           const SweepSpec& spec,
+                           const RefineOptions& refine,
+                           SweepCellSink* sink = nullptr);
 
   /// The engine the sweep runs on (the shared one, or the private one).
   AssessmentEngine& engine();
 
  private:
+  SweepReport run_round(const std::vector<top500::SystemRecord>& records,
+                        const SweepSpec& spec, size_t round,
+                        SweepCellSink* sink);
+
   Options options_;
   std::unique_ptr<AssessmentEngine> owned_engine_;
 };
 
 /// Render the deterministic part of a report (everything but the cache
 /// stats and batch shape) as the CLI's stdout block: header, tornado
-/// table, and the footprint percentiles.
+/// table, the refinement trace (adaptive runs only), and the footprint
+/// percentiles.
 std::string render_sweep_report(const SweepReport& report);
 
 }  // namespace easyc::analysis

@@ -166,17 +166,19 @@ std::string csv_escape(std::string_view field) {
   return out;
 }
 
-std::string CsvTable::to_string() const {
+std::string csv_format_row(const std::vector<std::string>& fields) {
   std::string out;
-  auto emit_row = [&out](const std::vector<std::string>& r) {
-    for (size_t i = 0; i < r.size(); ++i) {
-      if (i > 0) out.push_back(',');
-      out.append(csv_escape(r[i]));
-    }
-    out.push_back('\n');
-  };
-  emit_row(header_);
-  for (const auto& r : rows_) emit_row(r);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(csv_escape(fields[i]));
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::string out = csv_format_row(header_);
+  for (const auto& r : rows_) out.append(csv_format_row(r));
   return out;
 }
 

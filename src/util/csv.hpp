@@ -63,4 +63,9 @@ class CsvTable {
 /// Quote a single field if it contains a separator, quote, or newline.
 std::string csv_escape(std::string_view field);
 
+/// One serialized CSV row: every field through csv_escape, joined with
+/// commas, terminated with '\n'. The single writer CsvTable and every
+/// streaming emitter share, so the dialect cannot diverge.
+std::string csv_format_row(const std::vector<std::string>& fields);
+
 }  // namespace easyc::util

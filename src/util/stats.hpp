@@ -30,6 +30,12 @@ double median(std::span<const double> xs);
 /// Linear-interpolated percentile, q in [0,1]. Empty input -> 0.
 double percentile(std::span<const double> xs, double q);
 
+/// percentile() over a sample that is already sorted ascending — no
+/// copy, no re-sort. The building block summarize() reads all its order
+/// statistics from; callers holding a sorted sample (reductions over
+/// thousands of sweep cells) should prefer it.
+double percentile_sorted(std::span<const double> sorted, double q);
+
 Summary summarize(std::span<const double> xs);
 
 /// Least-squares fit y = a + b*x. Requires xs.size() == ys.size() >= 2

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace easyc::util {
@@ -56,6 +57,38 @@ TEST(Summary, AllFieldsConsistent) {
   EXPECT_DOUBLE_EQ(s.median, 3.0);
   EXPECT_LE(s.p05, s.median);
   EXPECT_LE(s.median, s.p95);
+}
+
+TEST(PercentileSorted, MatchesPercentileOnSortedInput) {
+  // summarize() now reads every order statistic from one sorted copy;
+  // percentile_sorted over that copy must agree exactly with the
+  // copy-and-sort percentile() it replaced.
+  std::vector<double> xs = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(xs, q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Summary, SingleSortMatchesIndependentOrderStatistics) {
+  // An unsorted, duplicate-heavy sample with a magnitude spread like
+  // the sweep reductions: every summarize field must equal the
+  // independently computed statistic, bit for bit.
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) {
+    xs.push_back(((i * 7919) % 1000) * 1e3 + ((i * 104729) % 97) * 0.25);
+  }
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_EQ(s.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(s.max, *std::max_element(xs.begin(), xs.end()));
+  EXPECT_EQ(s.median, percentile(xs, 0.5));
+  EXPECT_EQ(s.p05, percentile(xs, 0.05));
+  EXPECT_EQ(s.p95, percentile(xs, 0.95));
+  EXPECT_EQ(s.total, sum(xs));
+  EXPECT_EQ(s.stddev, sample_stddev(xs));
 }
 
 TEST(LinearFit, RecoversExactLine) {

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "parallel/thread_pool.hpp"
 #include "top500/generator.hpp"
+#include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace easyc::analysis {
@@ -74,8 +77,39 @@ TEST(SweepSpec, ParseRejectsMalformedSpecs) {
   EXPECT_THROW(SweepSpec::parse("mc=0@7"), util::ParseError);
   EXPECT_THROW(SweepSpec::parse("mc=2@-1"), util::ParseError);
   EXPECT_THROW(SweepSpec::parse("mc=4@1;mc=4@2"), util::ParseError);
-  // Semantic validation happens at expansion, via ScenarioSet::add.
-  EXPECT_THROW(expand_sweep(SweepSpec::parse("pue=0.5,1.2")), util::Error);
+}
+
+TEST(SweepSpec, ParseRejectsPhysicallyMeaninglessValues) {
+  EXPECT_THROW(SweepSpec::parse("pue=-1"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("pue=0.5,1.2"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("util=0,0.5"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("util=0.5,1.5"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("life=0:8:5"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("life=-4,6"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("aci=-5,100"), util::ParseError);
+  EXPECT_THROW(SweepSpec::parse("fab=-0.1,0.2"), util::ParseError);
+
+  // Boundary values are legal: a carbon-free grid, a perfect facility,
+  // full utilization.
+  EXPECT_NO_THROW(SweepSpec::parse("aci=0,100;pue=1,1.2;util=0.5,1"));
+
+  // The message names the axis, the value, and the violated range.
+  try {
+    SweepSpec::parse("util=0.5,0");
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("util"), std::string::npos) << what;
+    EXPECT_NE(what.find("value 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("(0,1]"), std::string::npos) << what;
+  }
+
+  // ScenarioSet::add stays as the backstop for hand-built SweepSpecs
+  // that never went through the grammar.
+  SweepSpec bad;
+  bad.base = sc::enhanced();
+  bad.axes.push_back({SweepAxis::kPue, {0.5, 1.2}});
+  EXPECT_THROW(expand_sweep(bad), util::Error);
 }
 
 // --- expansion ------------------------------------------------------
@@ -255,6 +289,201 @@ TEST(SweepEngine, TornadoSwingsPointTheRightWay) {
   };
   EXPECT_DOUBLE_EQ(cell("sweep/axis/aci=25").op_total_mt,
                    cell("sweep/grid/aci=25/life=4").op_total_mt);
+}
+
+// --- per-cell export ------------------------------------------------
+
+TEST(SweepCellExport, CsvRoundTripsAndMatchesTheReport) {
+  const auto spec = SweepSpec::parse("aci=25,300;life=4,8;mc=4@9");
+  std::ostringstream csv;
+  CsvCellSink sink(csv);
+  const SweepReport r = SweepEngine().run(records60(), spec, &sink);
+
+  const util::CsvTable t = util::CsvTable::parse(csv.str());
+  EXPECT_EQ(t.header(), CsvCellSink::columns());
+  ASSERT_EQ(t.num_rows(), r.cells.size());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.cell(i, "round"), "0");
+    EXPECT_EQ(t.cell_int(i, "index"), static_cast<long long>(i));
+    EXPECT_EQ(t.cell(i, "scenario"), r.cells[i].name);
+    EXPECT_EQ(t.cell(i, "kind"), cell_kind_name(r.cells[i].kind));
+    // Aggregates are written as %.17g, which round-trips doubles
+    // exactly.
+    EXPECT_EQ(t.cell_double(i, "op_total_mt"), r.cells[i].op_total_mt);
+    EXPECT_EQ(t.cell_double(i, "emb_total_mt"), r.cells[i].emb_total_mt);
+    EXPECT_EQ(t.cell_double(i, "annualized_mt"), r.cells[i].annualized_mt);
+    EXPECT_EQ(t.cell_int(i, "op_covered"), r.cells[i].op_covered);
+    EXPECT_EQ(t.cell_int(i, "emb_covered"), r.cells[i].emb_covered);
+  }
+
+  // A grid cell's coordinate columns carry exactly its name's declared
+  // values; axes the cell leaves at the model default stay empty.
+  bool found = false;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.cell(i, "scenario") != "sweep/grid/aci=25/life=4") continue;
+    found = true;
+    EXPECT_EQ(t.cell(i, "kind"), "grid");
+    EXPECT_EQ(t.cell_double(i, "aci_g_kwh"), 25.0);
+    EXPECT_EQ(t.cell_double(i, "service_years"), 4.0);
+    EXPECT_TRUE(t.cell(i, "pue").empty());
+    EXPECT_TRUE(t.cell(i, "fab_kg_kwh").empty());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SweepCellExport, QuotesFieldsEmbeddingDelimiters) {
+  // A base scenario whose label embeds commas, quotes, and a newline:
+  // the cell descriptions inherit it, so an unquoted writer would
+  // shear every row. The export must round-trip it through a strict
+  // RFC-4180 reader.
+  ScenarioSpec base = sc::enhanced();
+  base.name = "procurement, 2025 \"winter\"\nrevision";
+  const SweepSpec spec = SweepSpec::parse("life=4,8", base);
+
+  std::ostringstream csv;
+  CsvCellSink sink(csv);
+  SweepEngine().run(records60(), spec, &sink);
+
+  const util::CsvTable t = util::CsvTable::parse(csv.str());
+  EXPECT_EQ(t.cell(0, "scenario"), "sweep/base");
+  EXPECT_EQ(t.cell(0, "description"),
+            "sweep base (procurement, 2025 \"winter\"\nrevision)");
+}
+
+TEST(SweepCellExport, FileIsByteIdenticalForThreadsBatchesAndCacheState) {
+  const auto spec = SweepSpec::parse("aci=25,300;util=0.6:0.9:3");
+
+  par::ThreadPool serial(1);
+  std::ostringstream a;
+  {
+    SweepEngine::Options opt;
+    opt.pool = &serial;
+    opt.batch_size = 3;
+    CsvCellSink sink(a);
+    SweepEngine(opt).run(records60(), spec, &sink);
+  }
+
+  par::ThreadPool wide(4);
+  AssessmentEngine shared({.pool = &wide});
+  std::ostringstream b, c;
+  {
+    SweepEngine::Options opt;
+    opt.engine = &shared;
+    opt.batch_size = 1000;  // everything in one block
+    CsvCellSink sink(b);
+    SweepEngine(opt).run(records60(), spec, &sink);
+  }
+  {
+    SweepEngine::Options opt;  // same engine again: warm cache
+    opt.engine = &shared;
+    CsvCellSink sink(c);
+    SweepEngine(opt).run(records60(), spec, &sink);
+  }
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str(), c.str());
+}
+
+// --- adaptive refinement --------------------------------------------
+
+TEST(SweepAdaptive, RefinesTheSteepestAxisAndHitsTheCacheHarder) {
+  const auto spec = SweepSpec::parse("aci=25:600:4;pue=1.1:1.6:3");
+  AssessmentEngine engine;
+  SweepEngine::Options opt;
+  opt.engine = &engine;
+  RefineOptions refine;
+  refine.top_axes = 1;
+  refine.rounds = 2;
+  refine.points = 3;
+  const SweepReport r =
+      SweepEngine(opt).run_adaptive(records60(), spec, refine);
+
+  ASSERT_EQ(r.refinement.size(), 3u);  // coarse + 2 refinement rounds
+  EXPECT_EQ(r.refinement[0].round, 0u);
+  EXPECT_TRUE(r.refinement[0].refined.empty());
+  size_t grid_values = 4;
+  for (size_t i = 1; i < r.refinement.size(); ++i) {
+    const auto& round = r.refinement[i];
+    EXPECT_EQ(round.round, i);
+    ASSERT_EQ(round.refined.size(), 1u);
+    const RefinedAxis& ax = round.refined[0];
+    // A 24x ACI range dwarfs the PUE swing, so ACI is the axis picked.
+    EXPECT_EQ(ax.axis, SweepAxis::kAci);
+    EXPECT_EQ(ax.added, 3u);
+    EXPECT_LT(ax.seg_lo, ax.seg_hi);
+    EXPECT_GE(ax.seg_lo, 25.0);
+    EXPECT_LE(ax.seg_hi, 600.0);
+    grid_values += ax.added;
+    // Every previous value is kept, so a refinement round re-runs the
+    // old grid from cache and out-hits the coarse round.
+    EXPECT_GT(round.cache.hit_rate(), r.refinement[0].cache.hit_rate());
+  }
+  // The final report describes the final (densified) grid...
+  EXPECT_EQ(r.grid_cells, grid_values * 3);
+  EXPECT_EQ(r.refinement.back().cells, r.cells.size());
+  // ...and its cache stats are cumulative over all rounds.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (const auto& round : r.refinement) {
+    hits += round.cache.hits;
+    misses += round.cache.misses;
+  }
+  EXPECT_EQ(r.cache.hits, hits);
+  EXPECT_EQ(r.cache.misses, misses);
+}
+
+TEST(SweepAdaptive, StopsWhenNothingCanBeRefined) {
+  // A single two-point axis refines once... and then keeps finding new
+  // in-segment values, so cap by rounds; mc-only sweeps have no
+  // multi-valued axes at all and stop immediately.
+  AssessmentEngine engine;
+  SweepEngine::Options opt;
+  opt.engine = &engine;
+  RefineOptions refine;
+  refine.rounds = 3;
+  const SweepReport mc_only =
+      SweepEngine(opt).run_adaptive(records60(), SweepSpec::parse("mc=4@1"),
+                                    refine);
+  ASSERT_EQ(mc_only.refinement.size(), 1u);  // coarse only
+  EXPECT_TRUE(mc_only.refinement[0].refined.empty());
+}
+
+TEST(SweepAdaptive, ReportAndExportAreIdenticalAcrossThreadsAndCacheState) {
+  const auto spec = SweepSpec::parse("aci=25:600:4;util=0.6,0.9");
+  RefineOptions refine;
+  refine.top_axes = 2;
+  refine.rounds = 2;
+
+  struct Run {
+    std::string report;
+    std::string csv;
+    double hit_rate = 0.0;
+  };
+  auto run_with = [&](par::ThreadPool& pool, bool prewarm) {
+    AssessmentEngine engine({.pool = &pool});
+    SweepEngine::Options opt;
+    opt.engine = &engine;
+    if (prewarm) {
+      SweepEngine(opt).run_adaptive(records60(), spec, refine);
+    }
+    std::ostringstream csv;
+    CsvCellSink sink(csv);
+    const SweepReport r =
+        SweepEngine(opt).run_adaptive(records60(), spec, refine, &sink);
+    return Run{render_sweep_report(r), csv.str(), r.cache.hit_rate()};
+  };
+
+  par::ThreadPool one(1);
+  par::ThreadPool four(4);
+  const Run a = run_with(one, false);
+  const Run b = run_with(four, false);
+  const Run c = run_with(four, true);
+
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(a.report, c.report);  // warm == cold, byte for byte
+  EXPECT_EQ(a.csv, c.csv);
+  EXPECT_DOUBLE_EQ(c.hit_rate, 1.0);  // the warm rerun is pure lookups
+  EXPECT_NE(a.report.find("Adaptive refinement"), std::string::npos);
 }
 
 }  // namespace

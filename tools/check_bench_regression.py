@@ -60,9 +60,16 @@ def load_benchmarks(path_or_obj):
             raise SystemExit(f"error: {path_or_obj} is not JSON: {e}")
     out = {}
     for b in doc.get("benchmarks", []):
-        # google-benchmark marks mean/median/stddev rows as aggregates;
-        # older versions omit run_type but suffix the name instead.
+        # google-benchmark marks mean/median/stddev rows as aggregates
+        # three different ways depending on version and reporting flags:
+        # run_type == "aggregate", an aggregate_name field (present even
+        # when run_type is omitted or left "iteration", e.g. under
+        # --benchmark_report_aggregates_only), or only a name suffix.
+        # Treat any of them as an aggregate: they must never gate, and
+        # must never overwrite the per-iteration row of the same name.
         if b.get("run_type", "iteration") != "iteration":
+            continue
+        if "aggregate_name" in b:
             continue
         name = b["name"]
         if any(name.endswith(s) for s in ("_mean", "_median", "_stddev", "_cv")):
@@ -138,6 +145,12 @@ def self_test():
                 # aggregates must never gate
                 {"name": "BM_Slow/8_mean", "real_time": 99.0,
                  "time_unit": "ms", "run_type": "aggregate"},
+                # ...including aggregate_name rows that omit run_type
+                # (or call it an iteration): without the aggregate_name
+                # check this row would overwrite BM_Slow/8's measurement
+                # with a 99 ms "regression".
+                {"name": "BM_Slow/8", "real_time": 99.0,
+                 "time_unit": "ms", "aggregate_name": "mean"},
             ]
         }
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -92,6 +93,15 @@ void declare_flags(util::ArgParser& args) {
   args.add_flag("sweep-batch",
                 "derived scenarios per engine block for --sweep (default "
                 "64; bounds memory, never changes results)");
+  args.add_flag("cells-out",
+                "write one CSV row per sweep cell to this file (RFC-4180 "
+                "quoted; byte-identical for any --threads/--sweep-batch/"
+                "cache state; column schema in README.md)");
+  args.add_flag("sweep-refine",
+                "adaptive refinement K@R: after the coarse grid, densify "
+                "the K axes with the largest tornado swings around their "
+                "steepest segments, for R rounds (e.g. 2@2); per-round "
+                "cache stats go to stderr");
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
@@ -317,13 +327,39 @@ int run_turnover(int editions, const std::optional<std::string>& cache_file) {
   return 0;
 }
 
+// "K@R" for --sweep-refine: K top axes, R rounds, both positive.
+easyc::analysis::RefineOptions parse_refine(const std::string& text) {
+  const auto at = text.find('@');
+  if (at == std::string::npos) {
+    throw util::ParseError("--sweep-refine wants K@R (e.g. 2@2), got '" +
+                           text + "'");
+  }
+  const auto k = util::parse_int(util::trim(text.substr(0, at)));
+  const auto r = util::parse_int(util::trim(text.substr(at + 1)));
+  if (!k || *k < 1 || !r || *r < 1) {
+    throw util::ParseError(
+        "--sweep-refine K@R needs positive integers, got '" + text + "'");
+  }
+  easyc::analysis::RefineOptions refine;
+  refine.top_axes = static_cast<size_t>(*k);
+  refine.rounds = static_cast<size_t>(*r);
+  return refine;
+}
+
 int run_sweep(const std::string& axis_text, const std::string& base_name,
               std::optional<long long> threads,
               std::optional<long long> batch,
-              const std::optional<std::string>& cache_file) {
+              const std::optional<std::string>& cache_file,
+              const std::optional<std::string>& cells_out,
+              const std::optional<std::string>& refine_text) {
   const auto set = cli_scenarios();
   const auto spec =
       easyc::analysis::SweepSpec::parse(axis_text, set.at(base_name));
+  // Validate every flag before touching --cells-out: opening that file
+  // truncates it, and a typo'd --sweep-refine must not cost the user a
+  // previous run's export.
+  std::optional<easyc::analysis::RefineOptions> refine;
+  if (refine_text) refine = parse_refine(*refine_text);
   std::fprintf(stderr, "expanding %zu derived scenarios from '%s'...\n",
                spec.total_cells(), base_name.c_str());
 
@@ -344,9 +380,51 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     opt.batch_size = static_cast<size_t>(*batch);
   }
   easyc::analysis::SweepEngine sweep(opt);
-  const auto report = sweep.run(records, spec);
+
+  std::ofstream cells_stream;
+  std::unique_ptr<easyc::analysis::CsvCellSink> sink;
+  if (cells_out) {
+    cells_stream.open(*cells_out, std::ios::binary);
+    if (!cells_stream) {
+      throw util::Error("cannot open --cells-out file: " + *cells_out);
+    }
+    sink = std::make_unique<easyc::analysis::CsvCellSink>(cells_stream);
+  }
+
+  const auto report =
+      refine ? sweep.run_adaptive(records, spec, *refine, sink.get())
+             : sweep.run(records, spec, sink.get());
+
+  if (cells_out) {
+    cells_stream.close();
+    if (!cells_stream) {
+      throw util::Error("write failed for --cells-out file: " + *cells_out);
+    }
+    // An adaptive run streams every round's cells; the report only
+    // keeps the final round's.
+    size_t rows = report.cells.size();
+    if (!report.refinement.empty()) {
+      rows = 0;
+      for (const auto& round : report.refinement) rows += round.cells;
+    }
+    std::fprintf(stderr, "wrote %zu cell rows to %s\n", rows,
+                 cells_out->c_str());
+  }
 
   std::fputs(easyc::analysis::render_sweep_report(report).c_str(), stdout);
+  // Per-round cache economics (adaptive runs): refinement rounds keep
+  // every previous value, so on a cold run they out-hit the coarse
+  // round (a --cache-file warm restart makes every round pure
+  // lookups). Run-local, hence stderr (see the cumulative line below).
+  for (const auto& round : report.refinement) {
+    std::fprintf(stderr,
+                 "sweep round %zu: %zu cells, %llu hits / %llu misses "
+                 "(%.1f%% hit rate)\n",
+                 round.round, round.cells,
+                 static_cast<unsigned long long>(round.cache.hits),
+                 static_cast<unsigned long long>(round.cache.misses),
+                 round.cache.hit_rate() * 100.0);
+  }
   // Cache activity is run-local (a warm restart legitimately differs),
   // so it goes to stderr and the report on stdout stays byte-identical
   // across 1-vs-N threads, batch sizes, and --cache-file warm starts.
@@ -406,14 +484,16 @@ int main(int argc, char** argv) {
     if (auto sweep_spec = args.get("sweep")) {
       require_only("sweep",
                    {"sweep", "sweep-base", "threads", "sweep-batch",
-                    "cache-file"});
+                    "cache-file", "cells-out", "sweep-refine"});
       return run_sweep(*sweep_spec,
                        args.get("sweep-base").value_or(std::string(
                            easyc::analysis::scenarios::kEnhancedName)),
                        args.get_int("threads"), args.get_int("sweep-batch"),
-                       args.get("cache-file"));
+                       args.get("cache-file"), args.get("cells-out"),
+                       args.get("sweep-refine"));
     }
-    for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch"}) {
+    for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch",
+                                   "cells-out", "sweep-refine"}) {
       if (args.has(sweep_only)) {
         throw util::Error(std::string("--") + sweep_only +
                           " applies only to --sweep runs");
