@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <istream>
 #include <map>
 #include <ostream>
 #include <set>
@@ -13,6 +14,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 #include "util/strings.hpp"
 
 namespace easyc::analysis {
@@ -260,76 +262,113 @@ size_t SweepSpec::total_cells() const {
          (monte_carlo ? monte_carlo->draws : 0);
 }
 
-ScenarioSet expand_sweep(const SweepSpec& spec) {
-  ScenarioSet set;
+SweepExpansion::SweepExpansion(SweepSpec spec) : spec_(std::move(spec)) {
+  base_label_ = spec_.base.name;
 
-  ScenarioSpec base = spec.base;
-  const std::string base_label = base.name;
-  base.name = std::string(kBaseCellName);
-  base.description = "sweep base (" + base_label + ")";
-  set.add(base);
+  // Fail before the first engine call: physical-range and
+  // naming-precision violations used to surface from ScenarioSet
+  // registration during materialization; the lazy expansion checks the
+  // axis lists (the only unbounded input) upfront instead. Per-cell
+  // spec validation still runs when a cell joins a batch ScenarioSet.
+  for (const auto& a : spec_.axes) {
+    for (const double v : a.values) {
+      if (const char* complaint = axis_range_complaint(a.axis, v)) {
+        throw util::Error("sweep axis '" + std::string(axis_name(a.axis)) +
+                          "': value " + format_axis_value(v) + " — " +
+                          complaint);
+      }
+    }
+    for (size_t i = 0; i < a.values.size(); ++i) {
+      for (size_t j = i + 1; j < a.values.size(); ++j) {
+        if (format_axis_value(a.values[i]) ==
+            format_axis_value(a.values[j])) {
+          throw util::Error("sweep axis '" + std::string(axis_name(a.axis)) +
+                            "': duplicate value " +
+                            format_axis_value(a.values[i]) +
+                            " at cell-naming precision");
+        }
+      }
+    }
+  }
+
+  for (const auto& e : tornado_endpoints(spec_)) {
+    endpoints_.push_back({e.axis, e.low, e.low_name});
+    endpoints_.push_back({e.axis, e.high, e.high_name});
+  }
+
+  grid_ = spec_.grid_cells();
+  strides_.assign(spec_.axes.size(), 1);
+  for (size_t a = spec_.axes.size(); a-- > 1;) {
+    strides_[a - 1] = strides_[a] * spec_.axes[a].values.size();
+  }
+  total_ = 1 + endpoints_.size() + grid_ +
+           (spec_.monte_carlo ? spec_.monte_carlo->draws : 0);
+}
+
+ScenarioSpec SweepExpansion::cell(size_t index) const {
+  EASYC_REQUIRE(index < total_, "sweep cell index out of range");
+  if (index == 0) {
+    ScenarioSpec base = spec_.base;
+    base.name = std::string(kBaseCellName);
+    base.description = "sweep base (" + base_label_ + ")";
+    return base;
+  }
+  index -= 1;
 
   // Tornado endpoints: one axis at its extreme, everything else at base.
-  for (const auto& e : tornado_endpoints(spec)) {
-    for (const auto& [v, name] : {std::pair{e.low, e.low_name},
-                                  std::pair{e.high, e.high_name}}) {
-      ScenarioSpec s = apply_axis(spec.base, e.axis, v);
-      s.name = name;
-      s.description = "sweep endpoint: " + std::string(axis_name(e.axis)) +
-                      "=" + format_axis_value(v) + " over " + base_label;
-      set.add(std::move(s));
-    }
+  if (index < endpoints_.size()) {
+    const Endpoint& e = endpoints_[index];
+    ScenarioSpec s = apply_axis(spec_.base, e.axis, e.value);
+    s.name = e.name;
+    s.description = "sweep endpoint: " + std::string(axis_name(e.axis)) +
+                    "=" + format_axis_value(e.value) + " over " + base_label_;
+    return s;
   }
+  index -= endpoints_.size();
 
   // The cartesian grid, odometer order (last declared axis fastest).
-  if (!spec.axes.empty()) {
-    std::vector<size_t> idx(spec.axes.size(), 0);
-    for (size_t cell = 0; cell < spec.grid_cells(); ++cell) {
-      ScenarioSpec s = spec.base;
-      std::string suffix;
-      for (size_t a = 0; a < spec.axes.size(); ++a) {
-        const double v = spec.axes[a].values[idx[a]];
-        s = apply_axis(std::move(s), spec.axes[a].axis, v);
-        suffix += (a == 0 ? "" : "/") + std::string(axis_name(spec.axes[a].axis)) +
-                  "=" + format_axis_value(v);
-      }
-      s.name = "sweep/grid/" + suffix;
-      s.description = "sweep grid cell over " + base_label;
-      set.add(std::move(s));
-      for (size_t a = spec.axes.size(); a-- > 0;) {
-        if (++idx[a] < spec.axes[a].values.size()) break;
-        idx[a] = 0;
-      }
+  if (index < grid_) {
+    ScenarioSpec s = spec_.base;
+    std::string suffix;
+    for (size_t a = 0; a < spec_.axes.size(); ++a) {
+      const double v = spec_.axes[a].values[grid_value_index(index, a)];
+      s = apply_axis(std::move(s), spec_.axes[a].axis, v);
+      suffix += (a == 0 ? "" : "/") +
+                std::string(axis_name(spec_.axes[a].axis)) + "=" +
+                format_axis_value(v);
     }
+    s.name = "sweep/grid/" + suffix;
+    s.description = "sweep grid cell over " + base_label_;
+    return s;
   }
+  index -= grid_;
 
-  // Seeded Monte-Carlo draws from the uncertainty module's prior model.
-  // Each draw forks its own RNG stream, so draw k is the same scenario
-  // for every thread count and independent of every other draw.
-  if (spec.monte_carlo) {
-    const auto& mc = *spec.monte_carlo;
-    const util::Rng root(mc.seed);
-    const model::EasyCOptions base_options = spec.base.to_options();
-    for (size_t i = 0; i < mc.draws; ++i) {
-      util::Rng rng = root.fork(i);
-      double aci_scale = 1.0;
-      const model::EasyCOptions drawn =
-          model::perturb_options(base_options, mc.ranges, rng, &aci_scale);
-      ScenarioSpec s = spec.base;
-      s.default_utilization = drawn.operational.default_utilization;
-      s.fab_aci_kg_kwh = drawn.embodied.fab_aci_kg_kwh;
-      if (s.aci_override_g_kwh) {
-        s.aci_override_g_kwh = *s.aci_override_g_kwh * aci_scale;
-      }
-      char tag[32];
-      std::snprintf(tag, sizeof(tag), "%04zu", i);
-      s.name = std::string("sweep/mc/") + tag;
-      s.description = "prior draw " + std::string(tag) + " (seed " +
-                      std::to_string(mc.seed) + ") over " + base_label;
-      set.add(std::move(s));
-    }
+  // Seeded Monte-Carlo draw `index` from the uncertainty module's prior
+  // model. Each draw forks its own RNG stream, so draw k is the same
+  // scenario regardless of which other cells are ever derived.
+  const auto& mc = *spec_.monte_carlo;
+  util::Rng rng = util::Rng(mc.seed).fork(index);
+  double aci_scale = 1.0;
+  const model::EasyCOptions drawn = model::perturb_options(
+      spec_.base.to_options(), mc.ranges, rng, &aci_scale);
+  ScenarioSpec s = spec_.base;
+  s.default_utilization = drawn.operational.default_utilization;
+  s.fab_aci_kg_kwh = drawn.embodied.fab_aci_kg_kwh;
+  if (s.aci_override_g_kwh) {
+    s.aci_override_g_kwh = *s.aci_override_g_kwh * aci_scale;
   }
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), "%04zu", index);
+  s.name = std::string("sweep/mc/") + tag;
+  s.description = "prior draw " + std::string(tag) + " (seed " +
+                  std::to_string(mc.seed) + ") over " + base_label_;
+  return s;
+}
 
+ScenarioSet expand_sweep(const SweepSpec& spec) {
+  const SweepExpansion expansion(spec);
+  ScenarioSet set;
+  for (size_t i = 0; i < expansion.size(); ++i) set.add(expansion.cell(i));
   return set;
 }
 
@@ -352,10 +391,65 @@ std::string format_fingerprint(uint64_t fp) {
   return buf;
 }
 
+// Fail-fast contract of every cell sink: raise the moment the output
+// stream reports failure, so a full disk at cell 10 of a million aborts
+// the sweep instead of silently burning the remaining run.
+void require_stream(const std::ostream& out, const char* what) {
+  if (!out) {
+    throw util::Error(std::string(what) +
+                      ": output stream failed (disk full or closed?)");
+  }
+}
+
 }  // namespace
+
+std::string_view sweep_stats_mode_name(SweepStatsMode mode) {
+  switch (mode) {
+    case SweepStatsMode::kAuto: return "auto";
+    case SweepStatsMode::kExact: return "exact";
+    case SweepStatsMode::kStreaming: return "streaming";
+  }
+  return "?";
+}
+
+std::optional<SweepStatsMode> sweep_stats_mode_from_name(
+    std::string_view name) {
+  if (name == "auto") return SweepStatsMode::kAuto;
+  if (name == "exact") return SweepStatsMode::kExact;
+  if (name == "streaming") return SweepStatsMode::kStreaming;
+  return std::nullopt;
+}
+
+SweepReduction::SweepReduction(bool streaming) : streaming_(streaming) {}
+
+void SweepReduction::add(const SweepCell& cell) {
+  ++count_;
+  if (streaming_) {
+    s_annualized_.add(cell.annualized_mt);
+    s_op_.add(cell.op_total_mt);
+    s_emb_.add(cell.emb_total_mt);
+  } else {
+    v_annualized_.push_back(cell.annualized_mt);
+    v_op_.push_back(cell.op_total_mt);
+    v_emb_.push_back(cell.emb_total_mt);
+  }
+}
+
+util::Summary SweepReduction::annualized_mt() const {
+  return streaming_ ? s_annualized_.summary() : util::summarize(v_annualized_);
+}
+
+util::Summary SweepReduction::op_total_mt() const {
+  return streaming_ ? s_op_.summary() : util::summarize(v_op_);
+}
+
+util::Summary SweepReduction::emb_total_mt() const {
+  return streaming_ ? s_emb_.summary() : util::summarize(v_emb_);
+}
 
 CsvCellSink::CsvCellSink(std::ostream& out) : out_(out) {
   out_ << util::csv_format_row(columns());
+  require_stream(out_, "cell CSV export");
 }
 
 const std::vector<std::string>& CsvCellSink::columns() {
@@ -389,6 +483,245 @@ void CsvCellSink::cell(size_t round, size_t index, const SweepCell& c) {
   fields.push_back(c.description);
 
   out_ << util::csv_format_row(fields);
+  require_stream(out_, "cell CSV export");
+}
+
+TeeCellSink::TeeCellSink(std::vector<SweepCellSink*> sinks)
+    : sinks_(std::move(sinks)) {
+  for (const auto* s : sinks_) {
+    EASYC_REQUIRE(s != nullptr, "TeeCellSink: null sink");
+  }
+}
+
+void TeeCellSink::cell(size_t round, size_t index, const SweepCell& c) {
+  for (auto* s : sinks_) s->cell(round, index, c);
+}
+
+BinaryCellSink::BinaryCellSink(std::ostream& out, size_t block_cells)
+    : out_(out), block_cells_(std::max<size_t>(1, block_cells)) {
+  util::BinaryWriter header;
+  header.raw(kMagic);
+  header.u32(kFormatVersion);
+  const auto& cols = CsvCellSink::columns();
+  header.u32(static_cast<uint32_t>(cols.size()));
+  for (const auto& c : cols) header.str(c);
+  out_.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.size()));
+  require_stream(out_, "binary cell export (header)");
+}
+
+BinaryCellSink::~BinaryCellSink() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; call finish() to observe flush errors.
+  }
+}
+
+void BinaryCellSink::cell(size_t round, size_t index, const SweepCell& c) {
+  EASYC_REQUIRE(!finished_, "BinaryCellSink: cell() after finish()");
+  buffer_.push_back(Row{round, index, c});
+  if (buffer_.size() >= block_cells_) flush_block();
+}
+
+void BinaryCellSink::flush_block() {
+  if (buffer_.empty()) return;
+  // Columnar payload: one contiguous run per column (README.md spec).
+  util::BinaryWriter payload;
+  for (const auto& r : buffer_) payload.u64(r.round);
+  for (const auto& r : buffer_) payload.u64(r.index);
+  for (const auto& r : buffer_) payload.u8(static_cast<uint8_t>(r.cell.kind));
+  for (const auto& r : buffer_) payload.u64(r.cell.fingerprint);
+  for (size_t a = 0; a < kNumSweepAxes; ++a) {
+    for (const auto& r : buffer_) {
+      payload.boolean(r.cell.coords[a].has_value());
+    }
+    for (const auto& r : buffer_) {
+      if (r.cell.coords[a]) payload.f64(*r.cell.coords[a]);
+    }
+  }
+  for (const auto& r : buffer_) payload.f64(r.cell.op_total_mt);
+  for (const auto& r : buffer_) payload.f64(r.cell.emb_total_mt);
+  for (const auto& r : buffer_) payload.f64(r.cell.annualized_mt);
+  for (const auto& r : buffer_) {
+    payload.u32(static_cast<uint32_t>(r.cell.op_covered));
+  }
+  for (const auto& r : buffer_) {
+    payload.u32(static_cast<uint32_t>(r.cell.emb_covered));
+  }
+  for (const auto& r : buffer_) payload.str(r.cell.name);
+  for (const auto& r : buffer_) payload.str(r.cell.description);
+
+  util::BinaryWriter block;
+  block.u8('B');
+  block.u64(buffer_.size());
+  block.u64(payload.size());
+  block.u64(util::checksum64(payload.bytes()));
+  out_.write(block.bytes().data(), static_cast<std::streamsize>(block.size()));
+  out_.write(payload.bytes().data(),
+             static_cast<std::streamsize>(payload.size()));
+  require_stream(out_, "binary cell export (block)");
+  total_ += buffer_.size();
+  buffer_.clear();
+}
+
+void BinaryCellSink::finish() {
+  if (finished_) return;
+  flush_block();
+  // Footer: 'E', the total cell count, and a checksum over that count —
+  // a file cut off anywhere upstream fails decoding as truncated.
+  util::BinaryWriter count;
+  count.u64(total_);
+  util::BinaryWriter footer;
+  footer.u8('E');
+  footer.raw(count.bytes());
+  footer.u64(util::checksum64(count.bytes()));
+  out_.write(footer.bytes().data(),
+             static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  require_stream(out_, "binary cell export (footer)");
+  finished_ = true;
+}
+
+namespace {
+
+std::string read_exact(std::istream& in, size_t n, const char* what) {
+  std::string buf(n, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in.gcount()) != n) {
+    throw util::CodecError(std::string("truncated cell export: need ") +
+                           std::to_string(n) + " bytes for " + what);
+  }
+  return buf;
+}
+
+}  // namespace
+
+size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
+  if (read_exact(in, BinaryCellSink::kMagic.size(), "magic") !=
+      BinaryCellSink::kMagic) {
+    throw util::CodecError("not an EZCELLS cell export (bad magic)");
+  }
+  {
+    const std::string bytes = read_exact(in, 4, "format version");
+    const uint32_t version = util::BinaryReader(bytes).u32();
+    if (version != BinaryCellSink::kFormatVersion) {
+      throw util::CodecError(
+          "cell export format version " + std::to_string(version) +
+          ", expected " + std::to_string(BinaryCellSink::kFormatVersion));
+    }
+  }
+  const auto& cols = CsvCellSink::columns();
+  {
+    const std::string bytes = read_exact(in, 4, "column count");
+    const uint32_t ncols = util::BinaryReader(bytes).u32();
+    if (ncols != cols.size()) {
+      throw util::CodecError("cell export has " + std::to_string(ncols) +
+                             " columns, expected " +
+                             std::to_string(cols.size()));
+    }
+  }
+  for (const auto& expected : cols) {
+    const std::string len_bytes = read_exact(in, 8, "column name length");
+    const uint64_t len = util::BinaryReader(len_bytes).u64();
+    if (len > 4096) {
+      throw util::CodecError("implausible column name length " +
+                             std::to_string(len));
+    }
+    const std::string name =
+        read_exact(in, static_cast<size_t>(len), "column name");
+    if (name != expected) {
+      throw util::CodecError("cell export column '" + name +
+                             "' where '" + expected + "' was expected");
+    }
+  }
+
+  size_t cells = 0;
+  for (;;) {
+    const std::string tag = read_exact(in, 1, "block tag");
+    if (tag[0] == 'E') {
+      const std::string body = read_exact(in, 16, "footer");
+      util::BinaryReader r(body);
+      const uint64_t total = r.u64();
+      const uint64_t sum = r.u64();
+      if (sum != util::checksum64(std::string_view(body).substr(0, 8))) {
+        throw util::CodecError("cell export footer checksum mismatch");
+      }
+      if (total != cells) {
+        throw util::CodecError(
+            "cell export footer claims " + std::to_string(total) +
+            " cells, decoded " + std::to_string(cells));
+      }
+      if (in.peek() != std::char_traits<char>::eof()) {
+        throw util::CodecError("trailing bytes after cell export footer");
+      }
+      return cells;
+    }
+    if (tag[0] != 'B') {
+      throw util::CodecError("unknown cell export block tag " +
+                             std::to_string(static_cast<int>(tag[0])));
+    }
+    const std::string head = read_exact(in, 24, "block header");
+    util::BinaryReader hr(head);
+    const uint64_t n = hr.u64();
+    const uint64_t payload_size = hr.u64();
+    const uint64_t sum = hr.u64();
+    if (n == 0) throw util::CodecError("empty cell export block");
+    if (payload_size > (1ULL << 32)) {
+      throw util::CodecError("implausible cell block size " +
+                             std::to_string(payload_size));
+    }
+    // The round column alone is 8 bytes per cell, so a count the
+    // payload cannot hold is corruption the checksum can't see (the
+    // count lives in the block header) — reject before sizing any
+    // decode buffers by it.
+    if (n > payload_size / 8) {
+      throw util::CodecError("cell block claims " + std::to_string(n) +
+                             " cells in " + std::to_string(payload_size) +
+                             " payload bytes");
+    }
+    const std::string payload =
+        read_exact(in, static_cast<size_t>(payload_size), "block payload");
+    if (util::checksum64(payload) != sum) {
+      throw util::CodecError("cell block checksum mismatch");
+    }
+
+    util::BinaryReader r(payload);
+    const size_t count = static_cast<size_t>(n);
+    std::vector<size_t> rounds(count), indices(count);
+    std::vector<SweepCell> block(count);
+    for (auto& v : rounds) v = static_cast<size_t>(r.u64());
+    for (auto& v : indices) v = static_cast<size_t>(r.u64());
+    for (auto& c : block) {
+      const uint8_t k = r.u8();
+      if (k > static_cast<uint8_t>(SweepCellKind::kMonteCarlo)) {
+        throw util::CodecError("bad cell kind byte " + std::to_string(k));
+      }
+      c.kind = static_cast<SweepCellKind>(k);
+    }
+    for (auto& c : block) c.fingerprint = r.u64();
+    for (size_t a = 0; a < kNumSweepAxes; ++a) {
+      std::vector<bool> present(count);
+      for (size_t i = 0; i < count; ++i) present[i] = r.boolean();
+      for (size_t i = 0; i < count; ++i) {
+        if (present[i]) block[i].coords[a] = r.f64();
+      }
+    }
+    for (auto& c : block) c.op_total_mt = r.f64();
+    for (auto& c : block) c.emb_total_mt = r.f64();
+    for (auto& c : block) c.annualized_mt = r.f64();
+    for (auto& c : block) c.op_covered = static_cast<int>(r.u32());
+    for (auto& c : block) c.emb_covered = static_cast<int>(r.u32());
+    for (auto& c : block) c.name = r.str();
+    for (auto& c : block) c.description = r.str();
+    if (!r.exhausted()) {
+      throw util::CodecError("trailing bytes in cell export block");
+    }
+    for (size_t i = 0; i < count; ++i) {
+      sink.cell(rounds[i], indices[i], block[i]);
+    }
+    cells += count;
+  }
 }
 
 SweepEngine::SweepEngine() : SweepEngine(Options{}) {}
@@ -413,7 +746,7 @@ SweepReport SweepEngine::run(
 SweepReport SweepEngine::run_round(
     const std::vector<top500::SystemRecord>& records, const SweepSpec& spec,
     size_t round, SweepCellSink* sink) {
-  const ScenarioSet expanded = expand_sweep(spec);
+  const SweepExpansion expansion(spec);
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
   SweepReport report;
@@ -422,7 +755,13 @@ SweepReport SweepEngine::run_round(
   report.grid_cells = spec.grid_cells();
   report.mc_cells = spec.monte_carlo ? spec.monte_carlo->draws : 0;
   report.axis_cells =
-      expanded.size() - 1 - report.grid_cells - report.mc_cells;
+      expansion.size() - 1 - report.grid_cells - report.mc_cells;
+  report.total_cells = expansion.size();
+  const bool streaming =
+      options_.stats == SweepStatsMode::kStreaming ||
+      (options_.stats == SweepStatsMode::kAuto &&
+       expansion.size() >= kStreamingStatsThreshold);
+  report.streaming_stats = streaming;
 
   // The tornado reduction needs full per-record series for every
   // endpoint; everything else is reduced to aggregates as its batch
@@ -434,13 +773,44 @@ SweepReport SweepEngine::run_round(
     retained[e.high_name] = {};
   }
 
+  // Grid-marginal accumulators, one per multi-valued axis. Buckets are
+  // fed in expansion order, so sums (and the resulting means) are
+  // bit-identical to the historical recomputation over report.cells.
+  struct MarginalAcc {
+    size_t axis_pos = 0;                 // index into spec.axes
+    std::vector<double> sorted;          // axis values, ascending
+    std::vector<size_t> decl_to_sorted;  // declaration idx -> sorted idx
+    std::vector<double> sums;
+    std::vector<size_t> counts;
+  };
+  std::vector<MarginalAcc> marginals;
+  for (size_t a = 0; a < spec.axes.size(); ++a) {
+    const auto& values = spec.axes[a].values;
+    if (values.size() < 2) continue;
+    MarginalAcc acc;
+    acc.axis_pos = a;
+    acc.sorted = values;
+    std::sort(acc.sorted.begin(), acc.sorted.end());
+    acc.decl_to_sorted.resize(values.size());
+    for (size_t j = 0; j < values.size(); ++j) {
+      acc.decl_to_sorted[j] = static_cast<size_t>(
+          std::lower_bound(acc.sorted.begin(), acc.sorted.end(), values[j]) -
+          acc.sorted.begin());
+    }
+    acc.sums.assign(acc.sorted.size(), 0.0);
+    acc.counts.assign(acc.sorted.size(), 0);
+    marginals.push_back(std::move(acc));
+  }
+
+  SweepReduction reduction(streaming);
   const par::CacheStats before = options_.engine->cache_stats();
 
-  report.cells.reserve(expanded.size());
-  for (size_t start = 0; start < expanded.size(); start += batch_size) {
+  if (options_.retain_cells) report.cells.reserve(expansion.size());
+  size_t cell_index = 0;
+  for (size_t start = 0; start < expansion.size(); start += batch_size) {
     ScenarioSet batch;
-    const size_t end = std::min(start + batch_size, expanded.size());
-    for (size_t i = start; i < end; ++i) batch.add(expanded.specs()[i]);
+    const size_t end = std::min(start + batch_size, expansion.size());
+    for (size_t i = start; i < end; ++i) batch.add(expansion.cell(i));
 
     EditionAssessment assessed = options_.engine->assess(records, batch);
     ++report.batches;
@@ -458,19 +828,28 @@ SweepReport SweepEngine::run_round(
       cell.annualized_mt = r.annualized_total_mt();
       cell.op_covered = r.coverage.operational;
       cell.emb_covered = r.coverage.embodied;
-      report.cells.push_back(std::move(cell));
+
+      const size_t index = cell_index++;
+      if (index == 0) report.base = cell;
+      reduction.add(cell);
+      if (cell.kind == SweepCellKind::kGrid) {
+        const size_t g = index - expansion.grid_begin();
+        for (auto& acc : marginals) {
+          const size_t si =
+              acc.decl_to_sorted[expansion.grid_value_index(g, acc.axis_pos)];
+          acc.sums[si] += cell.annualized_mt;
+          ++acc.counts[si];
+        }
+      }
       // Batches are ordered engine calls, so emission order is the
       // expansion order for every thread count / batch size.
-      if (sink != nullptr) {
-        sink->cell(round, report.cells.size() - 1, report.cells.back());
-      }
+      if (sink != nullptr) sink->cell(round, index, cell);
       if (auto it = retained.find(r.spec.name); it != retained.end()) {
         it->second = std::move(r);
       }
+      if (options_.retain_cells) report.cells.push_back(std::move(cell));
     }
   }
-
-  report.base = report.cells.front();
 
   for (const auto& e : endpoints) {
     const ScenarioResults& low = retained.at(e.low_name);
@@ -496,18 +875,23 @@ SweepReport SweepEngine::run_round(
     report.tornado.push_back(row);
   }
 
-  std::vector<double> annualized, op, emb;
-  annualized.reserve(report.cells.size());
-  op.reserve(report.cells.size());
-  emb.reserve(report.cells.size());
-  for (const auto& c : report.cells) {
-    annualized.push_back(c.annualized_mt);
-    op.push_back(c.op_total_mt);
-    emb.push_back(c.emb_total_mt);
+  report.annualized_mt = reduction.annualized_mt();
+  report.op_total_mt = reduction.op_total_mt();
+  report.emb_total_mt = reduction.emb_total_mt();
+
+  for (auto& acc : marginals) {
+    AxisMarginal m;
+    m.axis = spec.axes[acc.axis_pos].axis;
+    m.values = std::move(acc.sorted);
+    m.mean_annualized.assign(m.values.size(), 0.0);
+    for (size_t i = 0; i < m.values.size(); ++i) {
+      if (acc.counts[i] > 0) {
+        m.mean_annualized[i] =
+            acc.sums[i] / static_cast<double>(acc.counts[i]);
+      }
+    }
+    report.grid_marginals.push_back(std::move(m));
   }
-  report.annualized_mt = util::summarize(annualized);
-  report.op_total_mt = util::summarize(op);
-  report.emb_total_mt = util::summarize(emb);
 
   report.cache = options_.engine->cache_stats().since(before);
   return report;
@@ -516,14 +900,16 @@ SweepReport SweepEngine::run_round(
 namespace {
 
 // Pick and densify the top-K axes of `spec` (mutating it) from the last
-// round's report. An axis's marginal response is the mean annualized
-// total over the grid cells pinned at each of its values (every other
-// axis marginalized out); the steepest adjacent pair gets `points` new
-// values strictly inside it, keeping every old value so the previous
-// grid re-runs as pure cache lookups. Returns the per-axis trace; empty
-// when nothing could be refined. Deterministic: ranking is
-// stable-sorted (spec order breaks |swing| ties), segment ties resolve
-// to the lower pair, and inputs are deterministic cell aggregates.
+// round's report. An axis's marginal response (SweepReport::
+// grid_marginals, accumulated from the cell stream — so refinement
+// works with cell retention off) is the mean annualized total over the
+// grid cells pinned at each of its values; the steepest adjacent pair
+// gets `points` new values strictly inside it, keeping every old value
+// so the previous grid re-runs as pure cache lookups. Returns the
+// per-axis trace; empty when nothing could be refined. Deterministic:
+// ranking is stable-sorted (spec order breaks |swing| ties), segment
+// ties resolve to the lower pair, and inputs are deterministic cell
+// aggregates.
 std::vector<RefinedAxis> refine_spec(SweepSpec& spec, const SweepReport& last,
                                      const RefineOptions& opt) {
   std::vector<const TornadoRow*> ranked;
@@ -542,28 +928,13 @@ std::vector<RefinedAxis> refine_spec(SweepSpec& spec, const SweepReport& last,
                      [&](const AxisValues& a) { return a.axis == row->axis; });
     if (axis_it == spec.axes.end()) continue;
 
-    std::vector<double> sorted = axis_it->values;
-    std::sort(sorted.begin(), sorted.end());
-
-    std::vector<double> marginal(sorted.size(), 0.0);
-    std::vector<size_t> counts(sorted.size(), 0);
-    for (const auto& cell : last.cells) {
-      if (cell.kind != SweepCellKind::kGrid) continue;
-      const auto v = cell.coords[static_cast<size_t>(row->axis)];
-      if (!v) continue;
-      for (size_t i = 0; i < sorted.size(); ++i) {
-        // Exact compare is safe: the coordinate is the same double the
-        // expansion applied, which came from this axis's value list.
-        if (*v == sorted[i]) {
-          marginal[i] += cell.annualized_mt;
-          ++counts[i];
-          break;
-        }
-      }
-    }
-    for (size_t i = 0; i < sorted.size(); ++i) {
-      if (counts[i] > 0) marginal[i] /= static_cast<double>(counts[i]);
-    }
+    const auto marg_it =
+        std::find_if(last.grid_marginals.begin(), last.grid_marginals.end(),
+                     [&](const AxisMarginal& m) { return m.axis == row->axis; });
+    if (marg_it == last.grid_marginals.end()) continue;
+    const std::vector<double>& sorted = marg_it->values;
+    const std::vector<double>& marginal = marg_it->mean_annualized;
+    if (sorted.size() < 2) continue;
 
     size_t seg = 0;
     double steepest = -1.0;
@@ -614,7 +985,7 @@ SweepReport SweepEngine::run_adaptive(
   SweepSpec current = spec;
   SweepReport report = run_round(records, current, 0, sink);
   report.refinement.push_back(
-      RefinementRound{0, report.cells.size(), {}, report.cache});
+      RefinementRound{0, report.total_cells, {}, report.cache});
 
   for (size_t round = 1; round <= refine.rounds; ++round) {
     std::vector<RefinedAxis> refined = refine_spec(current, report, refine);
@@ -622,7 +993,7 @@ SweepReport SweepEngine::run_adaptive(
 
     std::vector<RefinementRound> trace = std::move(report.refinement);
     report = run_round(records, current, round, sink);
-    trace.push_back(RefinementRound{round, report.cells.size(),
+    trace.push_back(RefinementRound{round, report.total_cells,
                                     std::move(refined), report.cache});
     report.refinement = std::move(trace);
   }
@@ -633,7 +1004,7 @@ SweepReport SweepEngine::run_adaptive(
 
 std::string render_sweep_report(const SweepReport& r) {
   using util::format_double;
-  std::string out = "Parameter sweep — " + std::to_string(r.cells.size()) +
+  std::string out = "Parameter sweep — " + std::to_string(r.total_cells) +
                     " derived scenarios over " +
                     std::to_string(r.num_records) + " systems\n";
   out += "  base: " + r.base_name + " — annualized " +
@@ -696,7 +1067,7 @@ std::string render_sweep_report(const SweepReport& r) {
            format_double(s.mean, 0) + " | p95 " + format_double(s.p95, 0) +
            " | max " + format_double(s.max, 0);
   };
-  out += "\nFleet totals across all " + std::to_string(r.cells.size()) +
+  out += "\nFleet totals across all " + std::to_string(r.total_cells) +
          " cells:\n";
   out += "  annualized (MT CO2e/yr):  " + dist_line(r.annualized_mt) + "\n";
   out += "  operational (MT CO2e/yr): " + dist_line(r.op_total_mt) + "\n";

@@ -19,6 +19,13 @@
 // inner kernel), total-footprint percentiles across every cell, and
 // the engine CacheStats that make the memoization win measurable.
 //
+// Scale: expansion is lazy (SweepExpansion derives cell i on demand)
+// and the reduction is single-pass (SweepReduction, streaming
+// RunningStat/P² statistics above kStreamingStatsThreshold cells), so
+// with cell retention off a million-cell sweep runs at the memory
+// footprint of one batch — cells stream to sinks (CSV, columnar
+// binary, or a fan-out tee) instead of accumulating in the report.
+//
 // Determinism: each cell is a pure function of (record content, derived
 // spec), batches are ordered engine calls, and every reduction iterates
 // in registration order, so the rendered report is byte-identical for
@@ -114,12 +121,64 @@ struct SweepSpec {
   size_t total_cells() const;  ///< base + endpoints + grid + Monte-Carlo
 };
 
+/// Lazy view of a sweep's expansion: derives the i-th ScenarioSpec on
+/// demand instead of materializing all of them, so a million-cell grid
+/// costs index arithmetic plus one spec construction per visited cell —
+/// the SweepEngine's peak memory stays at one batch regardless of cell
+/// count. cell(i) is a pure function of (spec, i) and enumerates the
+/// expansion order documented on SweepSpec: base, tornado endpoints
+/// (low/high per multi-valued axis), the cartesian grid in odometer
+/// order (last declared axis fastest), then Monte-Carlo draws.
+///
+/// The constructor validates axis values (physical ranges, plus
+/// duplicate detection at cell-naming precision) and throws util::Error
+/// — the same failures ScenarioSet registration used to surface, moved
+/// ahead of the first engine call. Per-cell spec validation still runs
+/// when a cell joins a batch ScenarioSet.
+class SweepExpansion {
+ public:
+  explicit SweepExpansion(SweepSpec spec);
+
+  size_t size() const { return total_; }
+  const SweepSpec& spec() const { return spec_; }
+
+  /// The index-th derived scenario, expansion order. index < size().
+  ScenarioSpec cell(size_t index) const;
+
+  /// Grid cells occupy expansion indices [grid_begin, grid_begin +
+  /// grid_cells). grid_value_index recovers, for grid cell
+  /// `grid_index` (zero-based within the grid), which of
+  /// spec().axes[axis].values it is pinned at — O(1) odometer
+  /// arithmetic, so streaming reductions bucket a cell without
+  /// comparing coordinate doubles.
+  size_t grid_begin() const { return 1 + endpoints_.size(); }
+  size_t grid_cells() const { return grid_; }
+  size_t grid_value_index(size_t grid_index, size_t axis) const {
+    return (grid_index / strides_[axis]) % spec_.axes[axis].values.size();
+  }
+
+ private:
+  struct Endpoint {
+    SweepAxis axis = SweepAxis::kAci;
+    double value = 0.0;
+    std::string name;
+  };
+
+  SweepSpec spec_;
+  std::string base_label_;
+  std::vector<Endpoint> endpoints_;  ///< low, high per multi-valued axis
+  std::vector<size_t> strides_;      ///< odometer stride per axis
+  size_t grid_ = 0;
+  size_t total_ = 0;
+};
+
 /// Materialize every derived scenario of a sweep as a ScenarioSet, in
 /// the expansion order documented on SweepSpec. Cell names are
 /// deterministic: "sweep/base", "sweep/axis/<axis>=<value>",
 /// "sweep/grid/<axis>=<v>/...", "sweep/mc/<index>". Throws util::Error
-/// when a derived spec fails ScenarioSet validation (e.g. a pue axis
-/// value below 1).
+/// when a derived spec fails validation (e.g. a pue axis value below
+/// 1). Convenience for tests and small sweeps; the engine streams
+/// through SweepExpansion and never materializes the full set.
 ScenarioSet expand_sweep(const SweepSpec& spec);
 
 /// Which expansion arm produced a cell. Recoverable from the cell's
@@ -176,6 +235,9 @@ class SweepCellSink {
 /// aggregates, coverage counts, and the cell description. Every field
 /// is routed through util::csv_escape, so scenario names/descriptions
 /// embedding ',', '"', or newlines round-trip through any CSV reader.
+/// Fails fast: throws util::Error the moment the output stream reports
+/// failure (construction or any row), so a full disk at cell 10 of a
+/// million aborts the sweep instead of silently burning the rest.
 class CsvCellSink : public SweepCellSink {
  public:
   explicit CsvCellSink(std::ostream& out);
@@ -187,6 +249,69 @@ class CsvCellSink : public SweepCellSink {
  private:
   std::ostream& out_;
 };
+
+/// Fan-out splitter: forwards every cell to each attached sink, in
+/// attachment order (e.g. a CSV file and a binary export from one
+/// sweep). Sinks are borrowed, not owned; an exception from any sink
+/// propagates, preserving the fail-fast contract.
+class TeeCellSink : public SweepCellSink {
+ public:
+  /// All sinks must be non-null.
+  explicit TeeCellSink(std::vector<SweepCellSink*> sinks);
+  void cell(size_t round, size_t index, const SweepCell& cell) override;
+
+ private:
+  std::vector<SweepCellSink*> sinks_;
+};
+
+/// Columnar little-endian binary cell export (the "EZCELLS" format,
+/// specified in README.md). Same integrity policy as the cache
+/// snapshot format: magic + version header, and every cell block
+/// carries an FNV-1a checksum over its payload, so truncated or
+/// corrupt files are rejected by the reader, never trusted. Cells are
+/// buffered and written as columnar blocks of `block_cells` rows;
+/// call finish() (or let the destructor) to flush the tail block and
+/// the footer — a file without its footer is detectably truncated.
+/// Fails fast: throws util::Error when the stream reports failure at
+/// any flushed block. The destructor swallows flush errors; call
+/// finish() explicitly to observe them.
+class BinaryCellSink : public SweepCellSink {
+ public:
+  static constexpr std::string_view kMagic = "EZCELLS\n";
+  static constexpr uint32_t kFormatVersion = 1;
+
+  explicit BinaryCellSink(std::ostream& out, size_t block_cells = 4096);
+  ~BinaryCellSink() override;
+
+  void cell(size_t round, size_t index, const SweepCell& cell) override;
+
+  /// Flush buffered cells and write the footer. Idempotent; no cells
+  /// may be appended afterwards. Throws util::Error on stream failure.
+  void finish();
+
+ private:
+  struct Row {
+    size_t round = 0;
+    size_t index = 0;
+    SweepCell cell;
+  };
+
+  void flush_block();
+
+  std::ostream& out_;
+  size_t block_cells_;
+  std::vector<Row> buffer_;
+  size_t total_ = 0;
+  bool finished_ = false;
+};
+
+/// Decode an EZCELLS stream block by block (bounded memory), replaying
+/// every cell into `sink` in stored order. Returns the cell count.
+/// Throws util::CodecError on a bad magic/version, checksum mismatch,
+/// schema drift, truncation (including a missing footer), or trailing
+/// garbage. `read_binary_cells(in, CsvCellSink(out))` reproduces the
+/// direct CSV export of the same sweep byte for byte.
+size_t read_binary_cells(std::istream& in, SweepCellSink& sink);
 
 /// One axis's tornado bar: the base-anchored swing between the axis's
 /// extreme values with every other knob at the base scenario's value.
@@ -228,6 +353,63 @@ struct RefinementRound {
   par::CacheStats cache;
 };
 
+/// How SweepEngine reduces the cross-cell distributions.
+enum class SweepStatsMode {
+  kAuto,       ///< exact below kStreamingStatsThreshold cells, else streaming
+  kExact,      ///< store-all + sort: byte-identical percentiles, O(cells) RAM
+  kStreaming,  ///< RunningStat + P² estimators: O(1) RAM, approximate order
+               ///< statistics (still bit-stable for a fixed expansion)
+};
+
+/// Cell count at which kAuto switches from exact to streaming.
+inline constexpr size_t kStreamingStatsThreshold = 65536;
+
+/// CLI-facing mode name ("auto", "exact", "streaming").
+std::string_view sweep_stats_mode_name(SweepStatsMode mode);
+
+/// Parse a mode name; nullopt = unknown.
+std::optional<SweepStatsMode> sweep_stats_mode_from_name(
+    std::string_view name);
+
+/// Single-pass reduction of the three cross-cell footprint
+/// distributions (annualized / operational / embodied). Exact mode
+/// stores the three series and defers to util::summarize — bit-for-bit
+/// the historical store-all reduction. Streaming mode keeps O(1) state
+/// (util::StreamingSummary) per distribution. Either way the feed
+/// order is the expansion order, so results are bit-stable for any
+/// thread count, batch size, or cache state.
+class SweepReduction {
+ public:
+  explicit SweepReduction(bool streaming);
+
+  void add(const SweepCell& cell);
+  size_t count() const { return count_; }
+  bool streaming() const { return streaming_; }
+
+  /// Finalized distributions (exact mode sorts here).
+  util::Summary annualized_mt() const;
+  util::Summary op_total_mt() const;
+  util::Summary emb_total_mt() const;
+
+ private:
+  bool streaming_;
+  size_t count_ = 0;
+  util::StreamingSummary s_annualized_, s_op_, s_emb_;
+  std::vector<double> v_annualized_, v_op_, v_emb_;  // exact mode only
+};
+
+/// One multi-valued axis's grid-marginal response: the mean annualized
+/// total over the grid cells pinned at each axis value, every other
+/// axis marginalized out. Accumulated from the cell stream in
+/// expansion order (bit-identical to a store-all recomputation), so
+/// adaptive refinement can rank segments without report.cells — the
+/// decision inputs survive retention being switched off.
+struct AxisMarginal {
+  SweepAxis axis = SweepAxis::kAci;
+  std::vector<double> values;           ///< axis values, ascending
+  std::vector<double> mean_annualized;  ///< parallel to `values`
+};
+
 struct SweepReport {
   std::string base_name;          ///< the base scenario swept around
   size_t num_records = 0;
@@ -235,15 +417,25 @@ struct SweepReport {
   size_t grid_cells = 0;
   size_t mc_cells = 0;
   size_t batches = 0;             ///< engine blocks the sweep ran as
+  size_t total_cells = 0;         ///< cells assessed (this round)
+  bool streaming_stats = false;   ///< which reduction produced the summaries
 
   SweepCell base;                 ///< the base cell's aggregates
-  std::vector<SweepCell> cells;   ///< every cell, registration order
+  /// Every cell, registration order — only when Options::retain_cells
+  /// (the default). A sink-driven big sweep runs with retention off and
+  /// leaves this empty; everything else in the report is still filled,
+  /// captured from the stream.
+  std::vector<SweepCell> cells;
   std::vector<TornadoRow> tornado;  ///< spec axis order
 
   /// Distributions over all cells (base + endpoints + grid + draws).
   util::Summary annualized_mt;
   util::Summary op_total_mt;
   util::Summary emb_total_mt;
+
+  /// Grid-marginal responses of the multi-valued axes, spec axis order.
+  /// Not rendered; the refinement planner's input.
+  std::vector<AxisMarginal> grid_marginals;
 
   /// Adaptive-refinement trace: empty for a plain run; round 0 (the
   /// coarse grid) plus one entry per executed refinement round for
@@ -289,6 +481,17 @@ class SweepEngine {
     /// block's full per-record results are alive at a time) without
     /// affecting results: reports are identical for any batch size.
     size_t batch_size = 64;
+    /// Reduction mode for the cross-cell distributions (see
+    /// SweepStatsMode). kAuto keeps small sweeps byte-identical to the
+    /// historical exact reduction and switches big ones to O(1)-memory
+    /// streaming.
+    SweepStatsMode stats = SweepStatsMode::kAuto;
+    /// Keep every SweepCell in SweepReport::cells. Default on (the
+    /// historical behaviour); switch off for sink-driven big sweeps so
+    /// peak memory is one batch plus O(1) reduction state, independent
+    /// of cell count. The rest of the report (base cell, tornado,
+    /// summaries, marginals, counters) is unaffected.
+    bool retain_cells = true;
   };
 
   SweepEngine();  // default options

@@ -1,0 +1,326 @@
+// Cell-export sinks: EZCELLS binary round trips byte-identically to
+// the direct CSV export, the decoder rejects corrupt/truncated/foreign
+// bytes instead of trusting them, TeeCellSink fans out in attachment
+// order, sinks fail fast on stream failure, and switching cell
+// retention off changes report memory — never report content.
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "top500/generator.hpp"
+#include "util/error.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+namespace sc = scenarios;
+
+// A 24-record slice: enough coverage variety to exercise every cell
+// kind, fast enough to sweep repeatedly in one test binary.
+const std::vector<top500::SystemRecord>& records24() {
+  static const auto kRecords = [] {
+    auto all = top500::generate_records();
+    all.resize(24);
+    return all;
+  }();
+  return kRecords;
+}
+
+// Discards every cell; used when a test only cares whether decoding
+// throws.
+class NullSink : public SweepCellSink {
+ public:
+  void cell(size_t, size_t, const SweepCell&) override {}
+};
+
+// One sweep, exported as CSV and EZCELLS simultaneously through a tee.
+// `block_cells` is deliberately tiny so even a small sweep spans
+// several binary blocks plus a partial tail block.
+struct Exports {
+  std::string csv;
+  std::string bin;
+};
+
+Exports export_both(const std::string& axes, size_t block_cells = 3) {
+  std::ostringstream csv, bin;
+  CsvCellSink csv_sink(csv);
+  BinaryCellSink bin_sink(bin, block_cells);
+  TeeCellSink tee({&csv_sink, &bin_sink});
+  SweepEngine().run(records24(), SweepSpec::parse(axes), &tee);
+  bin_sink.finish();
+  return Exports{csv.str(), bin.str()};
+}
+
+std::string decode_to_csv(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::ostringstream out;
+  CsvCellSink sink(out);
+  read_binary_cells(in, sink);
+  return out.str();
+}
+
+// --- binary round trip ----------------------------------------------
+
+TEST(BinaryCellExport, RoundTripsByteIdenticalToDirectCsv) {
+  // aci x life grid + mc draws: every cell kind, present and absent
+  // axis coordinates, and (with 3-cell blocks) full and partial blocks.
+  const Exports e = export_both("aci=25,300;life=4,8;mc=4@9");
+
+  EXPECT_EQ(e.bin.substr(0, BinaryCellSink::kMagic.size()),
+            BinaryCellSink::kMagic);
+  EXPECT_EQ(decode_to_csv(e.bin), e.csv);
+
+  // The decoder reports the cell count it replayed.
+  std::istringstream in(e.bin);
+  NullSink null;
+  EXPECT_EQ(read_binary_cells(in, null),
+            SweepSpec::parse("aci=25,300;life=4,8;mc=4@9").total_cells());
+}
+
+TEST(BinaryCellExport, BlockSizeNeverChangesTheDecodedBytes) {
+  // Block size is a buffering knob, not a semantic one: 1-cell blocks,
+  // tiny blocks, and one huge block must all decode to the same CSV.
+  const Exports one = export_both("aci=25,300;util=0.6,0.9", 1);
+  const Exports small = export_both("aci=25,300;util=0.6,0.9", 4);
+  const Exports big = export_both("aci=25,300;util=0.6,0.9", 1 << 20);
+  ASSERT_EQ(one.csv, small.csv);
+  ASSERT_EQ(one.csv, big.csv);
+  EXPECT_EQ(decode_to_csv(one.bin), one.csv);
+  EXPECT_EQ(decode_to_csv(small.bin), one.csv);
+  EXPECT_EQ(decode_to_csv(big.bin), one.csv);
+  // More blocks really were written in the 1-cell case.
+  EXPECT_GT(one.bin.size(), big.bin.size());
+}
+
+TEST(BinaryCellExport, QuotedCsvFieldsSurviveTheBinaryDetour) {
+  // Descriptions embedding CSV metacharacters exercise the str columns:
+  // binary stores them raw, and the replaying CsvCellSink re-escapes
+  // them exactly as the direct export did.
+  ScenarioSpec base = sc::enhanced();
+  base.name = "procurement, 2025 \"winter\"\nrevision";
+  std::ostringstream csv, bin;
+  CsvCellSink csv_sink(csv);
+  BinaryCellSink bin_sink(bin, 2);
+  TeeCellSink tee({&csv_sink, &bin_sink});
+  SweepEngine().run(records24(), SweepSpec::parse("life=4,8", base), &tee);
+  bin_sink.finish();
+  EXPECT_NE(csv.str().find("procurement, 2025 \"\"winter\"\""),
+            std::string::npos);
+  EXPECT_EQ(decode_to_csv(bin.str()), csv.str());
+}
+
+TEST(BinaryCellExport, FinishIsIdempotentAndDestructorFlushes) {
+  std::ostringstream explicit_finish, dtor_finish;
+  SweepCell cell;
+  cell.name = "sweep/base";
+  cell.description = "d";
+  {
+    BinaryCellSink sink(explicit_finish, 8);
+    sink.cell(0, 0, cell);
+    sink.finish();
+    sink.finish();  // idempotent: no second footer
+  }
+  {
+    BinaryCellSink sink(dtor_finish, 8);
+    sink.cell(0, 0, cell);
+    // No finish(): the destructor must still flush the tail + footer.
+  }
+  EXPECT_EQ(explicit_finish.str(), dtor_finish.str());
+  NullSink null;
+  std::istringstream in(explicit_finish.str());
+  EXPECT_EQ(read_binary_cells(in, null), 1u);
+}
+
+// --- corruption and truncation rejection ----------------------------
+
+TEST(BinaryCellExport, EveryTruncationIsRejected) {
+  const Exports e = export_both("aci=25,300;life=4,8");
+  NullSink null;
+  // A file cut off anywhere — mid-header, mid-block, after the last
+  // block but before the footer, mid-footer — must throw, never return.
+  std::vector<size_t> cuts;
+  for (size_t n = 0; n < e.bin.size(); n += 97) cuts.push_back(n);
+  for (size_t back = 1; back <= 18 && back <= e.bin.size(); ++back) {
+    cuts.push_back(e.bin.size() - back);
+  }
+  for (const size_t n : cuts) {
+    std::istringstream in(e.bin.substr(0, n));
+    EXPECT_THROW(read_binary_cells(in, null), util::CodecError) << n;
+  }
+}
+
+TEST(BinaryCellExport, EverySingleByteFlipIsRejected) {
+  // Payload bytes are covered by the per-block checksum, header bytes
+  // by the magic/version/schema validation, the footer by its own
+  // checksum and cell count — so no single-bit corruption anywhere in
+  // the file may decode successfully.
+  const Exports e = export_both("aci=25,300");
+  NullSink null;
+  for (size_t i = 0; i < e.bin.size(); ++i) {
+    std::string bytes = e.bin;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x01);
+    std::istringstream in(bytes);
+    EXPECT_THROW(read_binary_cells(in, null), util::CodecError) << i;
+  }
+}
+
+TEST(BinaryCellExport, RejectsForeignAndTamperedHeaders) {
+  const Exports e = export_both("aci=25,300");
+  NullSink null;
+
+  auto expect_rejected = [&null](const std::string& bytes,
+                                 const char* label) {
+    std::istringstream in(bytes);
+    EXPECT_THROW(read_binary_cells(in, null), util::CodecError) << label;
+  };
+
+  expect_rejected("", "empty file");
+  expect_rejected("not a cell export at all, clearly", "foreign bytes");
+  expect_rejected(std::string(BinaryCellSink::kMagic) + "junk",
+                  "magic-only prefix");
+
+  // A version we never wrote.
+  {
+    std::string bytes = e.bin;
+    bytes[BinaryCellSink::kMagic.size()] =
+        static_cast<char>(BinaryCellSink::kFormatVersion + 1);
+    expect_rejected(bytes, "future version");
+  }
+
+  // Trailing garbage after a valid footer.
+  expect_rejected(e.bin + "x", "trailing bytes");
+}
+
+// --- fail-fast sinks ------------------------------------------------
+
+SweepCell dummy_cell() {
+  SweepCell cell;
+  cell.name = "sweep/base";
+  cell.description = "dummy";
+  return cell;
+}
+
+TEST(SinkFailFast, CsvSinkThrowsTheMomentTheStreamFails) {
+  std::ostringstream out;
+  CsvCellSink sink(out);
+  sink.cell(0, 0, dummy_cell());  // healthy stream: fine
+  out.setstate(std::ios::failbit);
+  EXPECT_THROW(sink.cell(0, 1, dummy_cell()), util::Error);
+}
+
+TEST(SinkFailFast, CsvSinkRejectsAnAlreadyFailedStreamAtConstruction) {
+  std::ostringstream out;
+  out.setstate(std::ios::failbit);
+  EXPECT_THROW(CsvCellSink{out}, util::Error);
+}
+
+TEST(SinkFailFast, BinarySinkThrowsOnBlockFlushAndOnFinish) {
+  {
+    std::ostringstream out;
+    out.setstate(std::ios::failbit);
+    EXPECT_THROW(BinaryCellSink(out, 4), util::Error);  // header write
+  }
+  {
+    std::ostringstream out;
+    BinaryCellSink sink(out, 2);
+    sink.cell(0, 0, dummy_cell());
+    out.setstate(std::ios::failbit);
+    // The second cell fills the block and triggers the failing flush.
+    EXPECT_THROW(sink.cell(0, 1, dummy_cell()), util::Error);
+  }
+  {
+    std::ostringstream out;
+    BinaryCellSink sink(out, 1024);
+    sink.cell(0, 0, dummy_cell());  // buffered, no write yet
+    out.setstate(std::ios::failbit);
+    EXPECT_THROW(sink.finish(), util::Error);
+    // The destructor must swallow the repeated failure, not terminate.
+  }
+}
+
+TEST(SinkFailFast, TeeStopsAtTheFirstFailingSink) {
+  std::ostringstream ok, broken;
+  CsvCellSink ok_sink(ok);
+  CsvCellSink broken_sink(broken);
+  broken.setstate(std::ios::failbit);
+  TeeCellSink tee({&broken_sink, &ok_sink});
+  const std::string header = ok.str();
+  EXPECT_THROW(tee.cell(0, 0, dummy_cell()), util::Error);
+  // Fan-out is in attachment order, so the healthy sink never saw the
+  // cell the broken one rejected.
+  EXPECT_EQ(ok.str(), header);
+}
+
+// --- cell retention -------------------------------------------------
+
+TEST(SweepRetention, TurningRetentionOffChangesMemoryNotResults) {
+  const auto spec = SweepSpec::parse("aci=25:300:3;life=4,8;mc=4@7");
+
+  SweepEngine::Options keep;
+  keep.retain_cells = true;
+  std::ostringstream keep_csv;
+  CsvCellSink keep_sink(keep_csv);
+  const SweepReport retained =
+      SweepEngine(keep).run(records24(), spec, &keep_sink);
+
+  SweepEngine::Options drop;
+  drop.retain_cells = false;
+  std::ostringstream drop_csv;
+  CsvCellSink drop_sink(drop_csv);
+  const SweepReport streamed =
+      SweepEngine(drop).run(records24(), spec, &drop_sink);
+
+  // The only difference: the retained cell vector.
+  EXPECT_EQ(retained.cells.size(), spec.total_cells());
+  EXPECT_TRUE(streamed.cells.empty());
+
+  // Everything else — rendered report, sink bytes, the base cell, the
+  // marginals that drive refinement — is captured from the stream and
+  // must match bit for bit.
+  EXPECT_EQ(render_sweep_report(streamed), render_sweep_report(retained));
+  EXPECT_EQ(drop_csv.str(), keep_csv.str());
+  EXPECT_EQ(streamed.total_cells, retained.total_cells);
+  EXPECT_EQ(streamed.base.name, retained.base.name);
+  EXPECT_EQ(streamed.base.annualized_mt, retained.base.annualized_mt);
+  ASSERT_EQ(streamed.grid_marginals.size(), retained.grid_marginals.size());
+  for (size_t a = 0; a < streamed.grid_marginals.size(); ++a) {
+    EXPECT_EQ(streamed.grid_marginals[a].values,
+              retained.grid_marginals[a].values);
+    EXPECT_EQ(streamed.grid_marginals[a].mean_annualized,
+              retained.grid_marginals[a].mean_annualized);
+  }
+}
+
+TEST(SweepRetention, AdaptiveRefinementDecisionsSurviveRetentionOff) {
+  // refine_spec used to re-derive marginals from report.cells; it now
+  // reads grid_marginals, so the refinement path (which axes, which
+  // segments, how many added values) must be identical with retention
+  // off — and the streamed export with it.
+  const auto spec = SweepSpec::parse("aci=25:600:4;pue=1.1:1.6:3");
+  RefineOptions refine;
+  refine.top_axes = 1;
+  refine.rounds = 2;
+
+  auto run_with = [&](bool retain) {
+    SweepEngine::Options opt;
+    opt.retain_cells = retain;
+    std::ostringstream csv;
+    CsvCellSink sink(csv);
+    const SweepReport r =
+        SweepEngine(opt).run_adaptive(records24(), spec, refine, &sink);
+    return std::pair<std::string, std::string>(render_sweep_report(r),
+                                               csv.str());
+  };
+
+  const auto [keep_report, keep_csv] = run_with(true);
+  const auto [drop_report, drop_csv] = run_with(false);
+  EXPECT_EQ(drop_report, keep_report);
+  EXPECT_EQ(drop_csv, keep_csv);
+}
+
+}  // namespace
+}  // namespace easyc::analysis

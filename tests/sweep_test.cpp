@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "parallel/thread_pool.hpp"
 #include "top500/generator.hpp"
@@ -289,6 +291,95 @@ TEST(SweepEngine, TornadoSwingsPointTheRightWay) {
   };
   EXPECT_DOUBLE_EQ(cell("sweep/axis/aci=25").op_total_mt,
                    cell("sweep/grid/aci=25/life=4").op_total_mt);
+}
+
+// --- stats modes ----------------------------------------------------
+
+TEST(SweepStatsMode, NamesRoundTrip) {
+  for (const SweepStatsMode m :
+       {SweepStatsMode::kAuto, SweepStatsMode::kExact,
+        SweepStatsMode::kStreaming}) {
+    EXPECT_EQ(sweep_stats_mode_from_name(sweep_stats_mode_name(m)), m);
+  }
+  EXPECT_FALSE(sweep_stats_mode_from_name("approximate").has_value());
+}
+
+TEST(SweepStatsMode, AutoStaysExactBelowTheThreshold) {
+  // Every sweep in this suite is far below kStreamingStatsThreshold,
+  // so kAuto (the default) must keep the historical exact reduction —
+  // the byte-identity guarantee against pre-streaming reports.
+  const auto spec = SweepSpec::parse("aci=25,300;life=4,8");
+  const SweepReport r = SweepEngine().run(records60(), spec);
+  EXPECT_FALSE(r.streaming_stats);
+  EXPECT_EQ(r.total_cells, spec.total_cells());
+
+  SweepEngine::Options opt;
+  opt.stats = SweepStatsMode::kStreaming;
+  EXPECT_TRUE(SweepEngine(opt).run(records60(), spec).streaming_stats);
+}
+
+TEST(SweepStatsMode, StreamingMatchesExactOnEverythingButOrderStats) {
+  const auto spec = SweepSpec::parse("aci=25:600:4;util=0.6:0.9:3;mc=16@5");
+
+  SweepEngine::Options exact_opt;
+  exact_opt.stats = SweepStatsMode::kExact;
+  const SweepReport exact = SweepEngine(exact_opt).run(records60(), spec);
+
+  SweepEngine::Options stream_opt;
+  stream_opt.stats = SweepStatsMode::kStreaming;
+  const SweepReport stream = SweepEngine(stream_opt).run(records60(), spec);
+
+  // Cells, tornado, base: reduction mode never touches them.
+  ASSERT_EQ(stream.cells.size(), exact.cells.size());
+  for (size_t i = 0; i < exact.cells.size(); ++i) {
+    EXPECT_EQ(stream.cells[i].annualized_mt, exact.cells[i].annualized_mt);
+  }
+  ASSERT_EQ(stream.tornado.size(), exact.tornado.size());
+  for (size_t i = 0; i < exact.tornado.size(); ++i) {
+    EXPECT_EQ(stream.tornado[i].swing_mt, exact.tornado[i].swing_mt);
+  }
+
+  // The moment statistics are bit-equal (Kahan total / exact min-max);
+  // the P² order statistics track the sorted ones within tolerance.
+  for (const auto& [s, e] :
+       {std::pair(stream.annualized_mt, exact.annualized_mt),
+        std::pair(stream.op_total_mt, exact.op_total_mt),
+        std::pair(stream.emb_total_mt, exact.emb_total_mt)}) {
+    EXPECT_EQ(s.count, e.count);
+    EXPECT_EQ(s.total, e.total);
+    EXPECT_EQ(s.mean, e.mean);
+    EXPECT_EQ(s.min, e.min);
+    EXPECT_EQ(s.max, e.max);
+    const double spread = std::max(e.max - e.min, 1e-12);
+    EXPECT_NEAR(s.median, e.median, 0.15 * spread);
+    EXPECT_NEAR(s.p05, e.p05, 0.15 * spread);
+    EXPECT_NEAR(s.p95, e.p95, 0.15 * spread);
+  }
+}
+
+TEST(SweepStatsMode, StreamingReportIsBitIdenticalAcrossThreadsAndBatches) {
+  // The streaming reduction runs in expansion order no matter how the
+  // batches land on the pool, so its approximation is the *same*
+  // approximation everywhere — the byte-identity guarantee holds in
+  // streaming mode too.
+  const auto spec = SweepSpec::parse("aci=25:600:4;util=0.6,0.9;mc=8@3");
+
+  par::ThreadPool serial(1);
+  SweepEngine::Options one;
+  one.pool = &serial;
+  one.batch_size = 5;
+  one.stats = SweepStatsMode::kStreaming;
+  one.retain_cells = false;
+
+  par::ThreadPool wide(4);
+  SweepEngine::Options many;
+  many.pool = &wide;
+  many.batch_size = 1000;
+  many.stats = SweepStatsMode::kStreaming;
+
+  const SweepReport a = SweepEngine(one).run(records60(), spec);
+  const SweepReport b = SweepEngine(many).run(records60(), spec);
+  EXPECT_EQ(render_sweep_report(a), render_sweep_report(b));
 }
 
 // --- per-cell export ------------------------------------------------

@@ -1,0 +1,58 @@
+// easyc_cells_decode — decode an EZCELLS binary cell export (easyc_cli
+// --cells-format bin) back to the canonical CSV schema.
+//
+//   easyc_cells_decode sweep.bin [cells.csv]
+//
+// Output defaults to stdout. The decoder replays the stored cells
+// through the same CsvCellSink the CLI's direct CSV export uses, so
+// its output is byte-identical to `--cells-format csv` of the same
+// sweep. Corrupt, truncated (no footer), or schema-drifted files are
+// rejected with a nonzero exit, never partially trusted — every block
+// is checksummed (format spec in README.md).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/sweep.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3 || std::string(argv[1]) == "--help") {
+    std::fprintf(stderr,
+                 "usage: %s <cells.bin> [out.csv]\n"
+                 "decode an EZCELLS binary sweep cell export to CSV "
+                 "(stdout when out.csv is omitted)\n",
+                 argv[0]);
+    return argc == 2 ? 0 : 1;
+  }
+
+  try {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      throw easyc::util::Error(std::string("cannot open ") + argv[1]);
+    }
+
+    std::ofstream out_file;
+    if (argc == 3) {
+      out_file.open(argv[2], std::ios::binary);
+      if (!out_file) {
+        throw easyc::util::Error(std::string("cannot open ") + argv[2]);
+      }
+    }
+    std::ostream& out = argc == 3 ? out_file : std::cout;
+
+    easyc::analysis::CsvCellSink csv(out);
+    const size_t cells = easyc::analysis::read_binary_cells(in, csv);
+
+    out.flush();
+    if (!out) {
+      throw easyc::util::Error("write failed for decoded CSV output");
+    }
+    std::fprintf(stderr, "decoded %zu cells from %s\n", cells, argv[1]);
+    return 0;
+  } catch (const easyc::util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

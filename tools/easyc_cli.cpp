@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/audit.hpp"
 #include "analysis/coverage.hpp"
@@ -94,9 +95,21 @@ void declare_flags(util::ArgParser& args) {
                 "derived scenarios per engine block for --sweep (default "
                 "64; bounds memory, never changes results)");
   args.add_flag("cells-out",
-                "write one CSV row per sweep cell to this file (RFC-4180 "
-                "quoted; byte-identical for any --threads/--sweep-batch/"
-                "cache state; column schema in README.md)");
+                "write one row per sweep cell to this file (byte-identical "
+                "for any --threads/--sweep-batch/cache state; column schema "
+                "in README.md)");
+  args.add_flag("cells-format",
+                "cell export format(s) for --cells-out: csv (default), bin "
+                "(EZCELLS columnar binary; decode with easyc_cells_decode), "
+                "or csv,bin to write <file>.csv and <file>.bin");
+  args.add_flag("sweep-stats",
+                "cross-cell distribution reduction: exact (store-all sort), "
+                "streaming (O(1)-memory Welford+P² estimators), or auto "
+                "(default: exact below 65536 cells, streaming above)");
+  args.add_flag("sweep-records",
+                "assess only the first N generated systems (default: the "
+                "full simulated list); makes million-cell grids cheap to "
+                "exercise");
   args.add_flag("sweep-refine",
                 "adaptive refinement K@R: after the coarse grid, densify "
                 "the K axes with the largest tornado swings around their "
@@ -346,11 +359,23 @@ easyc::analysis::RefineOptions parse_refine(const std::string& text) {
   return refine;
 }
 
+// One --cells-out export file: its stream, its sink, and enough to
+// report/close it. bin sinks need finish() before the close check.
+struct CellExport {
+  std::string path;
+  bool binary = false;
+  std::ofstream stream;
+  std::unique_ptr<easyc::analysis::SweepCellSink> sink;
+};
+
 int run_sweep(const std::string& axis_text, const std::string& base_name,
               std::optional<long long> threads,
               std::optional<long long> batch,
               const std::optional<std::string>& cache_file,
               const std::optional<std::string>& cells_out,
+              const std::optional<std::string>& cells_format,
+              const std::optional<std::string>& stats_text,
+              std::optional<long long> sweep_records,
               const std::optional<std::string>& refine_text) {
   const auto set = cli_scenarios();
   const auto spec =
@@ -360,10 +385,53 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
   // previous run's export.
   std::optional<easyc::analysis::RefineOptions> refine;
   if (refine_text) refine = parse_refine(*refine_text);
+
+  easyc::analysis::SweepStatsMode stats =
+      easyc::analysis::SweepStatsMode::kAuto;
+  if (stats_text) {
+    const auto parsed =
+        easyc::analysis::sweep_stats_mode_from_name(*stats_text);
+    if (!parsed) {
+      throw util::Error("--sweep-stats wants exact, streaming, or auto; "
+                        "got '" + *stats_text + "'");
+    }
+    stats = *parsed;
+  }
+
+  std::vector<std::string> formats;
+  if (cells_format) {
+    if (!cells_out) {
+      throw util::Error("--cells-format requires --cells-out");
+    }
+    for (const auto& raw : util::split(*cells_format, ',')) {
+      const std::string f(util::trim(raw));
+      if (f != "csv" && f != "bin") {
+        throw util::Error("--cells-format wants csv, bin, or csv,bin; "
+                          "got '" + f + "'");
+      }
+      for (const auto& seen : formats) {
+        if (seen == f) {
+          throw util::Error("--cells-format lists '" + f + "' twice");
+        }
+      }
+      formats.push_back(f);
+    }
+  } else if (cells_out) {
+    formats.push_back("csv");
+  }
+
+  if (sweep_records && *sweep_records < 1) {
+    throw util::Error("--sweep-records must be at least 1");
+  }
+
   std::fprintf(stderr, "expanding %zu derived scenarios from '%s'...\n",
                spec.total_cells(), base_name.c_str());
 
-  const auto records = easyc::top500::generate_records();
+  auto records = easyc::top500::generate_records();
+  if (sweep_records &&
+      static_cast<size_t>(*sweep_records) < records.size()) {
+    records.resize(static_cast<size_t>(*sweep_records));
+  }
 
   if (threads && *threads < 1) {
     throw util::Error("--threads must be at least 1");
@@ -379,36 +447,66 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     if (*batch < 1) throw util::Error("--sweep-batch must be at least 1");
     opt.batch_size = static_cast<size_t>(*batch);
   }
+  opt.stats = stats;
+  // The CLI renders from the report's counters and summaries, and
+  // refinement plans from the streamed grid marginals, so nothing here
+  // needs the per-cell vector: retention off keeps peak memory at one
+  // batch no matter how many cells the spec expands to.
+  opt.retain_cells = false;
   easyc::analysis::SweepEngine sweep(opt);
 
-  std::ofstream cells_stream;
-  std::unique_ptr<easyc::analysis::CsvCellSink> sink;
-  if (cells_out) {
-    cells_stream.open(*cells_out, std::ios::binary);
-    if (!cells_stream) {
-      throw util::Error("cannot open --cells-out file: " + *cells_out);
+  std::vector<std::unique_ptr<CellExport>> exports;
+  for (const auto& f : formats) {
+    auto ex = std::make_unique<CellExport>();
+    ex->binary = (f == "bin");
+    // One format writes exactly --cells-out; two write <file>.csv and
+    // <file>.bin alongside each other.
+    ex->path = formats.size() == 1 ? *cells_out : *cells_out + "." + f;
+    ex->stream.open(ex->path, std::ios::binary);
+    if (!ex->stream) {
+      throw util::Error("cannot open --cells-out file: " + ex->path);
     }
-    sink = std::make_unique<easyc::analysis::CsvCellSink>(cells_stream);
+    if (ex->binary) {
+      ex->sink =
+          std::make_unique<easyc::analysis::BinaryCellSink>(ex->stream);
+    } else {
+      ex->sink = std::make_unique<easyc::analysis::CsvCellSink>(ex->stream);
+    }
+    exports.push_back(std::move(ex));
+  }
+  std::vector<easyc::analysis::SweepCellSink*> sink_ptrs;
+  for (const auto& ex : exports) sink_ptrs.push_back(ex->sink.get());
+  std::optional<easyc::analysis::TeeCellSink> tee;
+  easyc::analysis::SweepCellSink* sink = nullptr;
+  if (sink_ptrs.size() == 1) {
+    sink = sink_ptrs.front();
+  } else if (sink_ptrs.size() > 1) {
+    tee.emplace(sink_ptrs);
+    sink = &*tee;
   }
 
   const auto report =
-      refine ? sweep.run_adaptive(records, spec, *refine, sink.get())
-             : sweep.run(records, spec, sink.get());
+      refine ? sweep.run_adaptive(records, spec, *refine, sink)
+             : sweep.run(records, spec, sink);
 
-  if (cells_out) {
-    cells_stream.close();
-    if (!cells_stream) {
-      throw util::Error("write failed for --cells-out file: " + *cells_out);
+  // An adaptive run streams every round's cells; the report only
+  // counts the final round's.
+  size_t rows = report.total_cells;
+  if (!report.refinement.empty()) {
+    rows = 0;
+    for (const auto& round : report.refinement) rows += round.cells;
+  }
+  for (const auto& ex : exports) {
+    if (auto* bin =
+            dynamic_cast<easyc::analysis::BinaryCellSink*>(ex->sink.get())) {
+      bin->finish();
     }
-    // An adaptive run streams every round's cells; the report only
-    // keeps the final round's.
-    size_t rows = report.cells.size();
-    if (!report.refinement.empty()) {
-      rows = 0;
-      for (const auto& round : report.refinement) rows += round.cells;
+    ex->stream.close();
+    if (!ex->stream) {
+      throw util::Error("write failed for --cells-out file: " + ex->path);
     }
     std::fprintf(stderr, "wrote %zu cell rows to %s\n", rows,
-                 cells_out->c_str());
+                 ex->path.c_str());
   }
 
   std::fputs(easyc::analysis::render_sweep_report(report).c_str(), stdout);
@@ -484,16 +582,20 @@ int main(int argc, char** argv) {
     if (auto sweep_spec = args.get("sweep")) {
       require_only("sweep",
                    {"sweep", "sweep-base", "threads", "sweep-batch",
-                    "cache-file", "cells-out", "sweep-refine"});
+                    "cache-file", "cells-out", "cells-format", "sweep-stats",
+                    "sweep-records", "sweep-refine"});
       return run_sweep(*sweep_spec,
                        args.get("sweep-base").value_or(std::string(
                            easyc::analysis::scenarios::kEnhancedName)),
                        args.get_int("threads"), args.get_int("sweep-batch"),
                        args.get("cache-file"), args.get("cells-out"),
+                       args.get("cells-format"), args.get("sweep-stats"),
+                       args.get_int("sweep-records"),
                        args.get("sweep-refine"));
     }
     for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch",
-                                   "cells-out", "sweep-refine"}) {
+                                   "cells-out", "cells-format", "sweep-stats",
+                                   "sweep-records", "sweep-refine"}) {
       if (args.has(sweep_only)) {
         throw util::Error(std::string("--") + sweep_only +
                           " applies only to --sweep runs");
