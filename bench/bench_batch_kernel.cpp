@@ -1,0 +1,186 @@
+// The SoA batch assessment kernel vs the scalar per-cell path.
+//
+// Report: cold assessment on one worker under two workload shapes —
+// the stock scenario set (paper pair + what-ifs, three visibilities)
+// and a sweep-shaped block (12 derived what-ifs over one visibility,
+// what SweepEngine submits per batch). The SoA kernel resolves each
+// distinct (visibility, record) profile once and amortizes it across
+// every scenario lane, so the sweep shape is where the win lands; the
+// stock set bounds the worst case (2.5 lanes per profile). The ACI
+// hoist is also run disabled so its contribution is measured, not
+// asserted. Both kernels are byte-identical per cell
+// (batch_kernel_test), so these numbers can only disagree on time.
+//
+// The gated pair (check_bench_regression: SoA >= 1.5x scalar
+// cells_per_s) runs the sweep-shaped block — the engine's cold fill
+// workload in the paper pipeline's sweeps.
+#include "bench/common.hpp"
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "analysis/assessment_engine.hpp"
+#include "parallel/thread_pool.hpp"
+#include "top500/generator.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using easyc::analysis::AssessmentEngine;
+using easyc::analysis::ScenarioSet;
+using easyc::analysis::ScenarioSpec;
+using easyc::util::format_double;
+namespace sc = easyc::analysis::scenarios;
+using BatchKernel = AssessmentEngine::BatchKernel;
+
+const std::vector<easyc::top500::SystemRecord>& catalog() {
+  static const auto kRecords = easyc::top500::generate_records();
+  return kRecords;
+}
+
+const ScenarioSet& stock_set() {
+  static const ScenarioSet kSet = ScenarioSet::paper_with_whatifs();
+  return kSet;
+}
+
+// A sweep block: derived what-ifs over the enhanced visibility, the
+// shape SweepEngine submits to the engine (grid axes fab x pue x util;
+// no ACI override, so lanes read the grid database and the per-batch
+// ACI table is live in the gated workload).
+const ScenarioSet& sweep_block() {
+  static const ScenarioSet kSet = [] {
+    ScenarioSet set;
+    int n = 0;
+    for (double fab : {0.3, 0.475, 0.65}) {
+      for (double pue : {1.15, 1.45}) {
+        for (double util : {0.6, 0.9}) {
+          ScenarioSpec spec = sc::enhanced();
+          spec.name = "sweep/" + std::to_string(n++);
+          spec.fab_aci_kg_kwh = fab;
+          spec.pue_override = pue;
+          spec.default_utilization = util;
+          set.add(spec);
+        }
+      }
+    }
+    return set;
+  }();
+  return kSet;
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Mean cold time of one engine.assess over `set`, plus kernel stats.
+double cold_seconds(const ScenarioSet& set, BatchKernel kernel, bool hoist,
+                    easyc::par::ThreadPool& pool, int reps,
+                    easyc::model::BatchStats* stats = nullptr) {
+  double total = 0.0;
+  easyc::model::BatchStats acc;
+  for (int i = 0; i < reps; ++i) {
+    AssessmentEngine engine({.pool = &pool,
+                             .cache_enabled = false,
+                             .batch_kernel = kernel,
+                             .batch_hoist_aci = hoist});
+    total += seconds_of([&] { engine.assess(catalog(), set); });
+    acc += engine.batch_stats();
+  }
+  if (stats) *stats = acc;
+  return total / reps;
+}
+
+std::string workload_table(const std::string& title, const ScenarioSet& set,
+                           easyc::par::ThreadPool& pool, int reps) {
+  const double cells = static_cast<double>(catalog().size()) *
+                       static_cast<double>(set.size());
+  easyc::model::BatchStats stats;
+  const double t_scalar =
+      cold_seconds(set, BatchKernel::kScalar, true, pool, reps);
+  const double t_soa =
+      cold_seconds(set, BatchKernel::kSoa, true, pool, reps, &stats);
+  const double t_no_hoist =
+      cold_seconds(set, BatchKernel::kSoa, false, pool, reps);
+
+  const auto line = [&](const std::string& label, double t) {
+    return "    " + label + format_double(t * 1e3, 2) + " ms  (" +
+           format_double(cells / t / 1e3, 1) + "k cells/s, " +
+           format_double(t_scalar / t, 2) + "x scalar)\n";
+  };
+  std::string out = "  " + title + " — " + format_double(cells, 0) +
+                    " cells, mean of " + std::to_string(reps) + "\n";
+  out += line("scalar per-cell oracle: ", t_scalar);
+  out += line("SoA kernel:             ", t_soa);
+  out += line("SoA, ACI hoist off:     ", t_no_hoist);
+  out += "    ACI hoist delta: " +
+         format_double((t_no_hoist - t_soa) * 1e3, 2) + " ms/run (" +
+         format_double((t_no_hoist / t_soa - 1.0) * 100, 1) +
+         "% on top of the hoisted kernel)\n";
+  const int r = reps;
+  out += "    per run: " + std::to_string(stats.lanes / r) + " lanes from " +
+         std::to_string(stats.profiles / r) + " resolved profiles (" +
+         std::to_string(stats.validations / r) + " validations); ACI " +
+         std::to_string(stats.aci_keys / r) + " keys, " +
+         std::to_string(stats.aci_db_queries / r) + " db queries, " +
+         std::to_string(stats.aci_hoisted / r) + " lane lookups hoisted\n";
+  return out;
+}
+
+std::string kernel_report() {
+  easyc::par::ThreadPool one(1);
+  std::string out = "Batch kernel — catalog, cold, 1 worker\n";
+  out += workload_table("sweep-shaped block (12 derived scenarios)",
+                        sweep_block(), one, 5);
+  out += workload_table("stock scenario set (3 visibilities)", stock_set(),
+                        one, 5);
+  out += "  target: >=1.5x scalar on the sweep-shaped block (the gated "
+         "pair below)\n";
+  return out;
+}
+
+// Cold fill throughput of one kernel on the sweep-shaped block: fresh
+// no-cache engine, so every cell computes through the selected path.
+// cells_per_s is the gated counter (check_bench_regression enforces
+// BM_BatchAssessSoA >= 1.5x BM_BatchAssessScalar).
+void bench_kernel(benchmark::State& state, BatchKernel kernel, bool hoist) {
+  easyc::par::ThreadPool one(1);
+  const ScenarioSet& set = sweep_block();
+  const int64_t cells = static_cast<int64_t>(catalog().size()) *
+                        static_cast<int64_t>(set.size());
+  for (auto _ : state) {
+    AssessmentEngine engine({.pool = &one,
+                             .cache_enabled = false,
+                             .batch_kernel = kernel,
+                             .batch_hoist_aci = hoist});
+    auto r = engine.assess(catalog(), set);
+    benchmark::DoNotOptimize(&r);
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * cells),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_BatchAssessScalar(benchmark::State& state) {
+  bench_kernel(state, BatchKernel::kScalar, true);
+}
+BENCHMARK(BM_BatchAssessScalar)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BatchAssessSoA(benchmark::State& state) {
+  bench_kernel(state, BatchKernel::kSoa, true);
+}
+BENCHMARK(BM_BatchAssessSoA)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The hoist ablation at bench granularity, for the A/B delta in JSON.
+void BM_BatchAssessSoANoHoist(benchmark::State& state) {
+  bench_kernel(state, BatchKernel::kSoa, false);
+}
+BENCHMARK(BM_BatchAssessSoANoHoist)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+EASYC_FIGURE_BENCH_MAIN(kernel_report())

@@ -115,6 +115,27 @@ AssessmentEngine::AssessmentEngine(Options options)
     : options_(options),
       cache_(options.cache_shards, options.cache_capacity) {}
 
+bool AssessmentEngine::use_soa_kernel(const ScenarioSet& scenarios) const {
+  switch (options_.batch_kernel) {
+    case BatchKernel::kScalar:
+      return false;
+    case BatchKernel::kSoa:
+      return true;
+    case BatchKernel::kAuto:
+      break;
+  }
+  bool seen[top500::kNumDataVisibilities] = {};
+  size_t distinct = 0;
+  for (const auto& spec : scenarios.specs()) {
+    const auto vis = static_cast<size_t>(spec.visibility);
+    if (!seen[vis]) {
+      seen[vis] = true;
+      ++distinct;
+    }
+  }
+  return scenarios.size() >= 2 * distinct;
+}
+
 // One edition's wavefront: all (scenario, record) cells flattened into
 // parallel grids. A cell first consults the memo table; only a miss
 // pays for the visibility projection and the model. Each cell writes
@@ -163,14 +184,43 @@ void AssessmentEngine::assess_edition(
         inputs[i] = to_inputs(records[i], spec.visibility);
       });
     }
-    par::parallel_for(
-        pool, 0, num_scenarios * num_records, [&](size_t cell) {
-          const size_t s = cell / num_records;
-          const size_t i = cell % num_records;
-          const auto& inputs = projections[static_cast<size_t>(
-              scenarios.specs()[s].visibility)];
-          out.scenarios[s].assessments[i] = models[s].assess(inputs[i]);
-        });
+    if (use_soa_kernel(scenarios)) {
+      // SoA kernel: one profile per distinct (visibility, record),
+      // resolved once, then each scenario assessed as a batch of lanes.
+      model::BatchAssessor batch({.hoist_aci = options_.batch_hoist_aci});
+      std::array<std::vector<size_t>, top500::kNumDataVisibilities> pids;
+      for (const auto& spec : scenarios.specs()) {
+        auto& ids = pids[static_cast<size_t>(spec.visibility)];
+        if (!ids.empty()) continue;
+        // The projections are consumed here: the assessor owns the
+        // inputs from registration on (lanes read profile state only).
+        auto& inputs = projections[static_cast<size_t>(spec.visibility)];
+        ids.reserve(num_records);
+        for (size_t i = 0; i < num_records; ++i) {
+          ids.push_back(batch.add_profile(std::move(inputs[i])));
+        }
+      }
+      batch.resolve_profiles(&pool);
+      std::vector<model::BatchAssessor::Cell> cells(num_records);
+      for (size_t s = 0; s < num_scenarios; ++s) {
+        const auto& ids =
+            pids[static_cast<size_t>(scenarios.specs()[s].visibility)];
+        for (size_t i = 0; i < num_records; ++i) {
+          cells[i] = {ids[i], &out.scenarios[s].assessments[i]};
+        }
+        batch.assess(models[s].options(), cells.data(), cells.size(), &pool);
+      }
+      batch_stats_ += batch.stats();
+    } else {
+      par::parallel_for(
+          pool, 0, num_scenarios * num_records, [&](size_t cell) {
+            const size_t s = cell / num_records;
+            const size_t i = cell % num_records;
+            const auto& inputs = projections[static_cast<size_t>(
+                scenarios.specs()[s].visibility)];
+            out.scenarios[s].assessments[i] = models[s].assess(inputs[i]);
+          });
+    }
     for (auto& r : out.scenarios) finalize_scenario(r);
     return;
   }
@@ -204,8 +254,81 @@ void AssessmentEngine::assess_edition(
           }
         });
   };
-  run_grid(primaries);
-  if (!aliases.empty()) run_grid(aliases);
+
+  // SoA fill path: a two-pass grid. Pass 1 runs every lookup against
+  // the grid's starting cache state, which makes the miss set — and so
+  // the hit accounting — deterministic for every pool size (the scalar
+  // grid has the same property because its per-cell lookups also all
+  // precede any insert it could hit: keys within a grid are unique).
+  // The misses then batch through the kernel, one profile per distinct
+  // (visibility, record), and publish to the cache afterwards.
+  model::BatchAssessor batch({.hoist_aci = options_.batch_hoist_aci});
+  std::array<std::vector<int64_t>, top500::kNumDataVisibilities> pid;
+  auto run_grid_soa = [&](const std::vector<size_t>& scenario_indices) {
+    const size_t ngrid = scenario_indices.size() * num_records;
+    std::vector<uint8_t> hit(ngrid);
+    par::parallel_for(pool, 0, ngrid, [&](size_t cell) {
+      const size_t s = scenario_indices[cell / num_records];
+      const size_t i = cell % num_records;
+      model::SystemAssessment& slot = out.scenarios[s].assessments[i];
+      hit[cell] =
+          cache_.lookup({record_fps[i], scenario_fps[s]}, slot) ? 1 : 0;
+    });
+    // Serial scan keeps profile ids deterministic; projection of the
+    // distinct misses is parallel.
+    std::vector<std::pair<size_t, size_t>> need;  // (visibility, record)
+    for (size_t cell = 0; cell < ngrid; ++cell) {
+      if (hit[cell]) continue;
+      const size_t s = scenario_indices[cell / num_records];
+      const size_t i = cell % num_records;
+      const auto vis = static_cast<size_t>(scenarios.specs()[s].visibility);
+      if (pid[vis].empty()) pid[vis].assign(num_records, -1);
+      if (pid[vis][i] < 0) {
+        pid[vis][i] = static_cast<int64_t>(batch.num_profiles() + need.size());
+        need.emplace_back(vis, i);
+      }
+    }
+    if (!need.empty()) {
+      std::vector<model::Inputs> projected(need.size());
+      par::parallel_for(pool, 0, need.size(), [&](size_t k) {
+        projected[k] =
+            to_inputs(records[need[k].second],
+                      static_cast<top500::DataVisibility>(need[k].first));
+      });
+      for (auto& in : projected) batch.add_profile(std::move(in));
+      batch.resolve_profiles(&pool);
+    }
+    std::vector<model::BatchAssessor::Cell> cells;
+    std::vector<size_t> cell_records;
+    for (size_t g = 0; g < scenario_indices.size(); ++g) {
+      const size_t s = scenario_indices[g];
+      const auto vis = static_cast<size_t>(scenarios.specs()[s].visibility);
+      cells.clear();
+      cell_records.clear();
+      for (size_t i = 0; i < num_records; ++i) {
+        if (hit[g * num_records + i]) continue;
+        cells.push_back({static_cast<size_t>(pid[vis][i]),
+                         &out.scenarios[s].assessments[i]});
+        cell_records.push_back(i);
+      }
+      if (cells.empty()) continue;
+      batch.assess(models[s].options(), cells.data(), cells.size(), &pool);
+      par::parallel_for(pool, 0, cells.size(), [&](size_t k) {
+        const size_t i = cell_records[k];
+        cache_.insert({record_fps[i], scenario_fps[s]},
+                      out.scenarios[s].assessments[i]);
+      });
+    }
+  };
+
+  if (use_soa_kernel(scenarios)) {
+    run_grid_soa(primaries);
+    if (!aliases.empty()) run_grid_soa(aliases);
+    batch_stats_ += batch.stats();
+  } else {
+    run_grid(primaries);
+    if (!aliases.empty()) run_grid(aliases);
+  }
 
   for (auto& r : out.scenarios) finalize_scenario(r);
 }

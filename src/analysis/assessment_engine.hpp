@@ -33,6 +33,7 @@
 
 #include "analysis/coverage.hpp"
 #include "analysis/scenario.hpp"
+#include "easyc/batch.hpp"
 #include "easyc/model.hpp"
 #include "parallel/sharded_cache.hpp"
 #include "top500/history.hpp"
@@ -90,6 +91,16 @@ struct EditionAssessment {
 
 class AssessmentEngine {
  public:
+  /// Which cache-miss fill path computes assessments. `kScalar` is the
+  /// per-cell oracle (EasyCModel::assess); `kSoa` batches an edition's
+  /// misses through model::BatchAssessor (resolve once per distinct
+  /// record, vectorized arithmetic core); `kAuto` picks kSoa when the
+  /// scenario set amortizes profile resolution across at least two
+  /// lanes per distinct visibility, kScalar otherwise. The two
+  /// kernels are byte-identical per cell (enforced by
+  /// batch_kernel_test), so this knob only moves time.
+  enum class BatchKernel { kScalar, kSoa, kAuto };
+
   struct Options {
     /// Pool the shards run on; null = the process-global pool.
     par::ThreadPool* pool = nullptr;
@@ -102,6 +113,11 @@ class AssessmentEngine {
     size_t cache_capacity = 0;
     /// Stripes of the memo table.
     size_t cache_shards = 16;
+    /// Cache-miss fill path (see BatchKernel).
+    BatchKernel batch_kernel = BatchKernel::kAuto;
+    /// SoA only: serve ACI lookups from a per-batch table instead of
+    /// querying the database per lane. Off only for A/B measurement.
+    bool batch_hoist_aci = true;
   };
 
   AssessmentEngine();  // default options
@@ -122,6 +138,10 @@ class AssessmentEngine {
   const Options& options() const { return options_; }
   par::CacheStats cache_stats() const { return cache_.stats(); }
   void clear_cache() { cache_.clear(); }
+
+  /// Cumulative SoA-kernel counters (lanes batched, profiles resolved,
+  /// validations, ACI lookups hoisted). All zero under kScalar.
+  const model::BatchStats& batch_stats() const { return batch_stats_; }
 
   /// Persist the memo cache to `path` as a versioned, checksummed
   /// ShardedCache snapshot (see sharded_cache.hpp for the header
@@ -170,8 +190,17 @@ class AssessmentEngine {
   using Cache =
       par::ShardedCache<CellKey, model::SystemAssessment, CellKeyHash>;
 
+  // The SoA kernel's win is amortization: one profile resolution per
+  // distinct (visibility, record) shared by every scenario lane that
+  // reads it. Under kAuto it is only engaged when the set averages at
+  // least two lanes per profile; below that (e.g. the two-spec paper
+  // pair, one visibility each) batching is pure overhead and the
+  // scalar path wins. Explicit kScalar/kSoa always get what they ask.
+  bool use_soa_kernel(const ScenarioSet& scenarios) const;
+
   Options options_;
   Cache cache_;
+  model::BatchStats batch_stats_;
 };
 
 }  // namespace easyc::analysis

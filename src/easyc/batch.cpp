@@ -1,0 +1,420 @@
+#include "easyc/batch.hpp"
+
+#include <algorithm>
+
+#include "grid/pue.hpp"
+#include "hw/memory.hpp"
+#include "hw/process.hpp"
+#include "parallel/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace easyc::model {
+
+namespace {
+
+// Lanes per chunk: big enough that the vector loops amortize their
+// setup, small enough that one chunk's SoA workspace stays cache-hot.
+constexpr size_t kLanesPerChunk = 256;
+
+EnergyPath to_energy_path(OperationalResolution::Path p) {
+  using Path = OperationalResolution::Path;
+  switch (p) {
+    case Path::kMetered: return EnergyPath::kMeteredAnnualEnergy;
+    case Path::kReported: return EnergyPath::kReportedPower;
+    case Path::kRollup: return EnergyPath::kComponentRollup;
+    case Path::kCores: return EnergyPath::kCoreCountEstimate;
+    case Path::kNone: break;
+  }
+  return EnergyPath::kReportedPower;
+}
+
+// One chunk's structure-of-arrays workspace. Plain contiguous doubles
+// and masks: the vector-core loops below index these linearly so the
+// compiler can auto-vectorize them (verified with -fopt-info-vec).
+// Masks the vector core blends on (metered/reported/gpu_active/
+// ssd_default) are stored as 0.0/1.0 doubles: a uint8 mask in a double
+// loop leaves GCC without a vector type for the mixed widths and the
+// blend stays scalar. Select stays exact (compare + ternary), so the
+// widening changes no bytes.
+struct Workspace {
+  // operational
+  std::vector<uint8_t> op_ok, aci_valid, refined;
+  std::vector<double> metered, reported;
+  std::vector<double> base, util, aci, it_kw, pue, annual, op_mt;
+  std::vector<int> year;
+  // embodied
+  std::vector<uint8_t> emb_ok, mem_default, used_proxy;
+  std::vector<double> gpu_active, ssd_default;
+  std::vector<double> cpu_area, cpu_epa, cpu_gpa, cpu_mpa, cpu_yield, cpus_d;
+  std::vector<double> gpu_area, gpu_epa, gpu_gpa, gpu_mpa, gpu_yield, gpu_hbm,
+      gpus_d;
+  std::vector<double> mem_gb, mem_kg, ssd_tb, nodes_d, cores_pn, gpus_pn;
+  std::vector<double> cpu_mt, gpu_mt, mem_mt, sto_mt, plat_mt, ic_mt, tot_mt;
+
+  explicit Workspace(size_t n)
+      : op_ok(n), aci_valid(n), refined(n), metered(n), reported(n), base(n),
+        util(n), aci(n), it_kw(n), pue(n), annual(n), op_mt(n), year(n),
+        emb_ok(n), mem_default(n), used_proxy(n), gpu_active(n),
+        ssd_default(n), cpu_area(n), cpu_epa(n), cpu_gpa(n), cpu_mpa(n),
+        cpu_yield(n), cpus_d(n), gpu_area(n), gpu_epa(n), gpu_gpa(n),
+        gpu_mpa(n), gpu_yield(n), gpu_hbm(n), gpus_d(n), mem_gb(n), mem_kg(n),
+        ssd_tb(n), nodes_d(n), cores_pn(n), gpus_pn(n), cpu_mt(n), gpu_mt(n),
+        mem_mt(n), sto_mt(n), plat_mt(n), ic_mt(n), tot_mt(n) {}
+};
+
+}  // namespace
+
+size_t BatchAssessor::add_profile(Inputs inputs) {
+  Profile p;
+  // Distinct (country, region) pairs share one ACI table slot; 0x1f is
+  // a field separator no real country/region string contains.
+  std::string key;
+  key.reserve(inputs.country.size() + inputs.region.size() + 1);
+  key += inputs.country;
+  key += '\x1f';
+  key += inputs.region;
+  const auto [it, inserted] =
+      aci_key_by_pair_.emplace(std::move(key),
+                               static_cast<uint32_t>(aci_pairs_.size()));
+  if (inserted) aci_pairs_.emplace_back(inputs.country, inputs.region);
+  p.aci_key = it->second;
+  p.inputs = std::move(inputs);
+  profiles_.push_back(std::move(p));
+  stats_.aci_keys = aci_pairs_.size();
+  return profiles_.size() - 1;
+}
+
+void BatchAssessor::resolve_profiles(par::ThreadPool* pool) {
+  const size_t begin = resolved_;
+  const size_t end = profiles_.size();
+  if (begin >= end) return;
+  par::parallel_for(pool ? *pool : par::ThreadPool::global(), begin, end,
+                    [&](size_t i) {
+                      Profile& p = profiles_[i];
+                      p.inputs.validate();
+                      p.op = resolve_operational(p.inputs);
+                      p.emb = resolve_embodied(p.inputs);
+                    });
+  stats_.profiles += end - begin;
+  stats_.validations += end - begin;
+  resolved_ = end;
+}
+
+void BatchAssessor::ensure_aci_table(const grid::AciDatabase* db) {
+  if (aci_table_db_ != db) {
+    aci_table_.clear();
+    aci_table_db_ = db;
+  }
+  const size_t old = aci_table_.size();
+  if (old >= aci_pairs_.size()) return;
+  aci_table_.resize(aci_pairs_.size());
+  for (size_t k = old; k < aci_pairs_.size(); ++k) {
+    const auto& [country, region] = aci_pairs_[k];
+    AciEntry e;
+    const auto best = db->best_aci(country, region);
+    e.valid = best.has_value();
+    e.aci_g_kwh = best.value_or(0.0);
+    e.region_refined = db->region_aci(country, region).has_value();
+    aci_table_[k] = e;
+    stats_.aci_db_queries += 2;
+  }
+}
+
+void BatchAssessor::assess(const EasyCOptions& options, const Cell* cells,
+                           size_t count, par::ThreadPool* pool) {
+  if (count == 0) return;
+  const auto& oo = options.operational;
+  // Once per batch, not once per cell — same REQUIREs, same messages,
+  // as the scalar path would raise on its first cell.
+  EASYC_REQUIRE(oo.aci != nullptr, "options.aci must not be null");
+  EASYC_REQUIRE(oo.default_utilization > 0.0 &&
+                    oo.default_utilization <= 1.0,
+                "default utilization must be in (0,1]");
+
+  const bool aci_overridden = oo.aci_override_g_kwh.has_value();
+  const double aci_override = oo.aci_override_g_kwh.value_or(0.0);
+  if (!aci_overridden && tuning_.hoist_aci) ensure_aci_table(oo.aci);
+
+  stats_.lanes += count;
+  if (!aci_overridden) {
+    if (tuning_.hoist_aci) {
+      stats_.aci_hoisted += count;
+    } else {
+      stats_.aci_db_queries += 2 * count;  // best_aci + region_aci per lane
+    }
+  }
+
+  const size_t nchunks = (count + kLanesPerChunk - 1) / kLanesPerChunk;
+  par::parallel_for(pool ? *pool : par::ThreadPool::global(), 0, nchunks,
+                    [&](size_t c) {
+                      const size_t lo = c * kLanesPerChunk;
+                      const size_t hi =
+                          std::min(count, lo + kLanesPerChunk);
+                      assess_chunk(options, cells, lo, hi, aci_overridden,
+                                   aci_override);
+                    });
+}
+
+void BatchAssessor::assess_chunk(const EasyCOptions& options,
+                                 const Cell* cells, size_t begin, size_t end,
+                                 bool aci_overridden,
+                                 double aci_override) const {
+  const size_t n = end - begin;
+  Workspace w(n);
+  const auto& oo = options.operational;
+  const auto& eo = options.embodied;
+  const bool approx = eo.accelerator_policy ==
+                      AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  using Path = OperationalResolution::Path;
+
+  // ---- gather: branchy per-lane resolution into the SoA buffers ----
+  for (size_t l = 0; l < n; ++l) {
+    const Profile& p = profiles_[cells[begin + l].profile];
+
+    // operational
+    w.metered[l] = p.op.path == Path::kMetered;
+    w.reported[l] = p.op.path == Path::kReported;
+    w.base[l] = p.op.base;
+    w.year[l] = p.op.year;
+    w.util[l] =
+        p.op.has_utilization ? p.op.utilization : oo.default_utilization;
+    if (aci_overridden) {
+      w.aci_valid[l] = 1;
+      w.aci[l] = aci_override;
+      w.refined[l] = 0;
+    } else if (tuning_.hoist_aci) {
+      const AciEntry& e = aci_table_[p.aci_key];
+      w.aci_valid[l] = e.valid;
+      w.aci[l] = e.aci_g_kwh;
+      w.refined[l] = e.region_refined;
+    } else {
+      const auto best = oo.aci->best_aci(p.inputs.country, p.inputs.region);
+      w.aci_valid[l] = best.has_value();
+      w.aci[l] = best.value_or(0.0);
+      w.refined[l] =
+          oo.aci->region_aci(p.inputs.country, p.inputs.region).has_value();
+    }
+    w.op_ok[l] = w.aci_valid[l] && p.op.path != Path::kNone;
+
+    // embodied: validity mask + coefficients (benign values in failed
+    // lanes so the vector loops stay exception- and NaN-free).
+    const EmbodiedResolution& e = p.emb;
+    bool ok = e.has_cpu && e.has_counts;
+    uint8_t proxy = 0;
+    if (e.accelerated) {
+      if (!e.acc_in_catalog) {
+        if (approx) {
+          proxy = 1;
+        } else {
+          ok = false;
+        }
+      }
+      if (!e.has_gpu_count) ok = false;
+    }
+    w.emb_ok[l] = ok;
+    w.used_proxy[l] = proxy;
+    if (ok) {
+      // REQUIRE parity with ProcessNode::carbon_per_cm2, which the
+      // scalar path calls per success lane.
+      EASYC_REQUIRE(eo.fab_aci_kg_kwh >= 0.0, "fab ACI must be non-negative");
+      EASYC_REQUIRE(e.cpu_node.yield > 0.0 && e.cpu_node.yield <= 1.0,
+                    "yield must be in (0,1]");
+      w.cpu_area[l] = e.cpu_die_area_cm2;
+      w.cpu_epa[l] = e.cpu_node.epa_kwh_cm2;
+      w.cpu_gpa[l] = e.cpu_node.gpa_kg_cm2;
+      w.cpu_mpa[l] = e.cpu_node.mpa_kg_cm2;
+      w.cpu_yield[l] = e.cpu_node.yield;
+      w.cpus_d[l] = static_cast<double>(e.cpus);
+      const bool gpu = e.accelerated && e.gpu_count > 0;
+      w.gpu_active[l] = gpu;
+      if (gpu) {
+        const hw::ProcessNode& gn = e.acc_in_catalog ? e.acc_node
+                                                     : e.proxy_node;
+        EASYC_REQUIRE(gn.yield > 0.0 && gn.yield <= 1.0,
+                      "yield must be in (0,1]");
+        w.gpu_area[l] =
+            e.acc_in_catalog ? e.acc_die_area_cm2 : e.proxy_die_area_cm2;
+        w.gpu_epa[l] = gn.epa_kwh_cm2;
+        w.gpu_gpa[l] = gn.gpa_kg_cm2;
+        w.gpu_mpa[l] = gn.mpa_kg_cm2;
+        w.gpu_yield[l] = gn.yield;
+        w.gpu_hbm[l] = e.acc_in_catalog ? e.acc_hbm_kg : e.proxy_hbm_kg;
+        w.gpus_d[l] = static_cast<double>(e.gpu_count);
+      } else {
+        w.gpu_yield[l] = 1.0;
+      }
+      w.mem_default[l] = !e.has_memory_gb;
+      w.mem_gb[l] = e.has_memory_gb ? e.memory_gb : e.default_memory_gb;
+      w.mem_kg[l] = e.mem_kg_per_gb;
+      w.ssd_default[l] = !e.has_ssd_tb;
+      w.ssd_tb[l] = e.ssd_tb;
+      w.nodes_d[l] = e.nodes_d;
+      w.cores_pn[l] = e.cpu_cores_per_node;
+      w.gpus_pn[l] = e.gpus_per_node;
+    } else {
+      w.cpu_yield[l] = 1.0;
+      w.gpu_yield[l] = 1.0;
+      w.nodes_d[l] = 1.0;
+    }
+  }
+
+  // ---- vector core: contiguous arithmetic over the lanes ----
+  const double ov = oo.node_overhead_fraction;
+  for (size_t l = 0; l < n; ++l) {
+    w.it_kw[l] = w.metered[l] != 0.0  ? lane::metered_it_kw(w.base[l])
+                 : w.reported[l] != 0.0 ? w.base[l]
+                                 : lane::overhead_scaled_kw(w.base[l], ov);
+  }
+  // PUE: the facility-class inference is a branchy lookup, so it stays
+  // lane-at-a-time; with a scenario override it collapses to a blend.
+  if (oo.pue_override) {
+    const double po = *oo.pue_override;
+    for (size_t l = 0; l < n; ++l) {
+      w.pue[l] = w.metered[l] != 0.0 ? 1.0 : po;
+    }
+  } else {
+    for (size_t l = 0; l < n; ++l) {
+      w.pue[l] = w.metered[l] != 0.0
+                     ? 1.0
+                     : grid::default_pue(
+                           grid::infer_facility_class(w.it_kw[l], w.year[l]),
+                           w.year[l]);
+    }
+  }
+  for (size_t l = 0; l < n; ++l) {
+    w.annual[l] = w.metered[l] != 0.0
+                      ? w.base[l]
+                      : lane::facility_annual_kwh(w.it_kw[l], w.util[l],
+                                                  w.pue[l]);
+  }
+  for (size_t l = 0; l < n; ++l) {
+    w.op_mt[l] = lane::operational_mt(w.annual[l], w.aci[l]);
+  }
+
+  const double fab = eo.fab_aci_kg_kwh;
+  for (size_t l = 0; l < n; ++l) {
+    const double cpa = hw::carbon_per_cm2_unchecked(
+        w.cpu_epa[l], w.cpu_gpa[l], w.cpu_mpa[l], w.cpu_yield[l], fab);
+    w.cpu_mt[l] = lane::component_mt(
+        lane::cpu_package_kg(w.cpu_area[l], cpa, eo.cpu_packaging_kg),
+        w.cpus_d[l]);
+  }
+  for (size_t l = 0; l < n; ++l) {
+    const double cpa = hw::carbon_per_cm2_unchecked(
+        w.gpu_epa[l], w.gpu_gpa[l], w.gpu_mpa[l], w.gpu_yield[l], fab);
+    const double mt = lane::component_mt(
+        lane::gpu_package_kg(w.gpu_area[l], cpa, w.gpu_hbm[l],
+                             eo.gpu_packaging_kg),
+        w.gpus_d[l]);
+    w.gpu_mt[l] = w.gpu_active[l] != 0.0 ? mt : 0.0;
+  }
+  for (size_t l = 0; l < n; ++l) {
+    w.mem_mt[l] = lane::component_mt(w.mem_gb[l], w.mem_kg[l]);
+  }
+  const double ssd_kg_per_tb =
+      hw::storage_spec(hw::StorageClass::kNvmeSsd).embodied_kg_per_tb;
+  const double ssd_tb_per_node = eo.default_ssd_tb_per_node;
+  const double ssd_cap_tb = eo.default_ssd_cap_tb;
+  for (size_t l = 0; l < n; ++l) {
+    const double tb =
+        w.ssd_default[l] != 0.0
+            ? lane::default_ssd_tb(ssd_tb_per_node, w.nodes_d[l], ssd_cap_tb)
+            : w.ssd_tb[l];
+    w.sto_mt[l] = lane::component_mt(tb, ssd_kg_per_tb);
+  }
+  for (size_t l = 0; l < n; ++l) {
+    w.plat_mt[l] = lane::component_mt(
+        lane::node_overhead_kg(eo.platform_base_kg,
+                               eo.platform_per_cpu_core_kg, w.cores_pn[l],
+                               eo.platform_per_gpu_kg, w.gpus_pn[l],
+                               eo.platform_cap_kg),
+        w.nodes_d[l]);
+    w.ic_mt[l] = lane::component_mt(
+        lane::node_overhead_kg(eo.interconnect_base_kg,
+                               eo.interconnect_per_cpu_core_kg, w.cores_pn[l],
+                               eo.interconnect_per_gpu_kg, w.gpus_pn[l],
+                               eo.interconnect_cap_kg),
+        w.nodes_d[l]);
+  }
+  for (size_t l = 0; l < n; ++l) {
+    w.tot_mt[l] =
+        lane::embodied_total_mt(w.cpu_mt[l], w.gpu_mt[l], w.mem_mt[l],
+                                w.sto_mt[l], w.plat_mt[l], w.ic_mt[l]);
+  }
+
+  // ---- scatter: masked lanes reproduce the scalar failure reasons in
+  // the scalar order; success lanes copy the vector-core doubles ----
+  for (size_t l = 0; l < n; ++l) {
+    const Profile& p = profiles_[cells[begin + l].profile];
+    SystemAssessment& out = *cells[begin + l].out;
+    out.name = p.inputs.name;
+
+    if (w.op_ok[l]) {
+      OperationalResult r;
+      r.mt_co2e = w.op_mt[l];
+      r.annual_kwh = w.annual[l];
+      r.it_kw = w.it_kw[l];
+      r.pue = w.pue[l];
+      r.aci_g_kwh = w.aci[l];
+      r.aci_region_refined = w.refined[l];
+      r.path = to_energy_path(p.op.path);
+      r.utilization = w.util[l];
+      out.operational = Outcome<OperationalResult>::success(r);
+    } else {
+      std::vector<std::string> reasons;
+      if (!w.aci_valid[l]) reasons.push_back(p.op.aci_missing_reason);
+      if (p.op.path == Path::kNone) {
+        reasons.push_back(
+            "no energy path: power not reported and component counts "
+            "insufficient for a roll-up");
+      }
+      out.operational = Outcome<OperationalResult>::failure(std::move(reasons));
+    }
+
+    if (w.emb_ok[l]) {
+      EmbodiedBreakdown b;
+      b.cpu_mt = w.cpu_mt[l];
+      b.gpu_mt = w.gpu_mt[l];
+      b.memory_mt = w.mem_mt[l];
+      b.storage_mt = w.sto_mt[l];
+      b.platform_mt = w.plat_mt[l];
+      b.interconnect_mt = w.ic_mt[l];
+      b.total_mt = w.tot_mt[l];
+      b.used_gpu_proxy = w.used_proxy[l];
+      b.used_memory_default = w.mem_default[l];
+      b.used_storage_default = w.ssd_default[l] != 0.0;
+      out.embodied = Outcome<EmbodiedBreakdown>::success(b);
+    } else {
+      const EmbodiedResolution& e = p.emb;
+      std::vector<std::string> reasons;
+      if (!e.has_cpu) reasons.push_back(e.cpu_missing_reason);
+      if (!e.has_counts) {
+        reasons.push_back(
+            "cannot resolve node/CPU counts (need # nodes, or total cores + "
+            "known CPU model)");
+      }
+      if (e.accelerated) {
+        if (!e.acc_in_catalog && !approx) {
+          reasons.push_back(e.acc_unknown_reason);
+        }
+        if (!e.has_gpu_count) {
+          reasons.push_back(
+              "accelerated system without a GPU count: embodied carbon not "
+              "estimable");
+        }
+      }
+      out.embodied = Outcome<EmbodiedBreakdown>::failure(std::move(reasons));
+    }
+  }
+}
+
+void BatchAssessor::clear() {
+  profiles_.clear();
+  resolved_ = 0;
+  aci_key_by_pair_.clear();
+  aci_pairs_.clear();
+  aci_table_db_ = nullptr;
+  aci_table_.clear();
+}
+
+}  // namespace easyc::model

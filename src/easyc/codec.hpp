@@ -27,6 +27,12 @@ inline constexpr uint32_t kAssessmentCodecVersion = 1;
 /// this in, so snapshots computed by an older model are rejected as
 /// stale instead of silently serving pre-change values (record and
 /// scenario fingerprints only cover the *inputs*, not the model).
+///
+/// The SoA batch kernel (model::BatchAssessor) is NOT a semantics
+/// change: it must stay byte-identical to the scalar path
+/// (batch_kernel_test enforces this through these codec bytes). Any
+/// kernel change that alters even one output bit is a model change
+/// and must bump this version — never ship it as "just the kernel".
 inline constexpr uint32_t kAssessmentSemanticsVersion = 1;
 
 void encode_assessment(util::BinaryWriter& w, const SystemAssessment& a);

@@ -57,12 +57,9 @@ std::optional<Counts> resolve_counts(const Inputs& in,
 
 }  // namespace
 
-Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& in,
-                                           const EmbodiedOptions& opt) {
-  in.validate();
-  std::vector<std::string> reasons;
-
-  const int year = in.operation_year.value_or(2020);
+EmbodiedResolution resolve_embodied(const Inputs& in) {
+  EmbodiedResolution rz;
+  rz.year = in.operation_year.value_or(2020);
 
   // --- CPU identity ---
   // The era-generic silicon model stands in for unlisted parts only
@@ -77,42 +74,95 @@ Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& in,
     if (packages > 0) {
       const int cores_per_pkg = static_cast<int>(std::max<long long>(
           1, *in.total_cores / packages));
-      cpu = hw::generic_server_cpu(year, cores_per_pkg);
+      cpu = hw::generic_server_cpu(rz.year, cores_per_pkg);
     }
   }
-  if (!cpu) {
-    reasons.push_back("processor '" + in.processor +
-                      "' not in catalog and not a mainstream family "
-                      "derivable from counts");
+  rz.has_cpu = cpu.has_value();
+  if (rz.has_cpu) {
+    rz.cpu_die_area_cm2 = cpu->die_area_cm2;
+    rz.cpu_node = hw::find_process_node(cpu->process_nm);
+  } else {
+    rz.cpu_missing_reason = "processor '" + in.processor +
+                            "' not in catalog and not a mainstream family "
+                            "derivable from counts";
   }
 
   // --- node / package counts ---
   const auto counts = resolve_counts(in, cpu);
-  if (!counts) {
+  rz.has_counts = counts.has_value();
+  if (rz.has_counts) {
+    rz.nodes = counts->nodes;
+    rz.cpus = counts->cpus;
+  }
+
+  // --- accelerator identity & count ---
+  rz.accelerated = in.has_accelerator();
+  if (rz.accelerated) {
+    if (auto acc = hw::find_accelerator(in.accelerator)) {
+      rz.acc_in_catalog = true;
+      rz.acc_die_area_cm2 = acc->die_area_cm2;
+      rz.acc_node = hw::find_process_node(acc->process_nm);
+      rz.acc_hbm_kg =
+          acc->hbm_gb * hw::memory_spec(acc->hbm_type).embodied_kg_per_gb;
+    } else {
+      // Whether the proxy is used is the scenario's policy, so both the
+      // proxy coefficients and the strict-policy reason are resolved.
+      const auto proxy = hw::mainstream_gpu_proxy(rz.year);
+      rz.proxy_die_area_cm2 = proxy.die_area_cm2;
+      rz.proxy_node = hw::find_process_node(proxy.process_nm);
+      rz.proxy_hbm_kg =
+          proxy.hbm_gb * hw::memory_spec(proxy.hbm_type).embodied_kg_per_gb;
+      rz.acc_unknown_reason = "accelerator '" + in.accelerator +
+                              "' not in catalog (strict policy declines)";
+    }
+    rz.has_gpu_count = in.num_gpus.has_value();
+    if (rz.has_gpu_count) rz.gpu_count = *in.num_gpus;
+  }
+
+  // --- DRAM / storage metrics ---
+  rz.has_memory_gb = in.memory_gb.has_value();
+  if (rz.has_memory_gb) rz.memory_gb = *in.memory_gb;
+  const auto mem_type = in.memory_type
+                            ? hw::parse_memory_type(*in.memory_type)
+                            : hw::MemoryType::kUnknown;
+  rz.mem_kg_per_gb = hw::memory_spec(mem_type).embodied_kg_per_gb;
+  rz.has_ssd_tb = in.ssd_tb.has_value();
+  if (rz.has_ssd_tb) rz.ssd_tb = *in.ssd_tb;
+
+  // --- composition-derived doubles (success lanes only use these) ---
+  if (rz.has_counts) {
+    rz.nodes_d = static_cast<double>(counts->nodes);
+    if (rz.has_cpu) {
+      rz.default_memory_gb = default_memory_gb_per_core(rz.year) *
+                             static_cast<double>(counts->cpus) * cpu->cores;
+      rz.cpu_cores_per_node =
+          static_cast<double>(counts->cpus) * cpu->cores / rz.nodes_d;
+    }
+    rz.gpus_per_node = static_cast<double>(rz.gpu_count) / rz.nodes_d;
+  }
+  return rz;
+}
+
+Outcome<EmbodiedBreakdown> finish_embodied(const EmbodiedResolution& rz,
+                                           const EmbodiedOptions& opt) {
+  std::vector<std::string> reasons;
+  if (!rz.has_cpu) reasons.push_back(rz.cpu_missing_reason);
+  if (!rz.has_counts) {
     reasons.push_back(
         "cannot resolve node/CPU counts (need # nodes, or total cores + "
         "known CPU model)");
   }
-
-  // --- accelerator identity & count ---
-  std::optional<hw::AcceleratorSpec> acc;
   bool used_proxy = false;
-  long long gpu_count = 0;
-  if (in.has_accelerator()) {
-    acc = hw::find_accelerator(in.accelerator);
-    if (!acc) {
+  if (rz.accelerated) {
+    if (!rz.acc_in_catalog) {
       if (opt.accelerator_policy ==
           AcceleratorPolicy::kApproximateWithMainstreamGpu) {
-        acc = hw::mainstream_gpu_proxy(year);
         used_proxy = true;
       } else {
-        reasons.push_back("accelerator '" + in.accelerator +
-                          "' not in catalog (strict policy declines)");
+        reasons.push_back(rz.acc_unknown_reason);
       }
     }
-    if (in.num_gpus) {
-      gpu_count = *in.num_gpus;
-    } else {
+    if (!rz.has_gpu_count) {
       reasons.push_back(
           "accelerated system without a GPU count: embodied carbon not "
           "estimable");
@@ -127,81 +177,79 @@ Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& in,
   b.used_gpu_proxy = used_proxy;
 
   // --- CPUs ---
-  {
-    const auto node = hw::find_process_node(cpu->process_nm);
-    const double per_pkg_kg =
-        cpu->die_area_cm2 * node.carbon_per_cm2(opt.fab_aci_kg_kwh) +
-        opt.cpu_packaging_kg;
-    b.cpu_mt = util::kg_to_mt(per_pkg_kg * static_cast<double>(counts->cpus));
-  }
+  b.cpu_mt = lane::component_mt(
+      lane::cpu_package_kg(rz.cpu_die_area_cm2,
+                           rz.cpu_node.carbon_per_cm2(opt.fab_aci_kg_kwh),
+                           opt.cpu_packaging_kg),
+      static_cast<double>(rz.cpus));
 
   // --- GPUs ---
-  if (acc && gpu_count > 0) {
-    const auto node = hw::find_process_node(acc->process_nm);
-    const double hbm_kg =
-        acc->hbm_gb * hw::memory_spec(acc->hbm_type).embodied_kg_per_gb;
-    const double per_pkg_kg =
-        acc->die_area_cm2 * node.carbon_per_cm2(opt.fab_aci_kg_kwh) +
-        hbm_kg + opt.gpu_packaging_kg;
-    b.gpu_mt = util::kg_to_mt(per_pkg_kg * static_cast<double>(gpu_count));
+  if (rz.accelerated && rz.gpu_count > 0) {
+    const bool cat = rz.acc_in_catalog;
+    const auto& node = cat ? rz.acc_node : rz.proxy_node;
+    b.gpu_mt = lane::component_mt(
+        lane::gpu_package_kg(cat ? rz.acc_die_area_cm2 : rz.proxy_die_area_cm2,
+                             node.carbon_per_cm2(opt.fab_aci_kg_kwh),
+                             cat ? rz.acc_hbm_kg : rz.proxy_hbm_kg,
+                             opt.gpu_packaging_kg),
+        static_cast<double>(rz.gpu_count));
   }
 
   // --- system DRAM ---
   {
     double mem_gb;
-    if (in.memory_gb) {
-      mem_gb = *in.memory_gb;
+    if (rz.has_memory_gb) {
+      mem_gb = rz.memory_gb;
     } else {
-      mem_gb = default_memory_gb_per_core(year) *
-               static_cast<double>(counts->cpus) * cpu->cores;
+      mem_gb = rz.default_memory_gb;
       b.used_memory_default = true;
     }
-    const auto mem_type =
-        in.memory_type ? hw::parse_memory_type(*in.memory_type)
-                       : hw::MemoryType::kUnknown;
-    b.memory_mt =
-        util::kg_to_mt(mem_gb * hw::memory_spec(mem_type).embodied_kg_per_gb);
+    b.memory_mt = lane::component_mt(mem_gb, rz.mem_kg_per_gb);
   }
 
   // --- storage ---
   {
     double ssd_tb;
-    if (in.ssd_tb) {
-      ssd_tb = *in.ssd_tb;
+    if (rz.has_ssd_tb) {
+      ssd_tb = rz.ssd_tb;
     } else {
-      ssd_tb = std::min(opt.default_ssd_tb_per_node *
-                            static_cast<double>(counts->nodes),
-                        opt.default_ssd_cap_tb);
+      ssd_tb = lane::default_ssd_tb(opt.default_ssd_tb_per_node, rz.nodes_d,
+                                    opt.default_ssd_cap_tb);
       b.used_storage_default = true;
     }
-    b.storage_mt = util::kg_to_mt(
-        ssd_tb * hw::storage_spec(hw::StorageClass::kNvmeSsd).embodied_kg_per_tb);
+    b.storage_mt = lane::component_mt(
+        ssd_tb,
+        hw::storage_spec(hw::StorageClass::kNvmeSsd).embodied_kg_per_tb);
   }
 
   // --- platform & interconnect (composition-scaled per node) ---
-  {
-    const double nodes_d = static_cast<double>(counts->nodes);
-    const double cpu_cores_per_node =
-        static_cast<double>(counts->cpus) * cpu->cores / nodes_d;
-    const double gpus_per_node =
-        static_cast<double>(gpu_count) / nodes_d;
-    const double platform_kg = std::min(
-        opt.platform_cap_kg,
-        opt.platform_base_kg +
-            opt.platform_per_cpu_core_kg * cpu_cores_per_node +
-            opt.platform_per_gpu_kg * gpus_per_node);
-    const double ic_kg = std::min(
-        opt.interconnect_cap_kg,
-        opt.interconnect_base_kg +
-            opt.interconnect_per_cpu_core_kg * cpu_cores_per_node +
-            opt.interconnect_per_gpu_kg * gpus_per_node);
-    b.platform_mt = util::kg_to_mt(platform_kg * nodes_d);
-    b.interconnect_mt = util::kg_to_mt(ic_kg * nodes_d);
-  }
+  b.platform_mt = lane::component_mt(
+      lane::node_overhead_kg(opt.platform_base_kg, opt.platform_per_cpu_core_kg,
+                             rz.cpu_cores_per_node, opt.platform_per_gpu_kg,
+                             rz.gpus_per_node, opt.platform_cap_kg),
+      rz.nodes_d);
+  b.interconnect_mt = lane::component_mt(
+      lane::node_overhead_kg(opt.interconnect_base_kg,
+                             opt.interconnect_per_cpu_core_kg,
+                             rz.cpu_cores_per_node, opt.interconnect_per_gpu_kg,
+                             rz.gpus_per_node, opt.interconnect_cap_kg),
+      rz.nodes_d);
 
-  b.total_mt = b.cpu_mt + b.gpu_mt + b.memory_mt + b.storage_mt +
-               b.platform_mt + b.interconnect_mt;
+  b.total_mt = lane::embodied_total_mt(b.cpu_mt, b.gpu_mt, b.memory_mt,
+                                       b.storage_mt, b.platform_mt,
+                                       b.interconnect_mt);
   return Outcome<EmbodiedBreakdown>::success(b);
+}
+
+Outcome<EmbodiedBreakdown> assess_embodied_prevalidated(
+    const Inputs& in, const EmbodiedOptions& opt) {
+  return finish_embodied(resolve_embodied(in), opt);
+}
+
+Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& in,
+                                           const EmbodiedOptions& opt) {
+  in.validate();
+  return assess_embodied_prevalidated(in, opt);
 }
 
 }  // namespace easyc::model

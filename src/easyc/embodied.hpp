@@ -14,12 +14,63 @@
 // Top500.org does not adequately capture (paper Section IV-A, Fig. 6).
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 #include "easyc/inputs.hpp"
 #include "easyc/outcome.hpp"
+#include "hw/process.hpp"
+#include "util/units.hpp"
 
 namespace easyc::model {
+
+/// Shared per-lane arithmetic of the embodied model (see the matching
+/// namespace in operational.hpp): the scalar path and the SoA batch
+/// kernel evaluate these exact expression trees, which is what makes
+/// the two paths bit-identical by construction.
+namespace lane {
+
+/// One CPU package: die carbon at the scenario's fab intensity plus
+/// substrate/assembly.
+constexpr double cpu_package_kg(double die_area_cm2, double cpa_kg_cm2,
+                                double packaging_kg) {
+  return die_area_cm2 * cpa_kg_cm2 + packaging_kg;
+}
+
+/// One accelerator package: die carbon + HBM stack + CoWoS-class
+/// substrate.
+constexpr double gpu_package_kg(double die_area_cm2, double cpa_kg_cm2,
+                                double hbm_kg, double packaging_kg) {
+  return die_area_cm2 * cpa_kg_cm2 + hbm_kg + packaging_kg;
+}
+
+/// per-unit kg x unit count -> MT.
+constexpr double component_mt(double per_unit_kg, double units) {
+  return util::kg_to_mt(per_unit_kg * units);
+}
+
+/// Composition-scaled platform/interconnect carbon per node, capped.
+constexpr double node_overhead_kg(double base_kg, double per_core_kg,
+                                  double cores_per_node, double per_gpu_kg,
+                                  double gpus_per_node, double cap_kg) {
+  return std::min(cap_kg, base_kg + per_core_kg * cores_per_node +
+                              per_gpu_kg * gpus_per_node);
+}
+
+/// Flash capacity prior when SSD TB is unreported.
+constexpr double default_ssd_tb(double tb_per_node, double nodes,
+                                double cap_tb) {
+  return std::min(tb_per_node * nodes, cap_tb);
+}
+
+/// The six-component sum, in the scalar path's association order.
+constexpr double embodied_total_mt(double cpu, double gpu, double memory,
+                                   double storage, double platform,
+                                   double interconnect) {
+  return cpu + gpu + memory + storage + platform + interconnect;
+}
+
+}  // namespace lane
 
 /// How unknown accelerator models are treated.
 enum class AcceleratorPolicy {
@@ -73,7 +124,69 @@ struct EmbodiedOptions {
   double default_ssd_cap_tb = 40000.0;
 };
 
+/// The options-independent half of one embodied assessment: catalog
+/// matches, count resolution, era priors — every branchy step that
+/// depends only on the inputs. Computed once per distinct record and
+/// reused across scenarios; finish_embodied applies the per-scenario
+/// knobs (fab ACI, packaging, platform coefficients, accelerator
+/// policy) on top.
+struct EmbodiedResolution {
+  int year = 2020;
+
+  bool has_cpu = false;            ///< catalog hit or mainstream-generic
+  double cpu_die_area_cm2 = 0.0;
+  hw::ProcessNode cpu_node{};
+  std::string cpu_missing_reason;  ///< set when !has_cpu
+
+  bool has_counts = false;         ///< node/package counts resolvable
+  long long nodes = 0;
+  long long cpus = 0;
+
+  bool accelerated = false;        ///< Inputs::has_accelerator()
+  bool acc_in_catalog = false;
+  // Catalog-accelerator coefficients (meaningful when acc_in_catalog).
+  double acc_die_area_cm2 = 0.0;
+  hw::ProcessNode acc_node{};
+  double acc_hbm_kg = 0.0;
+  // Era-proxy coefficients (meaningful when accelerated and the model
+  // is not in the catalog; whether they are used is the scenario's
+  // AcceleratorPolicy, so both variants are resolved up front).
+  double proxy_die_area_cm2 = 0.0;
+  hw::ProcessNode proxy_node{};
+  double proxy_hbm_kg = 0.0;
+  std::string acc_unknown_reason;  ///< set when accelerated && !acc_in_catalog
+
+  bool has_gpu_count = false;
+  long long gpu_count = 0;
+
+  bool has_memory_gb = false;
+  double memory_gb = 0.0;          ///< reported, when has_memory_gb
+  double default_memory_gb = 0.0;  ///< era prior (valid when has_cpu && has_counts)
+  double mem_kg_per_gb = 0.0;
+
+  bool has_ssd_tb = false;
+  double ssd_tb = 0.0;             ///< reported, when has_ssd_tb
+
+  // Derived doubles for the composition-scaled components (valid when
+  // has_counts; cpu_cores_per_node additionally needs has_cpu).
+  double nodes_d = 0.0;
+  double cpu_cores_per_node = 0.0;
+  double gpus_per_node = 0.0;
+};
+
+/// Resolve the options-independent half. `inputs` must already be
+/// validated.
+EmbodiedResolution resolve_embodied(const Inputs& inputs);
+
+/// Apply scenario knobs to a resolution.
+Outcome<EmbodiedBreakdown> finish_embodied(const EmbodiedResolution& resolution,
+                                           const EmbodiedOptions& options);
+
 Outcome<EmbodiedBreakdown> assess_embodied(const Inputs& inputs,
                                            const EmbodiedOptions& options = {});
+
+/// assess_embodied for inputs already validated this batch.
+Outcome<EmbodiedBreakdown> assess_embodied_prevalidated(
+    const Inputs& inputs, const EmbodiedOptions& options);
 
 }  // namespace easyc::model

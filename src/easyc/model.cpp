@@ -5,10 +5,13 @@
 namespace easyc::model {
 
 SystemAssessment EasyCModel::assess(const Inputs& inputs) const {
+  // One validate() covers both sub-models (they used to re-validate
+  // independently; the batch kernel validates once per distinct record).
+  inputs.validate();
   SystemAssessment a;
   a.name = inputs.name;
-  a.operational = assess_operational(inputs, options_.operational);
-  a.embodied = assess_embodied(inputs, options_.embodied);
+  a.operational = assess_operational_prevalidated(inputs, options_.operational);
+  a.embodied = assess_embodied_prevalidated(inputs, options_.embodied);
   return a;
 }
 

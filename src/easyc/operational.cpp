@@ -31,14 +31,10 @@ double default_node_memory_gb(int year) {
   return 128.0;
 }
 
-struct ItPowerEstimate {
-  double kw = 0.0;
-  EnergyPath path = EnergyPath::kComponentRollup;
-};
-
-// Estimation path 3: roll node component TDPs up to system IT power.
-std::optional<ItPowerEstimate> component_rollup(const Inputs& in,
-                                                double overhead_fraction) {
+// Estimation path 3: roll node component TDPs up to system compute
+// power (watts, pre-overhead; finish_operational applies the node
+// overhead share via lane::overhead_scaled_kw).
+std::optional<double> component_rollup_watts(const Inputs& in) {
   if (!in.num_nodes || !in.num_cpus) return std::nullopt;
   // Accelerated system with no accelerator count: cannot roll up.
   if (in.has_accelerator() && !in.num_gpus) return std::nullopt;
@@ -77,16 +73,12 @@ std::optional<ItPowerEstimate> component_rollup(const Inputs& in,
                      : hw::MemoryType::kUnknown;
   const double mem_w_total = hw::memory_spec(mem_type).power_w_per_gb * mem_gb;
 
-  const double compute_w = cpu_w_total + gpu_w_total + mem_w_total;
-  ItPowerEstimate est;
-  est.kw = compute_w * (1.0 + overhead_fraction) / 1000.0;
-  est.path = EnergyPath::kComponentRollup;
-  return est;
+  return cpu_w_total + gpu_w_total + mem_w_total;
 }
 
 // Estimation path 4: CPU-only systems where only core counts are known.
-std::optional<ItPowerEstimate> core_count_estimate(const Inputs& in,
-                                                   double overhead_fraction) {
+// Returns watts, pre-overhead, like component_rollup_watts.
+std::optional<double> core_count_watts(const Inputs& in) {
   if (in.has_accelerator()) return std::nullopt;  // cores alone say nothing
   if (!in.total_cores) return std::nullopt;
   const int year = in.operation_year.value_or(2020);
@@ -99,72 +91,77 @@ std::optional<ItPowerEstimate> core_count_estimate(const Inputs& in,
   } else if (year >= 2019) {
     w_per_core = 2.7;
   }
-  ItPowerEstimate est;
-  est.kw = static_cast<double>(*in.total_cores) * w_per_core *
-           (1.0 + overhead_fraction) / 1000.0;
-  est.path = EnergyPath::kCoreCountEstimate;
-  return est;
+  return static_cast<double>(*in.total_cores) * w_per_core;
 }
 
 }  // namespace
 
-Outcome<OperationalResult> assess_operational(
-    const Inputs& in, const OperationalOptions& options) {
-  in.validate();
-  EASYC_REQUIRE(options.aci != nullptr, "options.aci must not be null");
-  EASYC_REQUIRE(options.default_utilization > 0.0 &&
-                    options.default_utilization <= 1.0,
-                "default utilization must be in (0,1]");
+OperationalResolution resolve_operational(const Inputs& in) {
+  OperationalResolution rz;
+  rz.year = in.operation_year.value_or(2020);
+  rz.has_utilization = in.utilization.has_value();
+  if (rz.has_utilization) rz.utilization = *in.utilization;
+  rz.aci_missing_reason =
+      "no grid carbon intensity for country '" + in.country + "'";
 
-  std::vector<std::string> reasons;
-
-  // --- grid intensity ---
-  const bool aci_overridden = options.aci_override_g_kwh.has_value();
-  const auto aci = aci_overridden
-                       ? options.aci_override_g_kwh
-                       : options.aci->best_aci(in.country, in.region);
-  if (!aci) {
-    reasons.push_back("no grid carbon intensity for country '" + in.country +
-                      "'");
+  if (in.annual_energy_kwh) {
+    // Path 1: metered energy is facility-side; no PUE re-application.
+    rz.path = OperationalResolution::Path::kMetered;
+    rz.base = *in.annual_energy_kwh;
+  } else if (in.power_kw) {
+    // Path 2: Top500 power is measured during HPL, close to full load;
+    // scale by utilization for the annual average.
+    rz.path = OperationalResolution::Path::kReported;
+    rz.base = *in.power_kw;
+  } else if (auto roll = component_rollup_watts(in)) {
+    rz.path = OperationalResolution::Path::kRollup;
+    rz.base = *roll;
+  } else if (auto cores = core_count_watts(in)) {
+    rz.path = OperationalResolution::Path::kCores;
+    rz.base = *cores;
   }
+  return rz;
+}
 
-  // --- energy ---
-  const double util = in.utilization.value_or(options.default_utilization);
-  const int year = in.operation_year.value_or(2020);
+Outcome<OperationalResult> finish_operational(
+    const OperationalResolution& rz, std::optional<double> aci,
+    bool aci_region_refined, const OperationalOptions& options) {
+  std::vector<std::string> reasons;
+  if (!aci) reasons.push_back(rz.aci_missing_reason);
+
+  const double util =
+      rz.has_utilization ? rz.utilization : options.default_utilization;
 
   OperationalResult r;
   r.utilization = util;
 
-  if (in.annual_energy_kwh) {
-    // Path 1: metered energy is facility-side; no PUE re-application.
-    r.path = EnergyPath::kMeteredAnnualEnergy;
-    r.annual_kwh = *in.annual_energy_kwh;
-    r.pue = 1.0;
-    r.it_kw = r.annual_kwh / util::kHoursPerYear;
-  } else {
-    std::optional<ItPowerEstimate> it;
-    if (in.power_kw) {
-      // Path 2: Top500 power is measured during HPL, close to full
-      // load; scale by utilization for the annual average.
-      it = ItPowerEstimate{*in.power_kw, EnergyPath::kReportedPower};
-    } else if (auto roll =
-                   component_rollup(in, options.node_overhead_fraction)) {
-      it = roll;
-    } else if (auto cores =
-                   core_count_estimate(in, options.node_overhead_fraction)) {
-      it = cores;
-    }
-    if (!it) {
+  using Path = OperationalResolution::Path;
+  switch (rz.path) {
+    case Path::kNone:
       reasons.push_back(
           "no energy path: power not reported and component counts "
           "insufficient for a roll-up");
-    } else {
-      r.path = it->path;
-      r.it_kw = it->kw;
+      break;
+    case Path::kMetered:
+      r.path = EnergyPath::kMeteredAnnualEnergy;
+      r.annual_kwh = rz.base;
+      r.pue = 1.0;
+      r.it_kw = lane::metered_it_kw(rz.base);
+      break;
+    case Path::kReported:
+    case Path::kRollup:
+    case Path::kCores:
+      r.path = rz.path == Path::kReported ? EnergyPath::kReportedPower
+               : rz.path == Path::kRollup ? EnergyPath::kComponentRollup
+                                          : EnergyPath::kCoreCountEstimate;
+      r.it_kw = rz.path == Path::kReported
+                    ? rz.base
+                    : lane::overhead_scaled_kw(rz.base,
+                                               options.node_overhead_fraction);
       r.pue = options.pue_override.value_or(grid::default_pue(
-          grid::infer_facility_class(it->kw, year), year));
-      r.annual_kwh = util::kw_year_to_kwh(it->kw * util) * r.pue;
-    }
+          grid::infer_facility_class(r.it_kw, rz.year), rz.year));
+      r.annual_kwh = lane::facility_annual_kwh(r.it_kw, util, r.pue);
+      break;
   }
 
   if (!reasons.empty()) {
@@ -172,11 +169,32 @@ Outcome<OperationalResult> assess_operational(
   }
 
   r.aci_g_kwh = *aci;
-  r.aci_region_refined =
+  r.aci_region_refined = aci_region_refined;
+  r.mt_co2e = lane::operational_mt(r.annual_kwh, r.aci_g_kwh);
+  return Outcome<OperationalResult>::success(r);
+}
+
+Outcome<OperationalResult> assess_operational_prevalidated(
+    const Inputs& in, const OperationalOptions& options) {
+  EASYC_REQUIRE(options.aci != nullptr, "options.aci must not be null");
+  EASYC_REQUIRE(options.default_utilization > 0.0 &&
+                    options.default_utilization <= 1.0,
+                "default utilization must be in (0,1]");
+  const OperationalResolution rz = resolve_operational(in);
+  const bool aci_overridden = options.aci_override_g_kwh.has_value();
+  const auto aci = aci_overridden
+                       ? options.aci_override_g_kwh
+                       : options.aci->best_aci(in.country, in.region);
+  const bool region_refined =
       !aci_overridden &&
       options.aci->region_aci(in.country, in.region).has_value();
-  r.mt_co2e = util::kwh_to_mtco2e(r.annual_kwh, r.aci_g_kwh);
-  return Outcome<OperationalResult>::success(r);
+  return finish_operational(rz, aci, region_refined, options);
+}
+
+Outcome<OperationalResult> assess_operational(
+    const Inputs& in, const OperationalOptions& options) {
+  in.validate();
+  return assess_operational_prevalidated(in, options);
 }
 
 }  // namespace easyc::model

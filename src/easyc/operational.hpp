@@ -23,8 +23,40 @@
 #include "easyc/inputs.hpp"
 #include "easyc/outcome.hpp"
 #include "grid/aci.hpp"
+#include "util/units.hpp"
 
 namespace easyc::model {
+
+/// Shared per-lane arithmetic of the operational model. Both the scalar
+/// path (finish_operational) and the SoA batch kernel's vector loops
+/// call these exact functions, so the two paths are bit-identical by
+/// construction: the same IEEE-754 expression trees, evaluated per
+/// lane, whatever the loop structure around them.
+namespace lane {
+
+/// Path 2/3/4: component or core watts -> average IT kW including the
+/// node overhead share.
+constexpr double overhead_scaled_kw(double watts, double overhead_fraction) {
+  return watts * (1.0 + overhead_fraction) / 1000.0;
+}
+
+/// Path 1: metered facility energy back to average IT power.
+constexpr double metered_it_kw(double annual_kwh) {
+  return annual_kwh / util::kHoursPerYear;
+}
+
+/// Non-metered paths: IT power x utilization over a year, facility-side.
+constexpr double facility_annual_kwh(double it_kw, double utilization,
+                                     double pue) {
+  return util::kw_year_to_kwh(it_kw * utilization) * pue;
+}
+
+/// Facility energy at a grid intensity -> MT CO2e per year.
+constexpr double operational_mt(double annual_kwh, double aci_g_kwh) {
+  return util::kwh_to_mtco2e(annual_kwh, aci_g_kwh);
+}
+
+}  // namespace lane
 
 /// Which estimation path produced the energy figure.
 enum class EnergyPath {
@@ -68,9 +100,52 @@ struct OperationalOptions {
   std::optional<double> pue_override;
 };
 
+/// The options-independent half of one operational assessment: energy
+/// path selected, catalog strings matched, era priors applied — every
+/// branchy, allocation-heavy step that depends only on the inputs. A
+/// resolution is computed once per distinct input record and reused
+/// across scenarios (the batch kernel's main win); finish_operational
+/// applies the per-scenario knobs on top.
+struct OperationalResolution {
+  /// Which estimation path the inputs support (kNone = the uncovered
+  /// population). Path choice never depends on options.
+  enum class Path { kNone, kMetered, kReported, kRollup, kCores };
+  Path path = Path::kNone;
+
+  /// Path payload: metered annual kWh, reported kW, roll-up component
+  /// watts (pre-overhead), or core-count watts (pre-overhead).
+  double base = 0.0;
+
+  int year = 2020;                ///< operation year (2020 prior applied)
+  bool has_utilization = false;   ///< metric 8 reported
+  double utilization = 0.0;       ///< meaningful when has_utilization
+
+  /// Failure reason emitted when the scenario yields no grid intensity
+  /// (precomputed: it only depends on the record's country).
+  std::string aci_missing_reason;
+};
+
+/// Resolve the options-independent half. `inputs` must already be
+/// validated (callers: assess_operational after validate(), the batch
+/// kernel once per distinct record profile).
+OperationalResolution resolve_operational(const Inputs& inputs);
+
+/// Apply scenario knobs to a resolution. `aci`/`aci_region_refined`
+/// must be exactly what the scalar lookup would produce: the override
+/// when set, else AciDatabase::best_aci / region_aci — the batch kernel
+/// serves them from a per-batch table instead.
+Outcome<OperationalResult> finish_operational(
+    const OperationalResolution& resolution, std::optional<double> aci,
+    bool aci_region_refined, const OperationalOptions& options);
+
 /// Assess one system. `inputs.validate()` is called; invalid inputs
 /// throw ValidationError, *missing* inputs yield a failure Outcome.
 Outcome<OperationalResult> assess_operational(
     const Inputs& inputs, const OperationalOptions& options = {});
+
+/// assess_operational for inputs already validated this batch (the
+/// engine validates once per distinct record, not once per scenario).
+Outcome<OperationalResult> assess_operational_prevalidated(
+    const Inputs& inputs, const OperationalOptions& options);
 
 }  // namespace easyc::model

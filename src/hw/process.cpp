@@ -10,7 +10,8 @@ namespace easyc::hw {
 double ProcessNode::carbon_per_cm2(double fab_aci_kg_kwh) const {
   EASYC_REQUIRE(fab_aci_kg_kwh >= 0.0, "fab ACI must be non-negative");
   EASYC_REQUIRE(yield > 0.0 && yield <= 1.0, "yield must be in (0,1]");
-  return (epa_kwh_cm2 * fab_aci_kg_kwh + gpa_kg_cm2 + mpa_kg_cm2) / yield;
+  return carbon_per_cm2_unchecked(epa_kwh_cm2, gpa_kg_cm2, mpa_kg_cm2, yield,
+                                  fab_aci_kg_kwh);
 }
 
 const std::vector<ProcessNode>& process_nodes() {

@@ -18,6 +18,17 @@
 
 namespace easyc::hw {
 
+/// The raw CPA arithmetic, shared by ProcessNode::carbon_per_cm2 and
+/// the SoA batch kernel's vector loops (which must be bit-identical to
+/// the scalar path). Preconditions (fab ACI >= 0, yield in (0,1]) are
+/// the caller's responsibility; the member function checks them.
+constexpr double carbon_per_cm2_unchecked(double epa_kwh_cm2,
+                                          double gpa_kg_cm2,
+                                          double mpa_kg_cm2, double yield,
+                                          double fab_aci_kg_kwh) {
+  return (epa_kwh_cm2 * fab_aci_kg_kwh + gpa_kg_cm2 + mpa_kg_cm2) / yield;
+}
+
 /// One manufacturing process generation.
 struct ProcessNode {
   int nm = 0;            ///< marketing node, e.g. 7 for "7nm"

@@ -1,0 +1,377 @@
+// Scalar-vs-SoA bit-identity of the batch assessment kernel: the
+// catalog under every stock scenario, a ~1k-cell sweep slice, mixed
+// valid/invalid/missing-input lanes, ValidationError parity, and
+// 1-vs-N-thread determinism. The scalar path (EasyCModel::assess) is
+// the oracle; the SoA kernel must reproduce it byte-for-byte — same
+// doubles, same failure reasons in the same order, same coverage —
+// which this test checks through the assessment codec's bytes.
+#include "easyc/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/assessment_engine.hpp"
+#include "analysis/sweep.hpp"
+#include "easyc/codec.hpp"
+#include "parallel/thread_pool.hpp"
+#include "top500/generator.hpp"
+#include "top500/history.hpp"
+#include "top500/record.hpp"
+#include "util/error.hpp"
+#include "util/serialize.hpp"
+
+namespace easyc::analysis {
+namespace {
+
+namespace sc = scenarios;
+using analysis::AssessmentEngine;
+using BatchKernel = AssessmentEngine::BatchKernel;
+
+// Byte-identity is asserted through the codec: if two assessments
+// encode to the same bytes, every double is bit-equal and every
+// failure-reason list matches in content and order.
+std::string bytes_of(const model::SystemAssessment& a) {
+  util::BinaryWriter w;
+  model::encode_assessment(w, a);
+  return w.bytes();
+}
+
+void expect_bytes_identical(const std::vector<EditionAssessment>& a,
+                            const std::vector<EditionAssessment>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a[e].scenarios.size(), b[e].scenarios.size());
+    for (size_t s = 0; s < a[e].scenarios.size(); ++s) {
+      const auto& sa = a[e].scenarios[s].assessments;
+      const auto& sb = b[e].scenarios[s].assessments;
+      ASSERT_EQ(sa.size(), sb.size());
+      for (size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(bytes_of(sa[i]), bytes_of(sb[i]))
+            << a[e].label << " scenario " << a[e].scenarios[s].spec.name
+            << " record " << i;
+      }
+    }
+  }
+}
+
+// Every stock scenario: the paper pair, the what-if trio, and the
+// ground-truth bound — three visibilities, overrides, both policies.
+ScenarioSet all_stock_scenarios() {
+  ScenarioSet set = ScenarioSet::paper_with_whatifs();
+  set.add(sc::full_knowledge());
+  return set;
+}
+
+// --- exhaustive catalog x stock scenarios ---------------------------
+
+TEST(BatchKernel, CatalogAllStockScenariosByteIdentical) {
+  const auto records = top500::generate_records();
+  const auto set = all_stock_scenarios();
+  par::ThreadPool one(1);
+
+  // No-cache engines exercise the kernels directly (every cell is a
+  // fill); the direct model is the per-cell oracle underneath both.
+  AssessmentEngine soa({.pool = &one,
+                        .cache_enabled = false,
+                        .batch_kernel = BatchKernel::kSoa});
+  AssessmentEngine scalar({.pool = &one,
+                           .cache_enabled = false,
+                           .batch_kernel = BatchKernel::kScalar});
+  const auto rs = soa.assess(records, set);
+  const auto rr = scalar.assess(records, set);
+
+  ASSERT_EQ(rs.scenarios.size(), rr.scenarios.size());
+  for (size_t s = 0; s < rs.scenarios.size(); ++s) {
+    const ScenarioSpec& spec = rs.scenarios[s].spec;
+    model::EasyCModel oracle(spec.to_options());
+    ASSERT_EQ(rs.scenarios[s].assessments.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      const std::string want =
+          bytes_of(oracle.assess(to_inputs(records[i], spec.visibility)));
+      ASSERT_EQ(bytes_of(rs.scenarios[s].assessments[i]), want)
+          << spec.name << " record " << i << " (soa vs oracle)";
+      ASSERT_EQ(bytes_of(rr.scenarios[s].assessments[i]), want)
+          << spec.name << " record " << i << " (scalar vs oracle)";
+    }
+  }
+
+  // The SoA engine resolved each distinct (visibility, record) profile
+  // and validated it exactly once; the scalar engine batched nothing.
+  const auto& stats = soa.batch_stats();
+  EXPECT_GT(stats.lanes, 0u);
+  EXPECT_GT(stats.profiles, 0u);
+  EXPECT_EQ(stats.validations, stats.profiles);
+  EXPECT_EQ(scalar.batch_stats().lanes, 0u);
+}
+
+TEST(BatchKernel, CachedEngineMatchesScalarColdAndWarm) {
+  top500::HistoryConfig cfg;
+  cfg.editions = 3;
+  const auto history = top500::generate_history(cfg);
+  par::ThreadPool one(1);
+
+  AssessmentEngine soa({.pool = &one, .batch_kernel = BatchKernel::kSoa});
+  AssessmentEngine scalar(
+      {.pool = &one, .batch_kernel = BatchKernel::kScalar});
+  const auto set = all_stock_scenarios();
+
+  const auto cold_soa = soa.run(history, set);
+  const auto cold_scalar = scalar.run(history, set);
+  expect_bytes_identical(cold_soa, cold_scalar);
+  // The miss-fill batching must not change what lands in the memo:
+  // hit/miss accounting stays identical to the scalar wavefront.
+  EXPECT_EQ(soa.cache_stats().misses, scalar.cache_stats().misses);
+  EXPECT_EQ(soa.cache_stats().hits, scalar.cache_stats().hits);
+  EXPECT_EQ(soa.cache_stats().entries, scalar.cache_stats().entries);
+
+  const auto warm_soa = soa.run(history, set);
+  expect_bytes_identical(cold_soa, warm_soa);
+}
+
+// --- sweep slice ----------------------------------------------------
+
+TEST(BatchKernel, SweepSliceByteIdentical) {
+  // A 4-axis slice: 5 x 5 x 5 x 8 = 1000 grid cells plus the base and
+  // per-axis endpoint cells. Lifetime cells alias on the assessment
+  // fingerprint, so the distinct-work set stays test-sized while the
+  // cell set crosses 1k.
+  const SweepSpec spec = SweepSpec::parse(
+      "aci=25:600:5;pue=1.1:1.9:5;util=0.5:0.95:5;life=4:8:8");
+  auto records = top500::generate_records();
+  records.resize(30);
+
+  par::ThreadPool one(1);
+  AssessmentEngine soa({.pool = &one, .batch_kernel = BatchKernel::kSoa});
+  AssessmentEngine scalar(
+      {.pool = &one, .batch_kernel = BatchKernel::kScalar});
+
+  std::ostringstream soa_csv, scalar_csv;
+  CsvCellSink soa_sink(soa_csv), scalar_sink(scalar_csv);
+  SweepEngine se({.engine = &soa});
+  SweepEngine sse({.engine = &scalar});
+  const auto rs = se.run(records, spec, &soa_sink);
+  const auto rr = sse.run(records, spec, &scalar_sink);
+
+  ASSERT_GE(rs.cells.size(), 1000u);
+  EXPECT_EQ(render_sweep_report(rs), render_sweep_report(rr));
+  EXPECT_EQ(soa_csv.str(), scalar_csv.str());
+}
+
+// --- mixed valid / failing / missing-input lanes --------------------
+
+// Lanes covering every resolution path and failure reason the kernel
+// masks: metered, reported, roll-up, core-count, no-path, unknown
+// country, in-catalog accelerator, unknown accelerator (strict fail /
+// approx proxy), missing GPU count, unknown processor.
+std::vector<model::Inputs> mixed_lanes() {
+  std::vector<model::Inputs> lanes;
+
+  model::Inputs full;  // every metric present, accelerated, in catalog
+  full.name = "full";
+  full.country = "United States";
+  full.region = "Tennessee";
+  full.rmax_tflops = 1.2e6;
+  full.rpeak_tflops = 1.7e6;
+  full.power_kw = 22000.0;
+  full.total_cores = 8'000'000;
+  full.processor = "AMD EPYC 7763 64C 2.45GHz";
+  full.accelerator = "MI250X";
+  full.operation_year = 2022;
+  full.num_nodes = 9400;
+  full.num_gpus = 37600;
+  full.num_cpus = 9400;
+  full.memory_gb = 4'800'000.0;
+  full.memory_type = "DDR4";
+  full.ssd_tb = 11000.0;
+  full.utilization = 0.8;
+  lanes.push_back(full);
+
+  model::Inputs metered = full;  // metered path beats reported power
+  metered.name = "metered";
+  metered.annual_energy_kwh = 1.5e8;
+  lanes.push_back(metered);
+
+  model::Inputs rollup = full;  // no reported power: component roll-up
+  rollup.name = "rollup";
+  rollup.power_kw.reset();
+  lanes.push_back(rollup);
+
+  model::Inputs cores_only;  // nothing but cores: era-prior W/core path
+  cores_only.name = "cores-only";
+  cores_only.country = "Germany";
+  cores_only.rmax_tflops = 5000.0;
+  cores_only.rpeak_tflops = 7000.0;
+  cores_only.total_cores = 150000;
+  cores_only.processor = "Xeon Platinum 8280 28C 2.7GHz";
+  cores_only.operation_year = 2020;
+  lanes.push_back(cores_only);
+
+  model::Inputs no_path;  // no power, no counts: operational failure
+  no_path.name = "no-path";
+  no_path.country = "Japan";
+  no_path.rmax_tflops = 3000.0;
+  no_path.rpeak_tflops = 4000.0;
+  no_path.processor = "mystery chip";
+  lanes.push_back(no_path);
+
+  model::Inputs no_aci = full;  // country outside the ACI database
+  no_aci.name = "no-aci";
+  no_aci.country = "Atlantis";
+  no_aci.region.clear();
+  lanes.push_back(no_aci);
+
+  model::Inputs unknown_acc = full;  // strict declines, approx proxies
+  unknown_acc.name = "unknown-acc";
+  unknown_acc.accelerator = "FutureChip Z9";
+  lanes.push_back(unknown_acc);
+
+  model::Inputs no_gpu_count = full;  // accelerated but count unknown
+  no_gpu_count.name = "no-gpu-count";
+  no_gpu_count.num_gpus.reset();
+  lanes.push_back(no_gpu_count);
+
+  model::Inputs unknown_cpu = full;  // embodied CPU failure
+  unknown_cpu.name = "unknown-cpu";
+  unknown_cpu.processor = "mystery chip";
+  unknown_cpu.accelerator.clear();
+  unknown_cpu.num_gpus.reset();
+  lanes.push_back(unknown_cpu);
+
+  model::Inputs sparse;  // power only, defaults everywhere else
+  sparse.name = "sparse";
+  sparse.country = "France";
+  sparse.rmax_tflops = 9000.0;
+  sparse.rpeak_tflops = 12000.0;
+  sparse.power_kw = 900.0;
+  sparse.processor = "AMD EPYC 7763 64C 2.45GHz";
+  sparse.total_cores = 200000;
+  sparse.num_nodes = 1500;
+  lanes.push_back(sparse);
+
+  return lanes;
+}
+
+// Option sets spanning both policies and every override the kernel
+// blends: stock scenarios plus targeted overrides.
+std::vector<model::EasyCOptions> option_sets() {
+  std::vector<model::EasyCOptions> sets;
+  sets.push_back(sc::enhanced().to_options());
+  sets.push_back(sc::baseline().to_options());  // strict policy
+  sets.push_back(sc::renewables_grid().to_options());  // ACI override
+  sets.push_back(sc::full_knowledge().to_options());
+
+  model::EasyCOptions pue = sc::enhanced().to_options();
+  pue.operational.pue_override = 1.08;
+  sets.push_back(pue);
+
+  model::EasyCOptions knobs = sc::enhanced().to_options();
+  knobs.operational.default_utilization = 0.6;
+  knobs.embodied.fab_aci_kg_kwh = 0.2;
+  knobs.embodied.accelerator_policy =
+      model::AcceleratorPolicy::kApproximateWithMainstreamGpu;
+  sets.push_back(knobs);
+  return sets;
+}
+
+TEST(BatchKernel, MixedLanesMatchScalarUnderEveryOptionSet) {
+  const auto lanes = mixed_lanes();
+  par::ThreadPool one(1);
+
+  model::BatchAssessor batch;
+  for (const auto& in : lanes) batch.add_profile(in);
+  batch.resolve_profiles(&one);
+
+  for (const auto& options : option_sets()) {
+    std::vector<model::SystemAssessment> got(lanes.size());
+    std::vector<model::BatchAssessor::Cell> cells(lanes.size());
+    for (size_t i = 0; i < lanes.size(); ++i) cells[i] = {i, &got[i]};
+    batch.assess(options, cells.data(), cells.size(), &one);
+
+    model::EasyCModel oracle(options);
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      EXPECT_EQ(bytes_of(got[i]), bytes_of(oracle.assess(lanes[i])))
+          << lanes[i].name;
+    }
+  }
+}
+
+TEST(BatchKernel, InvalidInputsThrowValidationErrorLikeScalar) {
+  model::Inputs bad = mixed_lanes()[0];
+  bad.name = "bad";
+  bad.rmax_tflops = -1.0;  // performance must be non-negative
+
+  model::EasyCModel oracle;
+  EXPECT_THROW(oracle.assess(bad), util::ValidationError);
+
+  model::BatchAssessor batch;
+  batch.add_profile(bad);
+  EXPECT_THROW(batch.resolve_profiles(), util::ValidationError);
+}
+
+// --- thread-count determinism ---------------------------------------
+
+TEST(BatchKernel, OneVsManyThreadsBitIdentical) {
+  top500::HistoryConfig cfg;
+  cfg.editions = 3;
+  const auto history = top500::generate_history(cfg);
+  par::ThreadPool one(1);
+  par::ThreadPool wide(8);
+
+  AssessmentEngine a({.pool = &one, .batch_kernel = BatchKernel::kSoa});
+  AssessmentEngine b({.pool = &wide, .batch_kernel = BatchKernel::kSoa});
+  const auto set = all_stock_scenarios();
+  expect_bytes_identical(a.run(history, set), b.run(history, set));
+  EXPECT_EQ(a.cache_stats().misses, b.cache_stats().misses);
+  EXPECT_EQ(a.batch_stats().lanes, b.batch_stats().lanes);
+  EXPECT_EQ(a.batch_stats().profiles, b.batch_stats().profiles);
+}
+
+// --- stats accounting -----------------------------------------------
+
+TEST(BatchKernel, AciHoistStatsAccounting) {
+  const auto records = top500::generate_records();
+  ScenarioSet set;
+  set.add(sc::enhanced());
+  par::ThreadPool one(1);
+
+  AssessmentEngine hoisted({.pool = &one,
+                            .cache_enabled = false,
+                            .batch_kernel = BatchKernel::kSoa});
+  hoisted.assess(records, set);
+  const auto& hs = hoisted.batch_stats();
+  EXPECT_EQ(hs.lanes, records.size());
+  EXPECT_EQ(hs.profiles, records.size());
+  EXPECT_EQ(hs.validations, records.size());
+  // Every lane's ACI came from the per-batch table; the database saw
+  // two probes (country + region) per distinct pair, not per lane.
+  EXPECT_EQ(hs.aci_hoisted, hs.lanes);
+  EXPECT_GT(hs.aci_keys, 0u);
+  EXPECT_LT(hs.aci_keys, hs.lanes);
+  EXPECT_EQ(hs.aci_db_queries, 2 * hs.aci_keys);
+
+  AssessmentEngine direct({.pool = &one,
+                           .cache_enabled = false,
+                           .batch_kernel = BatchKernel::kSoa,
+                           .batch_hoist_aci = false});
+  direct.assess(records, set);
+  const auto& ds = direct.batch_stats();
+  EXPECT_EQ(ds.aci_hoisted, 0u);
+  EXPECT_EQ(ds.aci_db_queries, 2 * ds.lanes);
+
+  // And the A/B knob moves only time, never bytes.
+  model::EasyCModel oracle(sc::enhanced().to_options());
+  const auto ra = hoisted.assess(records, set);
+  const auto rb = direct.assess(records, set);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::string want = bytes_of(
+        oracle.assess(to_inputs(records[i], sc::enhanced().visibility)));
+    EXPECT_EQ(bytes_of(ra.scenarios[0].assessments[i]), want);
+    EXPECT_EQ(bytes_of(rb.scenarios[0].assessments[i]), want);
+  }
+}
+
+}  // namespace
+}  // namespace easyc::analysis

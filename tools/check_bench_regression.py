@@ -30,10 +30,27 @@ Gate rules:
     (silently dropping a benchmark is how a gate rots)
   * a baseline counter that worsened past the threshold
     (direction-aware) or went unmeasured               -> FAIL
+  * a baseline ``ratios`` entry whose measured counter ratio falls
+    below its ``min_ratio`` (or whose operands went unmeasured) -> FAIL
   * a new benchmark or counter absent from the baseline -> note only;
     commit a refreshed baseline to start gating it
   * aggregate rows (mean/median/stddev/cv) are ignored; only
     per-iteration measurements gate.
+
+Ratio gates express speedup floors between two benchmarks of the same
+run rather than drift against history — e.g. the SoA batch kernel must
+stay >= 1.5x the scalar oracle's cells_per_s no matter how both move
+with the host. Baseline format:
+
+  "ratios": [{"name": "batch_soa_vs_scalar",
+              "numerator":   {"benchmark": "BM_BatchAssessSoA/real_time",
+                              "counter": "cells_per_s"},
+              "denominator": {"benchmark": "BM_BatchAssessScalar/real_time",
+                              "counter": "cells_per_s"},
+              "min_ratio": 1.5}]
+
+``--update-baseline`` preserves the ratios section verbatim (floors are
+policy, not measurements).
 
 Times are normalized to nanoseconds before comparing, so a baseline
 written in ms gates a run reported in ns. ``--update-baseline`` guesses
@@ -131,6 +148,26 @@ def load_baseline_directions(path_or_obj):
     }
 
 
+def load_baseline_ratios(path_or_obj):
+    """Return the baseline's ratio-gate list (possibly empty)."""
+    if isinstance(path_or_obj, dict):
+        doc = path_or_obj
+    else:
+        doc = json.loads(Path(path_or_obj).read_text())
+    ratios = doc.get("ratios", [])
+    for r in ratios:
+        for side in ("numerator", "denominator"):
+            if side not in r or "benchmark" not in r[side] \
+                    or "counter" not in r[side]:
+                raise SystemExit(
+                    f"error: ratio '{r.get('name', '?')}' needs "
+                    f"{side}.benchmark and {side}.counter")
+        if "min_ratio" not in r:
+            raise SystemExit(
+                f"error: ratio '{r.get('name', '?')}' needs min_ratio")
+    return ratios
+
+
 def merge_currents(paths):
     times = {}
     counters = {}
@@ -146,7 +183,8 @@ def merge_currents(paths):
     return times, counters
 
 
-def write_baseline(path, benchmarks, counters=None, directions=None):
+def write_baseline(path, benchmarks, counters=None, directions=None,
+                   ratios=None):
     counters = counters or {}
     directions = directions or {}
     doc = {
@@ -167,6 +205,8 @@ def write_baseline(path, benchmarks, counters=None, directions=None):
             for (bench, counter), value in sorted(counters.items())
         ],
     }
+    if ratios:
+        doc["ratios"] = ratios
     Path(path).write_text(json.dumps(doc, indent=2) + "\n")
 
 
@@ -230,6 +270,43 @@ def compare_counters(baseline, current, directions, threshold_pct):
         bench, counter = key
         lines.append(f"      NEW {bench} [{counter}]: {current[key]:.6g} "
                      "(not gated; refresh the baseline to gate it)")
+    return failures, lines
+
+
+def compare_ratios(ratios, counters):
+    """Ratio floors between two counters of the current run. Same
+    return shape as compare()."""
+    failures = []
+    lines = []
+    for r in ratios:
+        name = r.get("name", "?")
+        num_key = (r["numerator"]["benchmark"], r["numerator"]["counter"])
+        den_key = (r["denominator"]["benchmark"], r["denominator"]["counter"])
+        floor = float(r["min_ratio"])
+        missing = [f"{b} [{c}]" for b, c in (num_key, den_key)
+                   if (b, c) not in counters]
+        if missing:
+            failures.append(
+                f"ratio {name}: operand(s) not measured: "
+                + ", ".join(missing))
+            lines.append(f"  MISSING ratio {name}")
+            continue
+        den = counters[den_key]
+        if den == 0:
+            failures.append(f"ratio {name}: denominator is zero")
+            lines.append(f"  REGRESSED ratio {name}: denominator is zero")
+            continue
+        ratio = counters[num_key] / den
+        verdict = "ok"
+        if ratio < floor:
+            verdict = "REGRESSED"
+            failures.append(
+                f"ratio {name}: {ratio:.2f}x < required {floor:.2f}x "
+                f"({num_key[0]} [{num_key[1]}] = {counters[num_key]:.6g} vs "
+                f"{den_key[0]} [{den_key[1]}] = {den:.6g})")
+        lines.append(
+            f"  {verdict:>9} ratio {name}: {ratio:.2f}x "
+            f"(floor {floor:.2f}x)")
     return failures, lines
 
 
@@ -321,14 +398,44 @@ def self_test():
     failures, _ = compare_counters(base_counters, partial, directions, 20.0)
     assert failures and "not measured" in failures[0], failures
 
-    # --update-baseline round-trips benchmarks, counters, directions.
+    # Ratio gates: a floor between two counters of the same run.
+    ratios = [{"name": "stream_vs_fast",
+               "numerator": {"benchmark": "BM_Stream",
+                             "counter": "cells_per_s"},
+               "denominator": {"benchmark": "BM_Stream",
+                               "counter": "peak_rss_mb"},
+               "min_ratio": 5000.0}]
+    # 110000 / 18 = 6111x: clears the 5000x floor.
+    failures, _ = compare_ratios(ratios, base_counters)
+    assert not failures, failures
+    # A throughput drop to 80000 (4444x) violates it.
+    _, degraded = load_benchmarks(doc(1.0, cells=80000.0))
+    failures, _ = compare_ratios(ratios, degraded)
+    assert len(failures) == 1 and "required 5000.00x" in failures[0], failures
+    # A vanished operand fails rather than silently passing.
+    _, partial = load_benchmarks(doc(1.0))
+    del partial[("BM_Stream", "cells_per_s")]
+    failures, _ = compare_ratios(ratios, partial)
+    assert failures and "not measured" in failures[0], failures
+    # A zero denominator is an explicit failure, not a crash.
+    _, zeroed = load_benchmarks(doc(1.0, rss=0.0))
+    failures, _ = compare_ratios(ratios, zeroed)
+    assert failures and "zero" in failures[0], failures
+
+    # --update-baseline round-trips benchmarks, counters, directions,
+    # and preserves the ratio policy verbatim.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "baseline.json"
-        write_baseline(path, baseline, base_counters, directions)
+        write_baseline(path, baseline, base_counters, directions, ratios)
         rt_times, rt_counters = load_benchmarks(path)
         assert rt_times == baseline
         assert rt_counters == base_counters, rt_counters
         assert load_baseline_directions(path) == directions
+        assert load_baseline_ratios(path) == ratios
+        # A refresh from new measurements keeps the floors.
+        write_baseline(path, rt_times, rt_counters, directions,
+                       load_baseline_ratios(path))
+        assert load_baseline_ratios(path) == ratios
     print("self-test: all gate behaviours verified")
     return 0
 
@@ -357,27 +464,35 @@ def main(argv):
 
     current, current_counters = merge_currents(args.current)
     if args.update_baseline:
-        # Keep manually-set directions from the previous baseline.
+        # Keep manually-set directions and the ratio policy from the
+        # previous baseline (floors are policy, not measurements).
         directions = {}
+        ratios = []
         if Path(args.baseline).exists():
             directions = load_baseline_directions(args.baseline)
-        write_baseline(args.baseline, current, current_counters, directions)
+            ratios = load_baseline_ratios(args.baseline)
+        write_baseline(args.baseline, current, current_counters, directions,
+                       ratios)
         print(f"baseline updated: {len(current)} benchmarks, "
-              f"{len(current_counters)} counters -> {args.baseline}")
+              f"{len(current_counters)} counters, {len(ratios)} ratio "
+              f"floors -> {args.baseline}")
         return 0
 
     baseline, baseline_counters = load_benchmarks(args.baseline)
     if not baseline:
         raise SystemExit(f"error: baseline {args.baseline} has no benchmarks")
     directions = load_baseline_directions(args.baseline)
+    ratios = load_baseline_ratios(args.baseline)
     failures, lines = compare(baseline, current, args.threshold)
     counter_failures, counter_lines = compare_counters(
         baseline_counters, current_counters, directions, args.threshold)
     failures += counter_failures
+    ratio_failures, ratio_lines = compare_ratios(ratios, current_counters)
+    failures += ratio_failures
     print(f"benchmark regression gate: {len(baseline)} gated, "
-          f"{len(baseline_counters)} counters, "
+          f"{len(baseline_counters)} counters, {len(ratios)} ratio floors, "
           f"threshold +{args.threshold:.0f}% real time")
-    print("\n".join(lines + counter_lines))
+    print("\n".join(lines + counter_lines + ratio_lines))
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
         for f in failures:

@@ -80,6 +80,12 @@ void declare_flags(util::ArgParser& args) {
                 "persist the assessment memo cache across --turnover and "
                 "--sweep runs: warm-start from this snapshot file when it "
                 "exists and save it back after the run");
+  args.add_flag("batch-kernel",
+                "cache-miss fill path for --turnover/--sweep: soa "
+                "(structure-of-arrays batch kernel), scalar (per-cell "
+                "oracle), or auto (default: soa when the scenario set "
+                "averages >=2 lanes per resolved profile, else scalar); "
+                "results are byte-identical either way");
   args.add_flag("sweep",
                 "expand an axis spec into a scenario grid and assess every "
                 "derived scenario over the Nov-2024 list; e.g. "
@@ -308,17 +314,30 @@ void save_cache_snapshot(const easyc::analysis::AssessmentEngine& engine,
   }
 }
 
-int run_turnover(int editions, const std::optional<std::string>& cache_file) {
+// "scalar" | "soa" | "auto" for --batch-kernel.
+easyc::analysis::AssessmentEngine::BatchKernel parse_batch_kernel(
+    const std::optional<std::string>& text) {
+  using BatchKernel = easyc::analysis::AssessmentEngine::BatchKernel;
+  if (!text || *text == "auto") return BatchKernel::kAuto;
+  if (*text == "scalar") return BatchKernel::kScalar;
+  if (*text == "soa") return BatchKernel::kSoa;
+  throw util::Error("--batch-kernel wants scalar, soa, or auto; got '" +
+                    *text + "'");
+}
+
+int run_turnover(int editions, const std::optional<std::string>& cache_file,
+                 const std::optional<std::string>& kernel_text) {
   if (editions < 2) {
     throw util::Error("--editions must be at least 2 (growth needs a cycle)");
   }
+  const auto kernel = parse_batch_kernel(kernel_text);
   easyc::top500::HistoryConfig cfg;
   cfg.editions = editions;
   std::printf("simulating %d list editions (~%d entrants per cycle)...\n",
               cfg.editions, cfg.entrants_per_cycle);
   const auto history = easyc::top500::generate_history(cfg);
 
-  easyc::analysis::AssessmentEngine engine;
+  easyc::analysis::AssessmentEngine engine({.batch_kernel = kernel});
   if (cache_file) warm_start_cache(engine, *cache_file);
   easyc::analysis::TurnoverOptions opts;
   opts.engine = &engine;
@@ -376,8 +395,10 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
               const std::optional<std::string>& cells_format,
               const std::optional<std::string>& stats_text,
               std::optional<long long> sweep_records,
-              const std::optional<std::string>& refine_text) {
+              const std::optional<std::string>& refine_text,
+              const std::optional<std::string>& kernel_text) {
   const auto set = cli_scenarios();
+  const auto kernel = parse_batch_kernel(kernel_text);
   const auto spec =
       easyc::analysis::SweepSpec::parse(axis_text, set.at(base_name));
   // Validate every flag before touching --cells-out: opening that file
@@ -438,7 +459,8 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
   }
   easyc::par::ThreadPool pool(
       threads ? static_cast<unsigned>(*threads) : 0u);
-  easyc::analysis::AssessmentEngine engine({.pool = &pool});
+  easyc::analysis::AssessmentEngine engine(
+      {.pool = &pool, .batch_kernel = kernel});
   if (cache_file) warm_start_cache(engine, *cache_file);
 
   easyc::analysis::SweepEngine::Options opt;
@@ -583,7 +605,7 @@ int main(int argc, char** argv) {
       require_only("sweep",
                    {"sweep", "sweep-base", "threads", "sweep-batch",
                     "cache-file", "cells-out", "cells-format", "sweep-stats",
-                    "sweep-records", "sweep-refine"});
+                    "sweep-records", "sweep-refine", "batch-kernel"});
       return run_sweep(*sweep_spec,
                        args.get("sweep-base").value_or(std::string(
                            easyc::analysis::scenarios::kEnhancedName)),
@@ -591,7 +613,7 @@ int main(int argc, char** argv) {
                        args.get("cache-file"), args.get("cells-out"),
                        args.get("cells-format"), args.get("sweep-stats"),
                        args.get_int("sweep-records"),
-                       args.get("sweep-refine"));
+                       args.get("sweep-refine"), args.get("batch-kernel"));
     }
     for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch",
                                    "cells-out", "cells-format", "sweep-stats",
@@ -602,10 +624,11 @@ int main(int argc, char** argv) {
       }
     }
     if (args.has("turnover")) {
-      require_only("turnover", {"turnover", "editions", "cache-file"});
+      require_only("turnover",
+                   {"turnover", "editions", "cache-file", "batch-kernel"});
       return run_turnover(
           static_cast<int>(args.get_double("editions").value_or(8.0)),
-          args.get("cache-file"));
+          args.get("cache-file"), args.get("batch-kernel"));
     }
     if (args.has("editions")) {
       throw util::Error("--editions applies only to --turnover runs");
@@ -613,6 +636,10 @@ int main(int argc, char** argv) {
     if (args.has("cache-file")) {
       throw util::Error(
           "--cache-file applies only to --turnover and --sweep runs");
+    }
+    if (args.has("batch-kernel")) {
+      throw util::Error(
+          "--batch-kernel applies only to --turnover and --sweep runs");
     }
     model::EasyCOptions opt;
     if (args.has("approximate-accelerators")) {
