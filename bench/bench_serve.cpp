@@ -1,0 +1,77 @@
+// Serving-path throughput of the assessment server: what one warm
+// easyc_serve process sustains on a single core, measured at the same
+// boundary the daemon serves from (request line in, framed reply out).
+//
+// Gated counters (tools/check_bench_regression.py vs
+// bench/baseline.json, taskset -c 0 in CI):
+//   BM_ServePing        requests_per_s — the protocol floor: parse,
+//                       dispatch, stats trailer, frame; no engine work.
+//                       This is the per-request overhead the service
+//                       layer adds to every assessment.
+//   BM_ServeWarmAssess  requests_per_s — a full `assess` against the
+//                       warm cache: 500 record lookups, report
+//                       rendering, framing. The ROADMAP's service
+//                       scenario ("assessments become cache lookups")
+//                       priced per request.
+//
+// One worker thread: the warm path is lookup-bound and CI pins the
+// measurement to one core, so pool fan-out would only add noise.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using easyc::service::AssessmentServer;
+using easyc::service::Reply;
+
+AssessmentServer& warm_server() {
+  static AssessmentServer* kServer = [] {
+    auto* server = new AssessmentServer({.threads = 1, .admission = 1});
+    // Pay the cold fill once; every timed request after this is warm.
+    const Reply reply = server->execute_line("assess", "warmup");
+    if (!reply.ok) std::abort();
+    return server;
+  }();
+  return *kServer;
+}
+
+void BM_ServePing(benchmark::State& state) {
+  AssessmentServer& server = warm_server();
+  for (auto _ : state) {
+    const std::string frame =
+        easyc::service::frame_reply(server.execute_line("ping", "0"));
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServePing)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+void BM_ServeWarmAssess(benchmark::State& state) {
+  AssessmentServer& server = warm_server();
+  for (auto _ : state) {
+    const Reply reply = server.execute_line("assess", "0");
+    if (!reply.ok) state.SkipWithError("assess failed");
+    const std::string frame = easyc::service::frame_reply(reply);
+    benchmark::DoNotOptimize(frame.data());
+  }
+  state.counters["requests_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeWarmAssess)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// No figure to reproduce here (like bench_sweep_stream): the subject is
+// the serving machinery, so nothing but it should run in the process.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

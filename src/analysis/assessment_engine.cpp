@@ -115,6 +115,16 @@ AssessmentEngine::AssessmentEngine(Options options)
     : options_(options),
       cache_(options.cache_shards, options.cache_capacity) {}
 
+model::BatchStats AssessmentEngine::batch_stats() const {
+  std::lock_guard<std::mutex> lock(batch_stats_mu_);
+  return batch_stats_;
+}
+
+void AssessmentEngine::add_batch_stats(const model::BatchStats& stats) {
+  std::lock_guard<std::mutex> lock(batch_stats_mu_);
+  batch_stats_ += stats;
+}
+
 bool AssessmentEngine::use_soa_kernel(const ScenarioSet& scenarios) const {
   switch (options_.batch_kernel) {
     case BatchKernel::kScalar:
@@ -210,7 +220,7 @@ void AssessmentEngine::assess_edition(
         }
         batch.assess(models[s].options(), cells.data(), cells.size(), &pool);
       }
-      batch_stats_ += batch.stats();
+      add_batch_stats(batch.stats());
     } else {
       par::parallel_for(
           pool, 0, num_scenarios * num_records, [&](size_t cell) {
@@ -324,7 +334,7 @@ void AssessmentEngine::assess_edition(
   if (use_soa_kernel(scenarios)) {
     run_grid_soa(primaries);
     if (!aliases.empty()) run_grid_soa(aliases);
-    batch_stats_ += batch.stats();
+    add_batch_stats(batch.stats());
   } else {
     run_grid(primaries);
     if (!aliases.empty()) run_grid(aliases);

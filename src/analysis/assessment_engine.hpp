@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -140,8 +141,10 @@ class AssessmentEngine {
   void clear_cache() { cache_.clear(); }
 
   /// Cumulative SoA-kernel counters (lanes batched, profiles resolved,
-  /// validations, ACI lookups hoisted). All zero under kScalar.
-  const model::BatchStats& batch_stats() const { return batch_stats_; }
+  /// validations, ACI lookups hoisted). All zero under kScalar. Safe
+  /// to call while other threads run assess()/run() — the server's
+  /// concurrent admission path does exactly that.
+  model::BatchStats batch_stats() const;
 
   /// Persist the memo cache to `path` as a versioned, checksummed
   /// ShardedCache snapshot (see sharded_cache.hpp for the header
@@ -198,8 +201,14 @@ class AssessmentEngine {
   // scalar path wins. Explicit kScalar/kSoa always get what they ask.
   bool use_soa_kernel(const ScenarioSet& scenarios) const;
 
+  void add_batch_stats(const model::BatchStats& stats);
+
   Options options_;
   Cache cache_;
+  // The cache is lock-striped, but the kernel counters are one shared
+  // accumulator; the mutex makes concurrent assess()/run() callers
+  // (the server executors) race-free. Uncontended outside batch ends.
+  mutable std::mutex batch_stats_mu_;
   model::BatchStats batch_stats_;
 };
 

@@ -366,7 +366,8 @@ std::string scenario_summary(const analysis::PipelineResult& r) {
          "coverage columns\n  before comparing totals across scenarios)\n";
 }
 
-std::string turnover_summary(const analysis::TurnoverReport& r) {
+std::string turnover_summary(const analysis::TurnoverReport& r,
+                             bool include_cache_stats) {
   std::string out = "Turnover across list editions (engine-sharded)\n";
   util::TextTable t({"Edition", "New systems", "Op total (kMT)",
                      "Emb total (kMT)", "Perf (PFlop/s)"});
@@ -390,11 +391,13 @@ std::string turnover_summary(const analysis::TurnoverReport& r) {
          format_double(r.emb_growth_annualized * 100, 2) + "% (2%)\n";
   out += "  performance per year:  " +
          format_double(r.perf_growth_annualized * 100, 2) + "%\n";
-  out += "Assessment cache: " + std::to_string(r.cache.hits) + " hits / " +
-         std::to_string(r.cache.misses) + " misses (" +
-         format_double(r.cache.hit_rate() * 100, 1) + "% hit rate), " +
-         std::to_string(r.cache.evictions) + " evictions, " +
-         std::to_string(r.cache.entries) + " resident\n";
+  if (include_cache_stats) {
+    out += "Assessment cache: " + std::to_string(r.cache.hits) + " hits / " +
+           std::to_string(r.cache.misses) + " misses (" +
+           format_double(r.cache.hit_rate() * 100, 1) + "% hit rate), " +
+           std::to_string(r.cache.evictions) + " evictions, " +
+           std::to_string(r.cache.entries) + " resident\n";
+  }
   return out;
 }
 

@@ -35,7 +35,12 @@ std::string scenario_summary(const analysis::PipelineResult& r);
 /// Multi-edition turnover: per-edition footprints, measured growth
 /// rates (paper values annotated), and the engine's cache statistics —
 /// shared by the CLI's --turnover mode and the turnover ablation bench.
-std::string turnover_summary(const analysis::TurnoverReport& r);
+/// `include_cache_stats=false` drops the trailing cache line: the
+/// counts legitimately differ between cold and warm-started runs, so
+/// the server's deterministic reply payload excludes them (they travel
+/// as a note instead).
+std::string turnover_summary(const analysis::TurnoverReport& r,
+                             bool include_cache_stats = true);
 
 /// Dump machine-readable figure data as CSV files under `dir`
 /// (created by the caller). Returns the list of files written.

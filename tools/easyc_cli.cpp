@@ -21,14 +21,10 @@
 #include "analysis/pipeline.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/sweep.hpp"
-#include "analysis/turnover.hpp"
 #include "easyc/amortization.hpp"
 #include "easyc/model.hpp"
-#include "parallel/thread_pool.hpp"
-#include "report/experiments.hpp"
-#include "top500/history.hpp"
+#include "service/server.hpp"
 #include "top500/import.hpp"
-#include "util/ascii.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -124,12 +120,11 @@ void declare_flags(util::ArgParser& args) {
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
-/// Scenarios the CLI knows about: the shared paper + what-if set, plus
-/// the full-knowledge bound. A --top500 run picks one by name.
+/// Scenarios the CLI knows about: the same registry the server serves
+/// from (paper + what-ifs + the full-knowledge bound), so a scenario
+/// name means the same thing in a one-shot and in a daemon request.
 easyc::analysis::ScenarioSet cli_scenarios() {
-  auto set = easyc::analysis::ScenarioSet::paper_with_whatifs();
-  set.add(easyc::analysis::scenarios::full_knowledge());
-  return set;
+  return easyc::service::default_scenarios();
 }
 
 model::Inputs inputs_from_getter(
@@ -277,41 +272,32 @@ int assess_top500_export(const std::string& path,
   return 0;
 }
 
-// Warm-start diagnostics go to stderr so the report on stdout stays
-// byte-identical between cold and warm-started runs (CI diffs it).
-void warm_start_cache(easyc::analysis::AssessmentEngine& engine,
-                      const std::string& cache_file) {
-  if (std::ifstream probe(cache_file, std::ios::binary); probe) {
-    try {
-      const size_t n = engine.load_cache(cache_file);
-      std::fprintf(stderr, "cache warm-start: %zu entries from %s\n", n,
-                   cache_file.c_str());
-    } catch (const util::Error& e) {
-      // A cache is advisory: a stale/corrupt/unreadable snapshot
-      // costs a cold run, never a wrong result or a failed one.
-      std::fprintf(stderr, "cache file %s rejected (%s); starting cold\n",
-                   cache_file.c_str(), e.what());
-    }
-  } else {
-    std::fprintf(stderr, "cache file %s not found; starting cold\n",
-                 cache_file.c_str());
+// Cache/warm-start diagnostics go to stderr so the report on stdout
+// stays byte-identical between cold and warm-started runs (CI diffs
+// it). The server produces the same lines the CLI historically
+// printed; this just routes them.
+void print_notes(const std::vector<std::string>& notes) {
+  for (const std::string& note : notes) {
+    std::fprintf(stderr, "%s\n", note.c_str());
   }
 }
 
-// Save last, and never let a save failure eat the report the user
-// already paid to compute: like a rejected load, a failed save only
-// costs the *next* run its warm start.
-void save_cache_snapshot(const easyc::analysis::AssessmentEngine& engine,
-                         const std::string& cache_file) {
-  try {
-    engine.save_cache(cache_file);
-    std::fprintf(stderr, "cache saved: %llu entries to %s\n",
-                 static_cast<unsigned long long>(engine.cache_stats().entries),
-                 cache_file.c_str());
-  } catch (const util::Error& e) {
-    std::fprintf(stderr, "warning: could not save cache to %s (%s)\n",
-                 cache_file.c_str(), e.what());
+// A --turnover/--sweep run is the degenerate server session: one
+// request, executed on a just-constructed AssessmentServer, payload to
+// stdout and notes to stderr, snapshot, exit. Daemon and one-shot
+// share every line of engine lifecycle (warm-start, scenario
+// registry, request execution, snapshot-on-exit) by construction.
+int run_one_shot(easyc::service::AssessmentServer& server,
+                 const easyc::service::Request& request,
+                 easyc::analysis::SweepCellSink* sink = nullptr) {
+  const easyc::service::Reply reply = server.execute(request, sink);
+  if (!reply.ok) {
+    std::fprintf(stderr, "error: %s", reply.payload.c_str());
+    return 1;
   }
+  std::fputs(reply.payload.c_str(), stdout);
+  print_notes(reply.notes);
+  return 0;
 }
 
 // "scalar" | "soa" | "auto" for --batch-kernel.
@@ -330,52 +316,25 @@ int run_turnover(int editions, const std::optional<std::string>& cache_file,
   if (editions < 2) {
     throw util::Error("--editions must be at least 2 (growth needs a cycle)");
   }
-  const auto kernel = parse_batch_kernel(kernel_text);
-  easyc::top500::HistoryConfig cfg;
-  cfg.editions = editions;
-  std::printf("simulating %d list editions (~%d entrants per cycle)...\n",
-              cfg.editions, cfg.entrants_per_cycle);
-  const auto history = easyc::top500::generate_history(cfg);
-
-  easyc::analysis::AssessmentEngine engine({.batch_kernel = kernel});
-  if (cache_file) warm_start_cache(engine, *cache_file);
-  easyc::analysis::TurnoverOptions opts;
-  opts.engine = &engine;
-  const auto report = easyc::analysis::analyze_turnover(history, opts);
-  std::fputs(easyc::report::turnover_summary(report).c_str(), stdout);
-
-  std::printf("\nProjection from the measured growth rates:\n");
-  easyc::util::TextTable t({"Year", "Op kMT", "Emb kMT", "PFlop/s"});
-  for (const auto& p :
-       easyc::analysis::project_from_turnover(report)) {
-    t.add_row({std::to_string(p.year),
-               util::format_double(p.operational_kmt, 0),
-               util::format_double(p.embodied_kmt, 0),
-               util::format_double(p.perf_pflops, 0)});
+  if (editions > easyc::service::kMaxTurnoverEditions) {
+    throw util::Error(
+        "--editions must be at most " +
+        std::to_string(easyc::service::kMaxTurnoverEditions));
   }
-  std::fputs(t.render().c_str(), stdout);
+  easyc::service::ServerOptions options;
+  options.admission = 1;
+  options.cache_file = cache_file;
+  options.batch_kernel = parse_batch_kernel(kernel_text);
+  easyc::service::AssessmentServer server(options);
+  print_notes(server.warm_start());
 
-  if (cache_file) save_cache_snapshot(engine, *cache_file);
-  return 0;
-}
-
-// "K@R" for --sweep-refine: K top axes, R rounds, both positive.
-easyc::analysis::RefineOptions parse_refine(const std::string& text) {
-  const auto at = text.find('@');
-  if (at == std::string::npos) {
-    throw util::ParseError("--sweep-refine wants K@R (e.g. 2@2), got '" +
-                           text + "'");
-  }
-  const auto k = util::parse_int(util::trim(text.substr(0, at)));
-  const auto r = util::parse_int(util::trim(text.substr(at + 1)));
-  if (!k || *k < 1 || !r || *r < 1) {
-    throw util::ParseError(
-        "--sweep-refine K@R needs positive integers, got '" + text + "'");
-  }
-  easyc::analysis::RefineOptions refine;
-  refine.top_axes = static_cast<size_t>(*k);
-  refine.rounds = static_cast<size_t>(*r);
-  return refine;
+  easyc::service::Request request;
+  request.verb = easyc::service::Verb::kTurnover;
+  request.id = "cli";
+  request.editions = editions;
+  const int rc = run_one_shot(server, request);
+  print_notes(server.save_snapshot());
+  return rc;
 }
 
 // One --cells-out export file: its stream, its sink, and enough to
@@ -385,6 +344,18 @@ struct CellExport {
   bool binary = false;
   std::ofstream stream;
   std::unique_ptr<easyc::analysis::SweepCellSink> sink;
+};
+
+// Counts the cells a sweep streams (the exported row count) while
+// forwarding them to the real export sink, if any.
+struct CountingSink : easyc::analysis::SweepCellSink {
+  easyc::analysis::SweepCellSink* inner = nullptr;
+  size_t rows = 0;
+  void cell(size_t round, size_t index,
+            const easyc::analysis::SweepCell& c) override {
+    ++rows;
+    if (inner) inner->cell(round, index, c);
+  }
 };
 
 int run_sweep(const std::string& axis_text, const std::string& base_name,
@@ -397,18 +368,24 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
               std::optional<long long> sweep_records,
               const std::optional<std::string>& refine_text,
               const std::optional<std::string>& kernel_text) {
-  const auto set = cli_scenarios();
-  const auto kernel = parse_batch_kernel(kernel_text);
-  const auto spec =
-      easyc::analysis::SweepSpec::parse(axis_text, set.at(base_name));
+  easyc::service::ServerOptions options;
+  if (threads) {
+    if (*threads < 1) throw util::Error("--threads must be at least 1");
+    options.threads = static_cast<unsigned>(*threads);
+  }
+  options.admission = 1;
+  options.cache_file = cache_file;
+  options.batch_kernel = parse_batch_kernel(kernel_text);
+
+  easyc::service::Request request;
+  request.verb = easyc::service::Verb::kSweep;
+  request.id = "cli";
+  request.axes = axis_text;
+  request.base = base_name;
   // Validate every flag before touching --cells-out: opening that file
   // truncates it, and a typo'd --sweep-refine must not cost the user a
   // previous run's export.
-  std::optional<easyc::analysis::RefineOptions> refine;
-  if (refine_text) refine = parse_refine(*refine_text);
-
-  easyc::analysis::SweepStatsMode stats =
-      easyc::analysis::SweepStatsMode::kAuto;
+  if (refine_text) request.refine = easyc::service::parse_refine(*refine_text);
   if (stats_text) {
     const auto parsed =
         easyc::analysis::sweep_stats_mode_from_name(*stats_text);
@@ -416,7 +393,7 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
       throw util::Error("--sweep-stats wants exact, streaming, or auto; "
                         "got '" + *stats_text + "'");
     }
-    stats = *parsed;
+    request.stats = *parsed;
   }
 
   std::vector<std::string> formats;
@@ -441,41 +418,23 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     formats.push_back("csv");
   }
 
-  if (sweep_records && *sweep_records < 1) {
-    throw util::Error("--sweep-records must be at least 1");
+  if (sweep_records) {
+    if (*sweep_records < 1) {
+      throw util::Error("--sweep-records must be at least 1");
+    }
+    request.records = static_cast<size_t>(*sweep_records);
   }
-
-  std::fprintf(stderr, "expanding %zu derived scenarios from '%s'...\n",
-               spec.total_cells(), base_name.c_str());
-
-  auto records = easyc::top500::generate_records();
-  if (sweep_records &&
-      static_cast<size_t>(*sweep_records) < records.size()) {
-    records.resize(static_cast<size_t>(*sweep_records));
-  }
-
-  if (threads && *threads < 1) {
-    throw util::Error("--threads must be at least 1");
-  }
-  easyc::par::ThreadPool pool(
-      threads ? static_cast<unsigned>(*threads) : 0u);
-  easyc::analysis::AssessmentEngine engine(
-      {.pool = &pool, .batch_kernel = kernel});
-  if (cache_file) warm_start_cache(engine, *cache_file);
-
-  easyc::analysis::SweepEngine::Options opt;
-  opt.engine = &engine;
   if (batch) {
     if (*batch < 1) throw util::Error("--sweep-batch must be at least 1");
-    opt.batch_size = static_cast<size_t>(*batch);
+    request.batch = static_cast<size_t>(*batch);
   }
-  opt.stats = stats;
-  // The CLI renders from the report's counters and summaries, and
-  // refinement plans from the streamed grid marginals, so nothing here
-  // needs the per-cell vector: retention off keeps peak memory at one
-  // batch no matter how many cells the spec expands to.
-  opt.retain_cells = false;
-  easyc::analysis::SweepEngine sweep(opt);
+
+  easyc::service::AssessmentServer server(options);
+  // Re-parse the axis spec up front (the server would reject it too,
+  // but only after --cells-out is already truncated).
+  easyc::analysis::SweepSpec::parse(axis_text,
+                                    server.scenarios().at(base_name));
+  print_notes(server.warm_start());
 
   std::vector<std::unique_ptr<CellExport>> exports;
   for (const auto& f : formats) {
@@ -507,17 +466,18 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     sink = &*tee;
   }
 
-  const auto report =
-      refine ? sweep.run_adaptive(records, spec, *refine, sink)
-             : sweep.run(records, spec, sink);
-
-  // An adaptive run streams every round's cells; the report only
-  // counts the final round's.
-  size_t rows = report.total_cells;
-  if (!report.refinement.empty()) {
-    rows = 0;
-    for (const auto& round : report.refinement) rows += round.cells;
+  // The server streams every cell through the counter (and on to the
+  // export sinks); its reply payload is the deterministic report and
+  // its notes carry the cache-state-dependent diagnostics (per-round
+  // hit rates, the cumulative cache line) that belong on stderr.
+  CountingSink counter;
+  counter.inner = sink;
+  const easyc::service::Reply reply = server.execute(request, &counter);
+  if (!reply.ok) {
+    std::fprintf(stderr, "error: %s", reply.payload.c_str());
+    return 1;
   }
+
   for (const auto& ex : exports) {
     if (auto* bin =
             dynamic_cast<easyc::analysis::BinaryCellSink*>(ex->sink.get())) {
@@ -527,37 +487,13 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     if (!ex->stream) {
       throw util::Error("write failed for --cells-out file: " + ex->path);
     }
-    std::fprintf(stderr, "wrote %zu cell rows to %s\n", rows,
+    std::fprintf(stderr, "wrote %zu cell rows to %s\n", counter.rows,
                  ex->path.c_str());
   }
 
-  std::fputs(easyc::analysis::render_sweep_report(report).c_str(), stdout);
-  // Per-round cache economics (adaptive runs): refinement rounds keep
-  // every previous value, so on a cold run they out-hit the coarse
-  // round (a --cache-file warm restart makes every round pure
-  // lookups). Run-local, hence stderr (see the cumulative line below).
-  for (const auto& round : report.refinement) {
-    std::fprintf(stderr,
-                 "sweep round %zu: %zu cells, %llu hits / %llu misses "
-                 "(%.1f%% hit rate)\n",
-                 round.round, round.cells,
-                 static_cast<unsigned long long>(round.cache.hits),
-                 static_cast<unsigned long long>(round.cache.misses),
-                 round.cache.hit_rate() * 100.0);
-  }
-  // Cache activity is run-local (a warm restart legitimately differs),
-  // so it goes to stderr and the report on stdout stays byte-identical
-  // across 1-vs-N threads, batch sizes, and --cache-file warm starts.
-  std::fprintf(stderr,
-               "Assessment cache: %llu hits / %llu misses (%.1f%% hit "
-               "rate), %llu evictions, %llu resident\n",
-               static_cast<unsigned long long>(report.cache.hits),
-               static_cast<unsigned long long>(report.cache.misses),
-               report.cache.hit_rate() * 100.0,
-               static_cast<unsigned long long>(report.cache.evictions),
-               static_cast<unsigned long long>(report.cache.entries));
-
-  if (cache_file) save_cache_snapshot(engine, *cache_file);
+  std::fputs(reply.payload.c_str(), stdout);
+  print_notes(reply.notes);
+  print_notes(server.save_snapshot());
   return 0;
 }
 

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Scripted client for easyc_serve — drives the line protocol and
+re-serializes replies deterministically for CI diffing.
+
+The server interleaves reply frames from concurrent executors, so raw
+session output is not diffable across runs. This client parses the
+frames and writes payloads sorted by request id, which *is* byte-stable
+— cold, warm-restarted, or interleaved runs of the same request mix
+must produce identical --out files (the CI serve leg diffs exactly
+that). Notes and the stats trailers go to --stats-out, which is allowed
+to differ run to run.
+
+Pipe mode (spawns the server, one session on its stdin/stdout):
+
+  tools/serve_client.py --mix tools/serve_mix.txt --out cold.txt \
+      -- ./build/easyc_serve --cache-file warm.snap
+
+TCP mode (server already listening; round-robins the mix over
+--concurrency connections so requests genuinely interleave):
+
+  tools/serve_client.py --mix tools/serve_mix.txt --tcp 7070 \
+      --concurrency 4 --out tcp.txt
+
+Exits non-zero on any err reply, a missing reply, or an aggregate
+cache hit rate below --min-hit-rate.
+"""
+
+import argparse
+import socket
+import subprocess
+import sys
+import threading
+
+
+def load_mix(path):
+    """Request lines from a mix file; blanks and '#' comments dropped.
+
+    Every request gets a deterministic id (its mix-file position) unless
+    the line already carries one — ids are the sort key that makes the
+    output diffable, so they must not depend on serving order.
+    """
+    requests = []
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not any(tok.startswith("id=") for tok in line.split()):
+                line += f" id=q{len(requests):03d}"
+            requests.append(line)
+    return requests
+
+
+class FrameParser:
+    """Incremental parser for reply frames on one session's byte stream."""
+
+    def __init__(self):
+        self.buf = b""
+        self.replies = []
+
+    def feed(self, data):
+        self.buf += data
+        while self._parse_one():
+            pass
+
+    def _parse_one(self):
+        nl = self.buf.find(b"\n")
+        if nl < 0:
+            return False
+        header = self.buf[:nl].decode("utf-8", "replace").split(" ")
+        if len(header) != 4 or header[0] != "reply":
+            raise SystemExit(f"bad frame header: {header}")
+        rid, ok, nbytes = header[1], header[2] == "ok", int(header[3])
+        rest = self.buf[nl + 1:]
+        if len(rest) < nbytes:
+            return False
+        payload, rest = rest[:nbytes], rest[nbytes:]
+        # Trailer: zero or more "note <id> ..." lines, then one
+        # "stats <id> ..." line closes the frame.
+        notes, stats = [], None
+        scan = rest
+        while True:
+            nl = scan.find(b"\n")
+            if nl < 0:
+                return False  # trailer incomplete; wait for more bytes
+            line = scan[:nl].decode("utf-8", "replace")
+            scan = scan[nl + 1:]
+            if line.startswith(f"note {rid} "):
+                notes.append(line[len(f"note {rid} "):])
+                continue
+            if not line.startswith(f"stats {rid} "):
+                raise SystemExit(f"bad frame trailer: {line!r}")
+            stats = dict(
+                kv.split("=", 1) for kv in line[len(f"stats {rid} "):].split(" ")
+            )
+            break
+        self.buf = scan
+        self.replies.append({
+            "id": rid,
+            "ok": ok,
+            "payload": payload.decode("utf-8", "replace"),
+            "notes": notes,
+            "stats": stats,
+        })
+        return True
+
+
+def run_pipe(server_cmd, requests):
+    proc = subprocess.Popen(
+        server_cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE
+    )
+    out, _ = proc.communicate(
+        ("\n".join(requests) + "\n").encode("utf-8")
+    )
+    if proc.returncode != 0:
+        raise SystemExit(f"server exited with {proc.returncode}")
+    parser = FrameParser()
+    parser.feed(out)
+    if parser.buf:
+        raise SystemExit(f"trailing bytes after last frame: {parser.buf!r}")
+    return parser.replies
+
+
+def run_tcp(port, requests, concurrency):
+    lanes = [requests[i::concurrency] for i in range(concurrency)]
+    lanes = [lane for lane in lanes if lane]
+    parsers = [FrameParser() for _ in lanes]
+    errors = []
+
+    def drive(lane, parser):
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=60) as s:
+                s.sendall(("\n".join(lane) + "\n").encode("utf-8"))
+                s.shutdown(socket.SHUT_WR)  # EOF ends the session cleanly
+                while True:
+                    data = s.recv(65536)
+                    if not data:
+                        break
+                    parser.feed(data)
+            if parser.buf:
+                raise SystemExit(
+                    f"trailing bytes after last frame: {parser.buf!r}"
+                )
+        except Exception as e:  # surfaced after join
+            errors.append(f"connection failed: {e}")
+
+    threads = [
+        threading.Thread(target=drive, args=(lane, parser))
+        for lane, parser in zip(lanes, parsers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise SystemExit("; ".join(errors))
+    return [reply for parser in parsers for reply in parser.replies]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("--mix", required=True, help="request mix file")
+    ap.add_argument("--out", required=True,
+                    help="deterministic payload transcript (sorted by id)")
+    ap.add_argument("--stats-out",
+                    help="notes + stats transcript (may differ run to run)")
+    ap.add_argument("--tcp", type=int, metavar="PORT",
+                    help="connect to a listening server instead of spawning")
+    ap.add_argument("--concurrency", type=int, default=1,
+                    help="TCP connections to round-robin the mix over")
+    ap.add_argument("--min-hit-rate", type=float, metavar="PCT",
+                    help="fail unless aggregate cache hit rate >= PCT")
+    ap.add_argument("--allow-errors", action="store_true",
+                    help="err replies are expected (robustness mixes)")
+    ap.add_argument("server_cmd", nargs="*", metavar="-- SERVER ARGS...",
+                    help="server command for pipe mode")
+    args = ap.parse_args()
+    if bool(args.tcp) == bool(args.server_cmd):
+        ap.error("exactly one of --tcp PORT or '-- server command' required")
+
+    requests = load_mix(args.mix)
+    if args.tcp:
+        replies = run_tcp(args.tcp, requests, max(1, args.concurrency))
+    else:
+        replies = run_pipe(args.server_cmd, requests)
+
+    if len(replies) != len(requests):
+        raise SystemExit(f"sent {len(requests)} requests, "
+                         f"got {len(replies)} replies")
+    replies.sort(key=lambda r: r["id"])
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        for r in replies:
+            f.write(f"== {r['id']} {'ok' if r['ok'] else 'err'}\n")
+            f.write(r["payload"])
+    if args.stats_out:
+        with open(args.stats_out, "w", encoding="utf-8") as f:
+            for r in replies:
+                for note in r["notes"]:
+                    f.write(f"{r['id']} note {note}\n")
+                stats = " ".join(f"{k}={v}" for k, v in r["stats"].items())
+                f.write(f"{r['id']} stats {stats}\n")
+
+    failures = [r["id"] for r in replies if not r["ok"]]
+    if failures and not args.allow_errors:
+        raise SystemExit(f"err replies for: {', '.join(failures)}")
+
+    hits = sum(int(r["stats"]["hits"]) for r in replies)
+    misses = sum(int(r["stats"]["misses"]) for r in replies)
+    rate = 100.0 * hits / (hits + misses) if hits + misses else 0.0
+    print(f"{len(replies)} replies, cache {hits} hits / {misses} misses "
+          f"({rate:.1f}% hit rate)")
+    if args.min_hit_rate is not None and rate < args.min_hit_rate:
+        raise SystemExit(
+            f"aggregate hit rate {rate:.1f}% is below {args.min_hit_rate}%"
+        )
+
+
+if __name__ == "__main__":
+    main()
