@@ -1,0 +1,96 @@
+// Sweep sharding overhead: what a worker pays to stream an EZPART
+// partial instead of folding in-process, and what the merge step pays
+// to replay N partials back into one report. Both are informational
+// (not gated): the gate on sharding is byte-identity, enforced by
+// sweep_shard_test and the CI "sharded sweep determinism" leg; these
+// counters exist so a codec change that makes partials an order of
+// magnitude slower shows up in `make bench` output.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "analysis/sweep_shard.hpp"
+#include "top500/generator.hpp"
+
+namespace {
+
+using easyc::analysis::MergeOptions;
+using easyc::analysis::ShardRef;
+using easyc::analysis::SweepEngine;
+using easyc::analysis::SweepSpec;
+using easyc::analysis::run_sweep_shard;
+
+// ~5k grid cells + base + endpoints + draws: big enough that per-cell
+// work dominates, small enough for a quick bench iteration.
+constexpr const char* kSpecText =
+    "aci=0:800:16;pue=1.05:1.95:16;life=2:12:20;mc=200@42";
+constexpr size_t kRecords = 8;
+
+const std::vector<easyc::top500::SystemRecord>& records8() {
+  static const auto kList = [] {
+    auto all = easyc::top500::generate_records();
+    all.resize(kRecords);
+    return all;
+  }();
+  return kList;
+}
+
+const SweepSpec& spec() {
+  static const SweepSpec kSpec = SweepSpec::parse(kSpecText);
+  return kSpec;
+}
+
+// One worker's partial, regenerated per iteration: cells assessed,
+// reduced, and serialized through the EZPART codec.
+void BM_ShardWorker(benchmark::State& state) {
+  const auto ref = ShardRef{1, static_cast<uint32_t>(state.range(0))};
+  size_t cells = 0;
+  for (auto _ : state) {
+    SweepEngine engine;
+    std::ostringstream out;
+    cells = run_sweep_shard(engine, records8(), spec(), ref, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(cells * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardWorker)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Merging N pre-built partials: pure replay + reduction, no
+// assessment. The partial files are built once per run.
+void BM_MergePartials(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  std::vector<std::string> paths;
+  for (uint32_t i = 1; i <= n; ++i) {
+    SweepEngine engine;
+    char name[128];
+    std::snprintf(name, sizeof(name), "/tmp/easyc-bench-%d-%u-%u.ezpart",
+                  static_cast<int>(::getpid()), i, n);
+    std::ofstream out(name, std::ios::binary | std::ios::trunc);
+    run_sweep_shard(engine, records8(), spec(), ShardRef{i, n}, out);
+    paths.push_back(name);
+  }
+  size_t cells = 0;
+  for (auto _ : state) {
+    const auto report = easyc::analysis::merge_sweep_partials(
+        paths, records8(), spec(), MergeOptions{});
+    cells = report.total_cells;
+    benchmark::DoNotOptimize(report.base.annualized_mt);
+  }
+  for (const auto& p : paths) std::remove(p.c_str());
+  state.counters["cells_per_s"] = benchmark::Counter(
+      static_cast<double>(cells * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MergePartials)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

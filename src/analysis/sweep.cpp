@@ -32,29 +32,6 @@ std::string endpoint_name(SweepAxis axis, double value) {
          format_axis_value(value);
 }
 
-// One multi-valued axis's tornado endpoints. Deriving expansion, the
-// retained-results map, and the tornado reduction from this single
-// helper keeps their cell names structurally incapable of diverging.
-struct AxisEndpoints {
-  SweepAxis axis = SweepAxis::kAci;
-  double low = 0.0;
-  double high = 0.0;
-  std::string low_name;
-  std::string high_name;
-};
-
-std::vector<AxisEndpoints> tornado_endpoints(const SweepSpec& spec) {
-  std::vector<AxisEndpoints> out;
-  for (const auto& a : spec.axes) {
-    if (a.values.size() < 2) continue;
-    const auto [lo, hi] =
-        std::minmax_element(a.values.begin(), a.values.end());
-    out.push_back({a.axis, *lo, *hi, endpoint_name(a.axis, *lo),
-                   endpoint_name(a.axis, *hi)});
-  }
-  return out;
-}
-
 constexpr std::string_view kBaseCellName = "sweep/base";
 
 // Physical-range guard for axis values, applied at parse time so a
@@ -83,6 +60,18 @@ const char* axis_range_complaint(SweepAxis axis, double v) {
 }
 
 }  // namespace
+
+std::vector<TornadoEndpoint> tornado_endpoints(const SweepSpec& spec) {
+  std::vector<TornadoEndpoint> out;
+  for (const auto& a : spec.axes) {
+    if (a.values.size() < 2) continue;
+    const auto [lo, hi] =
+        std::minmax_element(a.values.begin(), a.values.end());
+    out.push_back({a.axis, *lo, *hi, endpoint_name(a.axis, *lo),
+                   endpoint_name(a.axis, *hi)});
+  }
+  return out;
+}
 
 std::string_view axis_name(SweepAxis axis) {
   switch (axis) {
@@ -420,6 +409,23 @@ std::optional<SweepStatsMode> sweep_stats_mode_from_name(
   return std::nullopt;
 }
 
+SweepCell make_sweep_cell(const ScenarioResults& r) {
+  SweepCell cell;
+  cell.name = r.spec.name;
+  cell.description = r.spec.description;
+  cell.kind = cell_kind_from_name(r.spec.name);
+  cell.fingerprint = r.spec.fingerprint();
+  for (size_t a = 0; a < kNumSweepAxes; ++a) {
+    cell.coords[a] = axis_value(r.spec, static_cast<SweepAxis>(a));
+  }
+  cell.op_total_mt = r.total(true);
+  cell.emb_total_mt = r.total(false);
+  cell.annualized_mt = r.annualized_total_mt();
+  cell.op_covered = r.coverage.operational;
+  cell.emb_covered = r.coverage.embodied;
+  return cell;
+}
+
 SweepReduction::SweepReduction(bool streaming) : streaming_(streaming) {}
 
 void SweepReduction::add(const SweepCell& cell) {
@@ -433,6 +439,64 @@ void SweepReduction::add(const SweepCell& cell) {
     v_op_.push_back(cell.op_total_mt);
     v_emb_.push_back(cell.emb_total_mt);
   }
+}
+
+void SweepReduction::merge(const SweepReduction& other) {
+  if (streaming_ != other.streaming_) {
+    throw util::Error(
+        "SweepReduction::merge: cannot combine exact and streaming "
+        "reductions");
+  }
+  count_ += other.count_;
+  if (streaming_) {
+    s_annualized_.merge(other.s_annualized_);
+    s_op_.merge(other.s_op_);
+    s_emb_.merge(other.s_emb_);
+  } else {
+    // Concatenation in shard order reproduces the single-process feed
+    // order exactly, so the eventual summarize() is byte-identical.
+    v_annualized_.insert(v_annualized_.end(), other.v_annualized_.begin(),
+                         other.v_annualized_.end());
+    v_op_.insert(v_op_.end(), other.v_op_.begin(), other.v_op_.end());
+    v_emb_.insert(v_emb_.end(), other.v_emb_.begin(), other.v_emb_.end());
+  }
+}
+
+void SweepReduction::encode(util::BinaryWriter& w) const {
+  w.boolean(streaming_);
+  w.u64(count_);
+  if (streaming_) {
+    s_annualized_.encode(w);
+    s_op_.encode(w);
+    s_emb_.encode(w);
+  } else {
+    for (const auto* v : {&v_annualized_, &v_op_, &v_emb_}) {
+      w.u64(v->size());
+      for (const double x : *v) w.f64(x);
+    }
+  }
+}
+
+SweepReduction SweepReduction::decode(util::BinaryReader& r) {
+  SweepReduction out(r.boolean());
+  out.count_ = static_cast<size_t>(r.u64());
+  if (out.streaming_) {
+    out.s_annualized_ = util::StreamingSummary::decode(r);
+    out.s_op_ = util::StreamingSummary::decode(r);
+    out.s_emb_ = util::StreamingSummary::decode(r);
+  } else {
+    for (auto* v : {&out.v_annualized_, &out.v_op_, &out.v_emb_}) {
+      const uint64_t n = r.u64();
+      if (n != out.count_) {
+        throw util::CodecError(
+            "sweep reduction series holds " + std::to_string(n) +
+            " values for " + std::to_string(out.count_) + " cells");
+      }
+      v->reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) v->push_back(r.f64());
+    }
+  }
+  return out;
 }
 
 util::Summary SweepReduction::annualized_mt() const {
@@ -583,27 +647,15 @@ void BinaryCellSink::finish() {
   finished_ = true;
 }
 
-namespace {
-
-std::string read_exact(std::istream& in, size_t n, const char* what) {
-  std::string buf(n, '\0');
-  in.read(buf.data(), static_cast<std::streamsize>(n));
-  if (static_cast<size_t>(in.gcount()) != n) {
-    throw util::CodecError(std::string("truncated cell export: need ") +
-                           std::to_string(n) + " bytes for " + what);
-  }
-  return buf;
-}
-
-}  // namespace
-
-size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
-  if (read_exact(in, BinaryCellSink::kMagic.size(), "magic") !=
+size_t read_binary_cells(std::istream& in, SweepCellSink& sink,
+                         bool expect_eof) {
+  using util::read_stream_exact;
+  if (read_stream_exact(in, BinaryCellSink::kMagic.size(), "magic") !=
       BinaryCellSink::kMagic) {
     throw util::CodecError("not an EZCELLS cell export (bad magic)");
   }
   {
-    const std::string bytes = read_exact(in, 4, "format version");
+    const std::string bytes = read_stream_exact(in, 4, "format version");
     const uint32_t version = util::BinaryReader(bytes).u32();
     if (version != BinaryCellSink::kFormatVersion) {
       throw util::CodecError(
@@ -613,7 +665,7 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
   }
   const auto& cols = CsvCellSink::columns();
   {
-    const std::string bytes = read_exact(in, 4, "column count");
+    const std::string bytes = read_stream_exact(in, 4, "column count");
     const uint32_t ncols = util::BinaryReader(bytes).u32();
     if (ncols != cols.size()) {
       throw util::CodecError("cell export has " + std::to_string(ncols) +
@@ -622,14 +674,14 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
     }
   }
   for (const auto& expected : cols) {
-    const std::string len_bytes = read_exact(in, 8, "column name length");
+    const std::string len_bytes = read_stream_exact(in, 8, "column name length");
     const uint64_t len = util::BinaryReader(len_bytes).u64();
     if (len > 4096) {
       throw util::CodecError("implausible column name length " +
                              std::to_string(len));
     }
     const std::string name =
-        read_exact(in, static_cast<size_t>(len), "column name");
+        read_stream_exact(in, static_cast<size_t>(len), "column name");
     if (name != expected) {
       throw util::CodecError("cell export column '" + name +
                              "' where '" + expected + "' was expected");
@@ -638,9 +690,9 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
 
   size_t cells = 0;
   for (;;) {
-    const std::string tag = read_exact(in, 1, "block tag");
+    const std::string tag = read_stream_exact(in, 1, "block tag");
     if (tag[0] == 'E') {
-      const std::string body = read_exact(in, 16, "footer");
+      const std::string body = read_stream_exact(in, 16, "footer");
       util::BinaryReader r(body);
       const uint64_t total = r.u64();
       const uint64_t sum = r.u64();
@@ -652,7 +704,7 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
             "cell export footer claims " + std::to_string(total) +
             " cells, decoded " + std::to_string(cells));
       }
-      if (in.peek() != std::char_traits<char>::eof()) {
+      if (expect_eof && in.peek() != std::char_traits<char>::eof()) {
         throw util::CodecError("trailing bytes after cell export footer");
       }
       return cells;
@@ -661,7 +713,7 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
       throw util::CodecError("unknown cell export block tag " +
                              std::to_string(static_cast<int>(tag[0])));
     }
-    const std::string head = read_exact(in, 24, "block header");
+    const std::string head = read_stream_exact(in, 24, "block header");
     util::BinaryReader hr(head);
     const uint64_t n = hr.u64();
     const uint64_t payload_size = hr.u64();
@@ -681,7 +733,7 @@ size_t read_binary_cells(std::istream& in, SweepCellSink& sink) {
                              " payload bytes");
     }
     const std::string payload =
-        read_exact(in, static_cast<size_t>(payload_size), "block payload");
+        read_stream_exact(in, static_cast<size_t>(payload_size), "block payload");
     if (util::checksum64(payload) != sum) {
       throw util::CodecError("cell block checksum mismatch");
     }
@@ -766,7 +818,7 @@ SweepReport SweepEngine::run_round(
   // The tornado reduction needs full per-record series for every
   // endpoint; everything else is reduced to aggregates as its batch
   // completes, keeping peak memory at one batch.
-  const std::vector<AxisEndpoints> endpoints = tornado_endpoints(spec);
+  const std::vector<TornadoEndpoint> endpoints = tornado_endpoints(spec);
   std::map<std::string, ScenarioResults> retained;
   for (const auto& e : endpoints) {
     retained[e.low_name] = {};
@@ -815,20 +867,7 @@ SweepReport SweepEngine::run_round(
     EditionAssessment assessed = options_.engine->assess(records, batch);
     ++report.batches;
     for (auto& r : assessed.scenarios) {
-      SweepCell cell;
-      cell.name = r.spec.name;
-      cell.description = r.spec.description;
-      cell.kind = cell_kind_from_name(r.spec.name);
-      cell.fingerprint = r.spec.fingerprint();
-      for (size_t a = 0; a < kNumSweepAxes; ++a) {
-        cell.coords[a] = axis_value(r.spec, static_cast<SweepAxis>(a));
-      }
-      cell.op_total_mt = r.total(true);
-      cell.emb_total_mt = r.total(false);
-      cell.annualized_mt = r.annualized_total_mt();
-      cell.op_covered = r.coverage.operational;
-      cell.emb_covered = r.coverage.embodied;
-
+      SweepCell cell = make_sweep_cell(r);
       const size_t index = cell_index++;
       if (index == 0) report.base = cell;
       reduction.add(cell);

@@ -216,6 +216,12 @@ struct SweepCell {
   int emb_covered = 0;
 };
 
+/// Reduce one assessed scenario to its SweepCell aggregates — the one
+/// projection both the in-process sweep loop and the shard worker
+/// (sweep_shard.hpp) apply, so a sharded run cannot drift from a
+/// single-process one cell field by cell field.
+SweepCell make_sweep_cell(const ScenarioResults& results);
+
 /// Streaming consumer of per-cell sweep results. `cell` is invoked once
 /// per assessed cell, always in deterministic order — rounds ascending,
 /// cells in expansion order within a round — regardless of thread
@@ -311,7 +317,31 @@ class BinaryCellSink : public SweepCellSink {
 /// schema drift, truncation (including a missing footer), or trailing
 /// garbage. `read_binary_cells(in, CsvCellSink(out))` reproduces the
 /// direct CSV export of the same sweep byte for byte.
-size_t read_binary_cells(std::istream& in, SweepCellSink& sink);
+///
+/// `expect_eof` (default) rejects trailing bytes after the footer — a
+/// standalone export file must end there. The EZPART partial codec
+/// embeds an EZCELLS stream mid-file and passes false: the stream is
+/// self-delimiting (the checksummed footer), so the reader stops
+/// exactly at its end and leaves the stream positioned on whatever
+/// follows.
+size_t read_binary_cells(std::istream& in, SweepCellSink& sink,
+                         bool expect_eof = true);
+
+/// One multi-valued axis's tornado endpoints: the extreme values and
+/// the deterministic cell names the expansion gives them. Expansion,
+/// the engine's retained-results map, the tornado reduction, and the
+/// shard partial codec all derive from this one helper, so their cell
+/// names are structurally incapable of diverging. Endpoints occupy
+/// expansion indices [1, 1 + 2*size()): low then high, spec axis order.
+struct TornadoEndpoint {
+  SweepAxis axis = SweepAxis::kAci;
+  double low = 0.0;
+  double high = 0.0;
+  std::string low_name;
+  std::string high_name;
+};
+
+std::vector<TornadoEndpoint> tornado_endpoints(const SweepSpec& spec);
 
 /// One axis's tornado bar: the base-anchored swing between the axis's
 /// extreme values with every other knob at the base scenario's value.
@@ -378,6 +408,17 @@ std::optional<SweepStatsMode> sweep_stats_mode_from_name(
 /// (util::StreamingSummary) per distribution. Either way the feed
 /// order is the expansion order, so results are bit-stable for any
 /// thread count, batch size, or cache state.
+///
+/// The reduction is also the unit a sharded sweep ships between
+/// processes (the EZPART partial codec, sweep_shard.hpp): encode/decode
+/// round-trip the full state bit for bit, and merge() folds the next
+/// shard's partial in. Exact-mode partials merge by series
+/// concatenation — shard order is expansion order, so the merged
+/// summaries are byte-identical to a single process's. Streaming-mode
+/// partials merge their moment cores exactly (count/min/max; total via
+/// the Kahan fold) and their quantile estimators via the approximate
+/// P² combine — deterministic for a fixed shard count, documented in
+/// README.md.
 class SweepReduction {
  public:
   explicit SweepReduction(bool streaming);
@@ -385,6 +426,16 @@ class SweepReduction {
   void add(const SweepCell& cell);
   size_t count() const { return count_; }
   bool streaming() const { return streaming_; }
+
+  /// Fold `other` — the reduction over the next contiguous shard of
+  /// the same expansion — into this one. Throws util::Error when the
+  /// modes disagree.
+  void merge(const SweepReduction& other);
+
+  /// Bit-exact state round trip (mode, count, and either the raw
+  /// exact-mode series or the three streaming estimator states).
+  void encode(util::BinaryWriter& w) const;
+  static SweepReduction decode(util::BinaryReader& r);
 
   /// Finalized distributions (exact mode sorts here).
   util::Summary annualized_mt() const;
@@ -519,6 +570,10 @@ class SweepEngine {
 
   /// The engine the sweep runs on (the shared one, or the private one).
   AssessmentEngine& engine();
+
+  /// The effective options (with `engine` filled in when a private one
+  /// was constructed). The shard runner reads batch/stats knobs here.
+  const Options& options() const { return options_; }
 
  private:
   SweepReport run_round(const std::vector<top500::SystemRecord>& records,

@@ -3,7 +3,10 @@
 #include <errno.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
+#include <stdlib.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -12,6 +15,7 @@
 #include <fstream>
 #include <utility>
 
+#include "analysis/sweep_shard.hpp"
 #include "analysis/turnover.hpp"
 #include "easyc/codec.hpp"
 #include "report/experiments.hpp"
@@ -97,21 +101,42 @@ AssessmentServer::~AssessmentServer() {
 
 std::vector<std::string> AssessmentServer::warm_start() {
   std::vector<std::string> notes;
-  if (!options_.cache_file) return notes;
-  const std::string& path = *options_.cache_file;
-  if (std::ifstream probe(path, std::ios::binary); probe) {
+  if (options_.cache_file) {
+    const std::string& path = *options_.cache_file;
+    if (std::ifstream probe(path, std::ios::binary); probe) {
+      try {
+        const size_t n = engine_.load_cache(path);
+        notes.push_back("cache warm-start: " + std::to_string(n) +
+                        " entries from " + path);
+      } catch (const util::Error& e) {
+        // A cache is advisory: a stale/corrupt/unreadable snapshot costs
+        // a cold start, never a wrong result or a failed one.
+        notes.push_back("cache file " + path + " rejected (" + e.what() +
+                        "); starting cold");
+      }
+    } else {
+      notes.push_back("cache file " + path + " not found; starting cold");
+    }
+  }
+  for (std::string& note : load_extra_snapshots(options_.cache_load)) {
+    notes.push_back(std::move(note));
+  }
+  return notes;
+}
+
+std::vector<std::string> AssessmentServer::load_extra_snapshots(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> notes;
+  for (const std::string& path : paths) {
     try {
       const size_t n = engine_.load_cache(path);
-      notes.push_back("cache warm-start: " + std::to_string(n) +
-                      " entries from " + path);
+      notes.push_back("cache load: " + std::to_string(n) + " entries from " +
+                      path);
     } catch (const util::Error& e) {
-      // A cache is advisory: a stale/corrupt/unreadable snapshot costs
-      // a cold start, never a wrong result or a failed one.
-      notes.push_back("cache file " + path + " rejected (" + e.what() +
-                      "); starting cold");
+      // Same advisory posture as warm_start: restore() is additive and
+      // rejects before mutating, so a bad extra snapshot costs nothing.
+      notes.push_back("cache load " + path + " rejected (" + e.what() + ")");
     }
-  } else {
-    notes.push_back("cache file " + path + " not found; starting cold");
   }
   return notes;
 }
@@ -328,15 +353,6 @@ void AssessmentServer::do_sweep(const Request& request, Reply& reply,
   const analysis::SweepSpec spec =
       analysis::SweepSpec::parse(request.axes, scenarios_.at(base_name));
   const size_t cells = spec.total_cells();
-  if (cells > options_.max_sweep_cells) {
-    throw ProtocolError(
-        "sweep expands to " + std::to_string(cells) +
-        " cells; this server accepts at most " +
-        std::to_string(options_.max_sweep_cells) +
-        " per request — split the grid or raise --max-sweep-cells");
-  }
-  reply.notes.push_back("expanding " + std::to_string(cells) +
-                        " derived scenarios from '" + base_name + "'...");
 
   const std::vector<top500::SystemRecord>* records = &records_;
   std::vector<top500::SystemRecord> limited;
@@ -345,6 +361,21 @@ void AssessmentServer::do_sweep(const Request& request, Reply& reply,
                    records_.begin() + static_cast<long>(*request.records));
     records = &limited;
   }
+
+  if (cells > options_.max_sweep_cells) {
+    if (options_.shard_workers >= 2 && !options_.shard_exec.empty()) {
+      do_sweep_sharded(request, reply, sink, *records, spec, cells);
+      return;
+    }
+    throw ProtocolError(
+        "sweep expands to " + std::to_string(cells) +
+        " cells; this server accepts at most " +
+        std::to_string(options_.max_sweep_cells) +
+        " per request — split the grid, raise --max-sweep-cells, or start "
+        "the server with --shard-workers/--shard-exec to fan out");
+  }
+  reply.notes.push_back("expanding " + std::to_string(cells) +
+                        " derived scenarios from '" + base_name + "'...");
 
   analysis::SweepEngine::Options opt;
   opt.engine = &engine_;
@@ -372,6 +403,155 @@ void AssessmentServer::do_sweep(const Request& request, Reply& reply,
     reply.notes.push_back(buf);
   }
   reply.notes.push_back(cache_note(report.cache));
+}
+
+// The sharded backend: an oversized sweep fans out to shard_workers
+// easyc_cli subprocesses (`--sweep-shard i/N`), each of which ships an
+// EZPART partial plus a cache snapshot into a per-request temp
+// directory; the server merges the partials into the same payload an
+// in-process run renders and absorbs the snapshots into its own cache,
+// so a follow-up request over the same grid is warm.
+void AssessmentServer::do_sweep_sharded(
+    const Request& request, Reply& reply, analysis::SweepCellSink* sink,
+    const std::vector<top500::SystemRecord>& records,
+    const analysis::SweepSpec& spec, size_t cells) {
+  if (request.refine) {
+    throw ProtocolError(
+        "adaptive refinement cannot fan out to shard workers (rounds after "
+        "the first depend on merged marginals) — drop refine= or raise "
+        "--max-sweep-cells");
+  }
+  const unsigned workers = options_.shard_workers;
+
+  // One fresh directory per request: workers never collide, and the
+  // merge never picks up a stale partial from an earlier request.
+  std::string parent = options_.shard_dir;
+  if (parent.empty()) {
+    const char* tmp = ::getenv("TMPDIR");
+    parent = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  }
+  std::string tmpl = parent + "/easyc-shard-XXXXXX";
+  std::vector<char> tmpl_buf(tmpl.begin(), tmpl.end());
+  tmpl_buf.push_back('\0');
+  if (::mkdtemp(tmpl_buf.data()) == nullptr) {
+    throw util::Error("cannot create shard working directory under " + parent);
+  }
+  const std::string dir(tmpl_buf.data());
+
+  std::vector<std::string> partials, snapshots;
+  const auto cleanup = [&]() {
+    for (const std::string& p : partials) ::unlink(p.c_str());
+    for (const std::string& p : snapshots) ::unlink(p.c_str());
+    ::rmdir(dir.c_str());
+  };
+
+  try {
+    const std::string base_name =
+        request.base.empty() ? std::string(analysis::scenarios::kEnhancedName)
+                             : request.base;
+    std::vector<std::string> common = {
+        options_.shard_exec,
+        "--sweep=" + request.axes,
+        "--sweep-base=" + base_name,
+    };
+    if (request.batch) {
+      common.push_back("--sweep-batch=" + std::to_string(*request.batch));
+    }
+    if (request.stats) {
+      common.push_back(
+          "--sweep-stats=" +
+          std::string(analysis::sweep_stats_mode_name(*request.stats)));
+    }
+    if (request.records) {
+      common.push_back("--sweep-records=" + std::to_string(*request.records));
+    }
+
+    std::vector<pid_t> pids;
+    for (unsigned i = 1; i <= workers; ++i) {
+      const std::string part =
+          dir + "/part" + std::to_string(i) + ".ezpart";
+      const std::string snap = dir + "/shard" + std::to_string(i) + ".snap";
+      partials.push_back(part);
+      snapshots.push_back(snap);
+
+      std::vector<std::string> args = common;
+      args.push_back("--sweep-shard=" + std::to_string(i) + "/" +
+                     std::to_string(workers));
+      args.push_back("--shard-out=" + part);
+      args.push_back("--cache-file=" + snap);
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        for (pid_t running : pids) {
+          ::kill(running, SIGTERM);
+          int ignored = 0;
+          ::waitpid(running, &ignored, 0);
+        }
+        throw util::Error("cannot fork shard worker " + std::to_string(i) +
+                          "/" + std::to_string(workers));
+      }
+      if (pid == 0) {
+        ::execv(argv[0], argv.data());
+        // Only reached when exec fails; _exit keeps the child from
+        // running the server's destructors/atexit handlers.
+        ::_exit(127);
+      }
+      pids.push_back(pid);
+    }
+
+    std::string failure;
+    for (unsigned i = 0; i < pids.size(); ++i) {
+      int status = 0;
+      ::waitpid(pids[i], &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        const std::string what =
+            WIFEXITED(status)
+                ? "exit code " + std::to_string(WEXITSTATUS(status))
+                : "signal " + std::to_string(WTERMSIG(status));
+        if (failure.empty()) {
+          failure = "shard worker " + std::to_string(i + 1) + "/" +
+                    std::to_string(workers) + " failed (" + what + ")";
+        }
+      }
+    }
+    if (!failure.empty()) throw ProtocolError(failure);
+
+    reply.notes.push_back("sweep sharded: " + std::to_string(cells) +
+                          " cells over " + std::to_string(workers) +
+                          " worker processes");
+
+    analysis::MergeOptions merge_opt;
+    merge_opt.sink = sink;
+    const analysis::SweepReport report =
+        analysis::merge_sweep_partials(partials, records, spec, merge_opt);
+
+    // Ship the workers' cache state home: restore() is additive and
+    // resident entries win, so this only fills holes.
+    size_t absorbed = 0;
+    for (const std::string& snap : snapshots) {
+      try {
+        absorbed += engine_.load_cache(snap);
+      } catch (const util::Error&) {
+        // Advisory, like every snapshot load: a worker that died after
+        // writing its partial but mid-snapshot costs warmth, not the
+        // merge.
+      }
+    }
+    reply.notes.push_back(
+        "absorbed " + std::to_string(absorbed) + " cache entries from " +
+        std::to_string(snapshots.size()) + " shard snapshots");
+
+    reply.payload = analysis::render_sweep_report(report);
+    reply.notes.push_back(cache_note(report.cache));
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+  cleanup();
 }
 
 void AssessmentServer::enqueue(std::function<void()> job) {

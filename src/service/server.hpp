@@ -76,6 +76,22 @@ struct ServerOptions {
   size_t cache_capacity = 0;
   size_t max_line_bytes = kDefaultMaxLineBytes;
   size_t max_sweep_cells = kDefaultMaxSweepCells;
+  /// Extra snapshot files loaded (additively; resident entries win)
+  /// during warm_start, after cache_file — the path by which a merge
+  /// process re-absorbs the cache state shard workers shipped.
+  std::vector<std::string> cache_load;
+  /// Sweep requests expanding past max_sweep_cells fan out to this
+  /// many worker subprocesses (the sharded backend) instead of being
+  /// refused. 0 or 1 keeps the historical refusal; >= 2 requires
+  /// shard_exec.
+  unsigned shard_workers = 0;
+  /// The easyc_cli binary workers run as (`--sweep-shard i/N`); must
+  /// be set when shard_workers >= 2.
+  std::string shard_exec;
+  /// Directory for worker partials and cache snapshots (one fresh
+  /// subdirectory per sharded request, removed afterwards). Empty =
+  /// $TMPDIR or /tmp.
+  std::string shard_dir;
 };
 
 class AssessmentServer {
@@ -138,11 +154,19 @@ class AssessmentServer {
 
   analysis::AssessmentEngine& engine() { return engine_; }
   const analysis::ScenarioSet& scenarios() const { return scenarios_; }
+  /// The simulated record list every request assesses (the shard
+  /// worker and merge paths must run over exactly this list).
+  const std::vector<top500::SystemRecord>& records() const {
+    return records_;
+  }
   const ServerOptions& options() const { return options_; }
   uint64_t served() const { return served_.load(std::memory_order_relaxed); }
 
  private:
   struct SessionGate;
+
+  std::vector<std::string> load_extra_snapshots(
+      const std::vector<std::string>& paths);
 
   Reply finish_reply(Reply reply, const par::CacheStats& before);
   Reply error_reply(std::string_view id, const std::string& message);
@@ -153,6 +177,10 @@ class AssessmentServer {
   void do_turnover(const Request& request, Reply& reply);
   void do_sweep(const Request& request, Reply& reply,
                 analysis::SweepCellSink* sink);
+  void do_sweep_sharded(const Request& request, Reply& reply,
+                        analysis::SweepCellSink* sink,
+                        const std::vector<top500::SystemRecord>& records,
+                        const analysis::SweepSpec& spec, size_t cells);
 
   const std::vector<top500::ListEdition>& history(int editions);
 

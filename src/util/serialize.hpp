@@ -13,6 +13,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <istream>
 #include <string>
 #include <string_view>
 
@@ -149,6 +150,20 @@ class BinaryReader {
   std::string_view bytes_;
   size_t pos_ = 0;
 };
+
+/// Read exactly `n` bytes from a stream or throw CodecError naming
+/// `what` — the shared truncation guard of every stream-backed codec
+/// (the EZCELLS cell export and EZPART partial-reduction readers).
+inline std::string read_stream_exact(std::istream& in, size_t n,
+                                     const char* what) {
+  std::string buf(n, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in.gcount()) != n) {
+    throw CodecError(std::string("truncated input: need ") +
+                     std::to_string(n) + " bytes for " + what);
+  }
+  return buf;
+}
 
 /// FNV-1a over the bytes: cheap, stable, and sensitive to any flipped
 /// bit — integrity against corruption/truncation, not an authenticator.

@@ -10,6 +10,9 @@
 
 namespace easyc::util {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// Summary of a sample. Computed in one pass (Welford) plus a sort for
 /// the order statistics.
 struct Summary {
@@ -70,6 +73,12 @@ class RunningStat {
   double stddev() const;
   double variance() const;
 
+  /// Bit-exact state round trip (little-endian via util/serialize.hpp):
+  /// a decoded stat continues adding/merging exactly where the encoded
+  /// one stopped. The EZPART partial-reduction codec ships these.
+  void encode(BinaryWriter& w) const;
+  static RunningStat decode(BinaryReader& r);
+
  private:
   size_t count_ = 0;
   double welford_mean_ = 0.0;
@@ -97,6 +106,19 @@ class P2Quantile {
   double value() const;
   size_t count() const { return count_; }
 
+  /// Fold another estimator over the same quantile into this one (shard
+  /// order: `this` is the earlier partition). While either side is
+  /// still in warm-up its stored observations replay exactly; two full
+  /// estimators combine by count-weighted marker averaging (the
+  /// "parallel P²" heuristic) — an approximation, like the estimator
+  /// itself, but a deterministic one: a fixed partition and merge order
+  /// gives bit-stable results. Throws Error when the quantiles differ.
+  void merge(const P2Quantile& other);
+
+  /// Bit-exact state round trip (markers, positions, warm-up sample).
+  void encode(BinaryWriter& w) const;
+  static P2Quantile decode(BinaryReader& r);
+
  private:
   double q_;
   size_t count_ = 0;
@@ -118,9 +140,20 @@ class StreamingSummary {
   void add(double x);
   Summary summary() const;
 
-  /// The mergeable moment core (what a sharded reduction combines; the
-  /// P² markers are stream-order-defined and do not merge).
+  /// The mergeable moment core (what a sharded reduction combines
+  /// exactly; the P² markers merge too, via the approximate
+  /// count-weighted combine documented on P2Quantile::merge).
   const RunningStat& moments() const { return stat_; }
+
+  /// Fold another summary over a later disjoint partition into this
+  /// one. count/min/max merge exactly, total/mean via the Kahan fold,
+  /// mean/variance via Chan; the quantile estimates are the P² merge
+  /// approximation. Deterministic for a fixed partition + merge order.
+  void merge(const StreamingSummary& other);
+
+  /// Bit-exact state round trip (the moment core + all three P² states).
+  void encode(BinaryWriter& w) const;
+  static StreamingSummary decode(BinaryReader& r);
 
  private:
   RunningStat stat_;

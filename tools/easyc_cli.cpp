@@ -21,9 +21,11 @@
 #include "analysis/pipeline.hpp"
 #include "analysis/scenario.hpp"
 #include "analysis/sweep.hpp"
+#include "analysis/sweep_shard.hpp"
 #include "easyc/amortization.hpp"
 #include "easyc/model.hpp"
 #include "service/server.hpp"
+#include "top500/generator.hpp"
 #include "top500/import.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -117,6 +119,19 @@ void declare_flags(util::ArgParser& args) {
                 "the K axes with the largest tornado swings around their "
                 "steepest segments, for R rounds (e.g. 2@2); per-round "
                 "cache stats go to stderr");
+  args.add_flag("sweep-shard",
+                "worker mode i/N (1-based): assess only this shard of the "
+                "expanded grid and write an EZPART partial to --shard-out "
+                "instead of a report; N workers plus --sweep-merge "
+                "reproduce the single-process report byte-for-byte");
+  args.add_flag("shard-out",
+                "EZPART partial output file for --sweep-shard (format in "
+                "README.md)");
+  args.add_flag("sweep-merge",
+                "merge a comma-separated list of EZPART partials (one per "
+                "shard, any order) into the sweep report; the --sweep/"
+                "--sweep-base/--sweep-records flags must repeat the "
+                "workers' spec, and mismatched partials are rejected");
   args.add_flag("help", "show usage", /*takes_value=*/false);
 }
 
@@ -358,6 +373,90 @@ struct CountingSink : easyc::analysis::SweepCellSink {
   }
 };
 
+// Validated --cells-format list ("csv" default when --cells-out is
+// set); empty when there is no export.
+std::vector<std::string> parse_cell_formats(
+    const std::optional<std::string>& cells_out,
+    const std::optional<std::string>& cells_format) {
+  std::vector<std::string> formats;
+  if (cells_format) {
+    if (!cells_out) {
+      throw util::Error("--cells-format requires --cells-out");
+    }
+    for (const auto& raw : util::split(*cells_format, ',')) {
+      const std::string f(util::trim(raw));
+      if (f != "csv" && f != "bin") {
+        throw util::Error("--cells-format wants csv, bin, or csv,bin; "
+                          "got '" + f + "'");
+      }
+      for (const auto& seen : formats) {
+        if (seen == f) {
+          throw util::Error("--cells-format lists '" + f + "' twice");
+        }
+      }
+      formats.push_back(f);
+    }
+  } else if (cells_out) {
+    formats.push_back("csv");
+  }
+  return formats;
+}
+
+// The open --cells-out files plus the single sink the sweep/merge
+// feeds. sink() is computed on demand so the struct stays movable.
+struct CellExportSet {
+  std::vector<std::unique_ptr<CellExport>> exports;
+  std::optional<easyc::analysis::TeeCellSink> tee;
+
+  easyc::analysis::SweepCellSink* sink() {
+    if (tee) return &*tee;
+    return exports.size() == 1 ? exports.front()->sink.get() : nullptr;
+  }
+};
+
+CellExportSet open_cell_exports(const std::optional<std::string>& cells_out,
+                                const std::vector<std::string>& formats) {
+  CellExportSet set;
+  for (const auto& f : formats) {
+    auto ex = std::make_unique<CellExport>();
+    ex->binary = (f == "bin");
+    // One format writes exactly --cells-out; two write <file>.csv and
+    // <file>.bin alongside each other.
+    ex->path = formats.size() == 1 ? *cells_out : *cells_out + "." + f;
+    ex->stream.open(ex->path, std::ios::binary);
+    if (!ex->stream) {
+      throw util::Error("cannot open --cells-out file: " + ex->path);
+    }
+    if (ex->binary) {
+      ex->sink = std::make_unique<easyc::analysis::BinaryCellSink>(ex->stream);
+    } else {
+      ex->sink = std::make_unique<easyc::analysis::CsvCellSink>(ex->stream);
+    }
+    set.exports.push_back(std::move(ex));
+  }
+  if (set.exports.size() > 1) {
+    std::vector<easyc::analysis::SweepCellSink*> sinks;
+    for (const auto& ex : set.exports) sinks.push_back(ex->sink.get());
+    set.tee.emplace(sinks);
+  }
+  return set;
+}
+
+void finish_cell_exports(CellExportSet& set, size_t rows) {
+  for (const auto& ex : set.exports) {
+    if (auto* bin =
+            dynamic_cast<easyc::analysis::BinaryCellSink*>(ex->sink.get())) {
+      bin->finish();
+    }
+    ex->stream.close();
+    if (!ex->stream) {
+      throw util::Error("write failed for --cells-out file: " + ex->path);
+    }
+    std::fprintf(stderr, "wrote %zu cell rows to %s\n", rows,
+                 ex->path.c_str());
+  }
+}
+
 int run_sweep(const std::string& axis_text, const std::string& base_name,
               std::optional<long long> threads,
               std::optional<long long> batch,
@@ -396,27 +495,8 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
     request.stats = *parsed;
   }
 
-  std::vector<std::string> formats;
-  if (cells_format) {
-    if (!cells_out) {
-      throw util::Error("--cells-format requires --cells-out");
-    }
-    for (const auto& raw : util::split(*cells_format, ',')) {
-      const std::string f(util::trim(raw));
-      if (f != "csv" && f != "bin") {
-        throw util::Error("--cells-format wants csv, bin, or csv,bin; "
-                          "got '" + f + "'");
-      }
-      for (const auto& seen : formats) {
-        if (seen == f) {
-          throw util::Error("--cells-format lists '" + f + "' twice");
-        }
-      }
-      formats.push_back(f);
-    }
-  } else if (cells_out) {
-    formats.push_back("csv");
-  }
+  const std::vector<std::string> formats =
+      parse_cell_formats(cells_out, cells_format);
 
   if (sweep_records) {
     if (*sweep_records < 1) {
@@ -436,64 +516,159 @@ int run_sweep(const std::string& axis_text, const std::string& base_name,
                                     server.scenarios().at(base_name));
   print_notes(server.warm_start());
 
-  std::vector<std::unique_ptr<CellExport>> exports;
-  for (const auto& f : formats) {
-    auto ex = std::make_unique<CellExport>();
-    ex->binary = (f == "bin");
-    // One format writes exactly --cells-out; two write <file>.csv and
-    // <file>.bin alongside each other.
-    ex->path = formats.size() == 1 ? *cells_out : *cells_out + "." + f;
-    ex->stream.open(ex->path, std::ios::binary);
-    if (!ex->stream) {
-      throw util::Error("cannot open --cells-out file: " + ex->path);
-    }
-    if (ex->binary) {
-      ex->sink =
-          std::make_unique<easyc::analysis::BinaryCellSink>(ex->stream);
-    } else {
-      ex->sink = std::make_unique<easyc::analysis::CsvCellSink>(ex->stream);
-    }
-    exports.push_back(std::move(ex));
-  }
-  std::vector<easyc::analysis::SweepCellSink*> sink_ptrs;
-  for (const auto& ex : exports) sink_ptrs.push_back(ex->sink.get());
-  std::optional<easyc::analysis::TeeCellSink> tee;
-  easyc::analysis::SweepCellSink* sink = nullptr;
-  if (sink_ptrs.size() == 1) {
-    sink = sink_ptrs.front();
-  } else if (sink_ptrs.size() > 1) {
-    tee.emplace(sink_ptrs);
-    sink = &*tee;
-  }
+  CellExportSet exports = open_cell_exports(cells_out, formats);
 
   // The server streams every cell through the counter (and on to the
   // export sinks); its reply payload is the deterministic report and
   // its notes carry the cache-state-dependent diagnostics (per-round
   // hit rates, the cumulative cache line) that belong on stderr.
   CountingSink counter;
-  counter.inner = sink;
+  counter.inner = exports.sink();
   const easyc::service::Reply reply = server.execute(request, &counter);
   if (!reply.ok) {
     std::fprintf(stderr, "error: %s", reply.payload.c_str());
     return 1;
   }
 
-  for (const auto& ex : exports) {
-    if (auto* bin =
-            dynamic_cast<easyc::analysis::BinaryCellSink*>(ex->sink.get())) {
-      bin->finish();
-    }
-    ex->stream.close();
-    if (!ex->stream) {
-      throw util::Error("write failed for --cells-out file: " + ex->path);
-    }
-    std::fprintf(stderr, "wrote %zu cell rows to %s\n", counter.rows,
-                 ex->path.c_str());
-  }
+  finish_cell_exports(exports, counter.rows);
 
   std::fputs(reply.payload.c_str(), stdout);
   print_notes(reply.notes);
   print_notes(server.save_snapshot());
+  return 0;
+}
+
+// --sweep-shard worker: assess one contiguous shard of the expanded
+// grid and ship an EZPART partial (plus, with --cache-file, a cache
+// snapshot the merge process can re-absorb). No report on stdout —
+// the partial IS the output.
+int run_shard_worker(const std::string& axis_text,
+                     const std::string& base_name,
+                     const std::string& shard_text,
+                     const std::string& out_path,
+                     std::optional<long long> threads,
+                     std::optional<long long> batch,
+                     const std::optional<std::string>& cache_file,
+                     const std::optional<std::string>& stats_text,
+                     std::optional<long long> sweep_records,
+                     const std::optional<std::string>& kernel_text) {
+  const auto ref = easyc::analysis::ShardRef::parse(shard_text);
+
+  easyc::service::ServerOptions options;
+  if (threads) {
+    if (*threads < 1) throw util::Error("--threads must be at least 1");
+    options.threads = static_cast<unsigned>(*threads);
+  }
+  options.admission = 1;
+  options.cache_file = cache_file;
+  options.batch_kernel = parse_batch_kernel(kernel_text);
+
+  easyc::analysis::SweepEngine::Options opt;
+  if (batch) {
+    if (*batch < 1) throw util::Error("--sweep-batch must be at least 1");
+    opt.batch_size = static_cast<size_t>(*batch);
+  }
+  if (stats_text) {
+    const auto parsed =
+        easyc::analysis::sweep_stats_mode_from_name(*stats_text);
+    if (!parsed) {
+      throw util::Error("--sweep-stats wants exact, streaming, or auto; "
+                        "got '" + *stats_text + "'");
+    }
+    opt.stats = *parsed;
+  }
+  opt.retain_cells = false;
+
+  easyc::service::AssessmentServer server(options);
+  const easyc::analysis::SweepSpec spec = easyc::analysis::SweepSpec::parse(
+      axis_text, server.scenarios().at(base_name));
+  print_notes(server.warm_start());
+
+  // Same truncation rule as the server's sweep path: the merge rejects
+  // partials whose records fingerprint disagrees, so every worker must
+  // apply --sweep-records identically.
+  const std::vector<easyc::top500::SystemRecord>* records = &server.records();
+  std::vector<easyc::top500::SystemRecord> limited;
+  if (sweep_records) {
+    if (*sweep_records < 1) {
+      throw util::Error("--sweep-records must be at least 1");
+    }
+    if (static_cast<size_t>(*sweep_records) < records->size()) {
+      limited.assign(records->begin(),
+                     records->begin() + static_cast<long>(*sweep_records));
+      records = &limited;
+    }
+  }
+
+  opt.engine = &server.engine();
+  easyc::analysis::SweepEngine sweep(opt);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) throw util::Error("cannot open --shard-out file: " + out_path);
+  const size_t n =
+      easyc::analysis::run_sweep_shard(sweep, *records, spec, ref, out);
+  out.close();
+  if (!out) {
+    throw util::Error("write failed for --shard-out file: " + out_path);
+  }
+  std::fprintf(stderr, "shard %s: %zu of %zu cells -> %s\n",
+               ref.to_string().c_str(), n, spec.total_cells(),
+               out_path.c_str());
+  print_notes(server.save_snapshot());
+  return 0;
+}
+
+// --sweep-merge: combine one complete set of EZPART partials into the
+// report (and optional --cells-out streams) the single-process run
+// produces. Pure file work — no engine, no assessment.
+int run_sweep_merge(const std::string& axis_text,
+                    const std::string& base_name,
+                    const std::string& merge_text,
+                    std::optional<long long> sweep_records,
+                    const std::optional<std::string>& cells_out,
+                    const std::optional<std::string>& cells_format) {
+  std::vector<std::string> paths;
+  for (const auto& raw : util::split(merge_text, ',')) {
+    const std::string p(util::trim(raw));
+    if (!p.empty()) paths.push_back(p);
+  }
+  if (paths.empty()) {
+    throw util::Error(
+        "--sweep-merge wants a comma-separated list of EZPART partials");
+  }
+
+  const auto set = cli_scenarios();
+  const easyc::analysis::SweepSpec spec =
+      easyc::analysis::SweepSpec::parse(axis_text, set.at(base_name));
+
+  // The same simulated list every AssessmentServer constructs — the
+  // partials' records fingerprint is checked against exactly this.
+  std::vector<easyc::top500::SystemRecord> records =
+      easyc::top500::generate_records();
+  if (sweep_records) {
+    if (*sweep_records < 1) {
+      throw util::Error("--sweep-records must be at least 1");
+    }
+    if (static_cast<size_t>(*sweep_records) < records.size()) {
+      records.resize(static_cast<size_t>(*sweep_records));
+    }
+  }
+
+  const std::vector<std::string> formats =
+      parse_cell_formats(cells_out, cells_format);
+  CellExportSet exports = open_cell_exports(cells_out, formats);
+  CountingSink counter;
+  counter.inner = exports.sink();
+
+  easyc::analysis::MergeOptions merge_opt;
+  merge_opt.sink = &counter;
+  const easyc::analysis::SweepReport report =
+      easyc::analysis::merge_sweep_partials(paths, records, spec, merge_opt);
+
+  finish_cell_exports(exports, counter.rows);
+  std::fprintf(stderr, "merged %zu partials covering %zu cells\n",
+               paths.size(), report.total_cells);
+  std::fputs(easyc::analysis::render_sweep_report(report).c_str(), stdout);
   return 0;
 }
 
@@ -538,13 +713,44 @@ int main(int argc, char** argv) {
       }
     };
     if (auto sweep_spec = args.get("sweep")) {
+      const std::string base = args.get("sweep-base").value_or(
+          std::string(easyc::analysis::scenarios::kEnhancedName));
+      if (args.has("sweep-shard") && args.has("sweep-merge")) {
+        throw util::Error(
+            "--sweep-shard (produce a partial) conflicts with --sweep-merge "
+            "(combine partials); run them as separate steps");
+      }
+      if (auto shard = args.get("sweep-shard")) {
+        require_only("sweep-shard",
+                     {"sweep", "sweep-base", "sweep-shard", "shard-out",
+                      "threads", "sweep-batch", "cache-file", "sweep-stats",
+                      "sweep-records", "batch-kernel"});
+        auto out = args.get("shard-out");
+        if (!out) {
+          throw util::Error("--sweep-shard needs --shard-out=<partial file>");
+        }
+        return run_shard_worker(*sweep_spec, base, *shard, *out,
+                                args.get_int("threads"),
+                                args.get_int("sweep-batch"),
+                                args.get("cache-file"),
+                                args.get("sweep-stats"),
+                                args.get_int("sweep-records"),
+                                args.get("batch-kernel"));
+      }
+      if (auto merge = args.get("sweep-merge")) {
+        require_only("sweep-merge",
+                     {"sweep", "sweep-base", "sweep-merge", "sweep-records",
+                      "cells-out", "cells-format"});
+        return run_sweep_merge(*sweep_spec, base, *merge,
+                               args.get_int("sweep-records"),
+                               args.get("cells-out"),
+                               args.get("cells-format"));
+      }
       require_only("sweep",
                    {"sweep", "sweep-base", "threads", "sweep-batch",
                     "cache-file", "cells-out", "cells-format", "sweep-stats",
                     "sweep-records", "sweep-refine", "batch-kernel"});
-      return run_sweep(*sweep_spec,
-                       args.get("sweep-base").value_or(std::string(
-                           easyc::analysis::scenarios::kEnhancedName)),
+      return run_sweep(*sweep_spec, base,
                        args.get_int("threads"), args.get_int("sweep-batch"),
                        args.get("cache-file"), args.get("cells-out"),
                        args.get("cells-format"), args.get("sweep-stats"),
@@ -553,7 +759,9 @@ int main(int argc, char** argv) {
     }
     for (const char* sweep_only : {"sweep-base", "threads", "sweep-batch",
                                    "cells-out", "cells-format", "sweep-stats",
-                                   "sweep-records", "sweep-refine"}) {
+                                   "sweep-records", "sweep-refine",
+                                   "sweep-shard", "shard-out",
+                                   "sweep-merge"}) {
       if (args.has(sweep_only)) {
         throw util::Error(std::string("--") + sweep_only +
                           " applies only to --sweep runs");

@@ -27,6 +27,7 @@
 #include "service/server.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -100,7 +101,21 @@ int main(int argc, char** argv) {
                 "resident assessment bound (default 0 = unbounded)");
   args.add_flag("max-sweep-cells",
                 "reject sweep requests expanding past this many cells "
-                "(default 1048576)");
+                "(default 1048576) — unless --shard-workers fans them out");
+  args.add_flag("shard-workers",
+                "fan sweep requests above --max-sweep-cells out to this "
+                "many easyc --sweep-shard worker subprocesses and merge "
+                "their EZPART partials (default 0 = refuse oversized "
+                "sweeps); needs --shard-exec");
+  args.add_flag("shard-exec",
+                "path to the easyc CLI binary --shard-workers launches");
+  args.add_flag("shard-dir",
+                "directory for per-request shard working subdirectories "
+                "(default: $TMPDIR or /tmp)");
+  args.add_flag("cache-load",
+                "comma-separated extra snapshot files loaded additively "
+                "after --cache-file at startup (resident entries win) — "
+                "e.g. the snapshots a sharded run's workers shipped");
   args.add_flag("help", "show usage", /*takes_value=*/false);
   args.allow_positional(false);
 
@@ -133,6 +148,35 @@ int main(int argc, char** argv) {
         throw util::Error("--max-sweep-cells must be at least 1");
       }
       options.max_sweep_cells = static_cast<size_t>(*cells);
+    }
+    if (auto workers = args.get_int("shard-workers")) {
+      if (*workers < 0) {
+        throw util::Error("--shard-workers must be non-negative");
+      }
+      if (*workers == 1) {
+        throw util::Error(
+            "--shard-workers wants 0 (refuse oversized sweeps) or >= 2 "
+            "(fan out); a 1-worker fan-out is just a slower refusal of "
+            "--max-sweep-cells");
+      }
+      options.shard_workers = static_cast<unsigned>(*workers);
+    }
+    if (auto exec = args.get("shard-exec")) options.shard_exec = *exec;
+    if (options.shard_workers >= 2 && options.shard_exec.empty()) {
+      throw util::Error("--shard-workers needs --shard-exec=<easyc binary>");
+    }
+    if (!options.shard_exec.empty() && options.shard_workers < 2) {
+      throw util::Error("--shard-exec applies only with --shard-workers");
+    }
+    if (auto dir = args.get("shard-dir")) options.shard_dir = *dir;
+    if (args.has("shard-dir") && options.shard_workers < 2) {
+      throw util::Error("--shard-dir applies only with --shard-workers");
+    }
+    if (auto loads = args.get("cache-load")) {
+      for (const auto& raw : util::split(*loads, ',')) {
+        const std::string path(util::trim(raw));
+        if (!path.empty()) options.cache_load.push_back(path);
+      }
     }
     std::optional<long long> tcp_port = args.get_int("tcp");
     if (args.has("tcp") && !tcp_port) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Run a sharded easyc sweep: N `--sweep-shard i/N` worker processes in
+parallel, then one `--sweep-merge` step, printing the merged report (which
+is byte-identical to a single-process `--sweep` run in exact stats mode).
+
+Standard library only. Example:
+
+    tools/easyc_sweep_shard.py --cli build/easyc_cli --workers 4 \
+        --sweep 'aci=25:600:6;pue=1.1,1.3,1.6;util=0.5:0.95:4;mc=800@42' \
+        --sweep-records 40 --cells-out cells.csv
+
+Worker partials (part<i>.ezpart) and cache snapshots (shard<i>.snap) land
+in --dir (default: a fresh temp directory, removed afterwards unless
+--keep). The snapshots are what a later run loads with easyc_serve's
+--cache-load to start warm.
+"""
+import argparse
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="shard an easyc sweep over worker processes and merge")
+    parser.add_argument("--cli", required=True,
+                        help="path to the easyc_cli binary")
+    parser.add_argument("--sweep", required=True,
+                        help="axis spec, exactly as for easyc_cli --sweep")
+    parser.add_argument("--sweep-base",
+                        help="base scenario (default: the CLI's default)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="number of shard worker processes (default 4)")
+    parser.add_argument("--dir",
+                        help="working directory for partials/snapshots "
+                             "(default: fresh temp dir, removed afterwards)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep partials and snapshots in --dir")
+    parser.add_argument("--sweep-records", type=int,
+                        help="forwarded to every worker and the merge")
+    parser.add_argument("--sweep-batch", type=int,
+                        help="forwarded to every worker")
+    parser.add_argument("--sweep-stats", choices=["exact", "streaming", "auto"],
+                        help="forwarded to every worker")
+    parser.add_argument("--threads", type=int,
+                        help="worker threads per shard process")
+    parser.add_argument("--cells-out",
+                        help="forwarded to the merge step")
+    parser.add_argument("--cells-format",
+                        help="forwarded to the merge step (csv, bin, csv,bin)")
+    args = parser.parse_args()
+
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    # Resolve so a relative "./easyc_cli" survives str() (Path drops
+    # the "./", which would send Popen off to $PATH).
+    cli = Path(args.cli).resolve()
+    if not cli.exists():
+        parser.error(f"--cli binary not found: {cli}")
+
+    if args.dir:
+        workdir = Path(args.dir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        made_temp = False
+    else:
+        workdir = Path(tempfile.mkdtemp(prefix="easyc-shard-"))
+        made_temp = True
+
+    common = [str(cli), f"--sweep={args.sweep}"]
+    if args.sweep_base:
+        common.append(f"--sweep-base={args.sweep_base}")
+    if args.sweep_records is not None:
+        common.append(f"--sweep-records={args.sweep_records}")
+
+    try:
+        procs = []
+        partials = []
+        for i in range(1, args.workers + 1):
+            part = workdir / f"part{i}.ezpart"
+            snap = workdir / f"shard{i}.snap"
+            partials.append(part)
+            cmd = common + [
+                f"--sweep-shard={i}/{args.workers}",
+                f"--shard-out={part}",
+                f"--cache-file={snap}",
+            ]
+            if args.sweep_batch is not None:
+                cmd.append(f"--sweep-batch={args.sweep_batch}")
+            if args.sweep_stats:
+                cmd.append(f"--sweep-stats={args.sweep_stats}")
+            if args.threads is not None:
+                cmd.append(f"--threads={args.threads}")
+            procs.append((i, subprocess.Popen(cmd)))
+
+        failed = [i for i, p in procs if p.wait() != 0]
+        if failed:
+            shards = ", ".join(f"{i}/{args.workers}" for i in failed)
+            print(f"error: shard worker(s) {shards} failed", file=sys.stderr)
+            return 1
+
+        merge = common + ["--sweep-merge=" + ",".join(str(p) for p in partials)]
+        if args.cells_out:
+            merge.append(f"--cells-out={args.cells_out}")
+        if args.cells_format:
+            merge.append(f"--cells-format={args.cells_format}")
+        rc = subprocess.call(merge)
+        if rc != 0:
+            return rc
+        if args.keep or args.dir:
+            print(f"partials and snapshots kept in {workdir}", file=sys.stderr)
+        return 0
+    finally:
+        if made_temp and not args.keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
