@@ -363,15 +363,12 @@ ScenarioSet expand_sweep(const SweepSpec& spec) {
 
 namespace {
 
-// Aggregates are exported at full double precision (%.17g): the
-// acceptance contract diffs exported files across thread counts and
-// cache states byte for byte, and a lossless decimal form also lets
-// downstream plotting recover the exact computed values.
-std::string format_exact(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Aggregates are exported at full double precision via the pinned
+// util::format_exact (%.17g) helper: the acceptance contract diffs
+// exported files across thread counts and cache states byte for byte,
+// and a lossless decimal form also lets downstream plotting recover
+// the exact computed values.
+using util::format_exact;
 
 std::string format_fingerprint(uint64_t fp) {
   char buf[20];

@@ -427,7 +427,9 @@ void AssessmentServer::do_sweep_sharded(
   // merge never picks up a stale partial from an earlier request.
   std::string parent = options_.shard_dir;
   if (parent.empty()) {
-    const char* tmp = ::getenv("TMPDIR");
+    // getenv is mt-unsafe only against a concurrent setenv; this
+    // process never mutates its environment.
+    const char* tmp = ::getenv("TMPDIR");  // NOLINT(concurrency-mt-unsafe)
     parent = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
   }
   std::string tmpl = parent + "/easyc-shard-XXXXXX";

@@ -100,7 +100,9 @@ std::string bar_chart(const std::vector<Bar>& bars, int width,
     out += pad(b.label, label_w, false);
     out += " |";
     out += std::string(static_cast<size_t>(n), b.value < 0 ? '-' : '#');
-    out += " " + format_double(b.value, 2) + "\n";
+    out += ' ';
+    out += format_double(b.value, 2);
+    out += '\n';
   }
   return out;
 }

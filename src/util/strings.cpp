@@ -107,6 +107,12 @@ std::string join(const std::vector<std::string>& pieces,
   return out;
 }
 
+std::string format_exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 std::string format_double(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);

@@ -44,6 +44,13 @@ std::string join(const std::vector<std::string>& pieces, std::string_view sep);
 /// scientific notation, trailing zeros trimmed ("12.50" -> "12.5").
 std::string format_double(double v, int digits = 2);
 
+/// Format a double losslessly (%.17g): round-tripping the decimal form
+/// recovers the exact bits. This is THE pinned exact-precision helper —
+/// every byte-diffed export (cell CSVs, shard partial renders) routes
+/// float aggregates through it, and tools/easyc_lint.py rejects inline
+/// "%.17g" anywhere else so the byte contract has exactly one owner.
+std::string format_exact(double v);
+
 /// Format an integer with thousands separators: 1234567 -> "1,234,567".
 std::string with_commas(long long v);
 

@@ -47,7 +47,9 @@ void expect_identical(const ScenarioResults& a, const ScenarioResults& b) {
       EXPECT_DOUBLE_EQ(*a.operational[i], *b.operational[i]);
     }
     ASSERT_EQ(a.embodied[i].has_value(), b.embodied[i].has_value());
-    if (a.embodied[i]) EXPECT_DOUBLE_EQ(*a.embodied[i], *b.embodied[i]);
+    if (a.embodied[i]) {
+      EXPECT_DOUBLE_EQ(*a.embodied[i], *b.embodied[i]);
+    }
   }
 }
 

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Fixture test for tools/easyc_lint.py, beyond its --self-test.
+
+Copies tests/lint_fixtures/ (planted violations for every lint rule,
+one allowlisted, one stale allow) into a scratch tree, runs the linter
+over it, and asserts the report matches the fixtures' own headers
+EXACTLY — rule names, line numbers, allowed suppressions, and the
+stale-allow problem; no extra findings, none missing. Each fixture
+declares its expectations in its leading comment, so adding a fixture
+is one file, not two edits.
+
+Registered as the `lint_fixture_test` ctest (label: lint). Runs the
+linter exactly as CI does: a subprocess over a --root tree.
+"""
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "lint_fixtures"
+LINT = REPO / "tools" / "easyc_lint.py"
+
+EXPECT_RE = re.compile(r"//\s+([a-z][a-z-]+): (\d+)")
+PROBLEM_RE = re.compile(r"Expected allow problem at line (\d+)")
+
+FINDING_LINE_RE = re.compile(r"^([\w./-]+):(\d+): ([a-z-]+): ")
+ALLOWED_LINE_RE = re.compile(r"^  ([\w./-]+):(\d+): ([a-z-]+) — ")
+STALE_LINE_RE = re.compile(r"^([\w./-]+):(\d+): stale easyc-lint allow")
+
+
+def parse_expectations():
+    findings, allowed, problems = set(), set(), set()
+    for path in sorted(FIXTURES.rglob("*")):
+        if path.is_dir():
+            continue
+        rel = path.relative_to(FIXTURES).as_posix()
+        mode = None
+        for line in path.read_text().splitlines():
+            if not line.startswith("//"):
+                break  # expectations live in the leading comment only
+            if "Expected findings" in line:
+                mode = "find"
+            elif "Expected allowed" in line:
+                mode = "allow"
+            pm = PROBLEM_RE.search(line)
+            if pm:
+                problems.add((rel, int(pm.group(1))))
+                continue
+            em = EXPECT_RE.search(line)
+            if em and mode:
+                target = findings if mode == "find" else allowed
+                target.add((rel, int(em.group(2)), em.group(1)))
+    if not findings:
+        raise SystemExit("error: no expectations parsed from fixtures — "
+                         "did the fixture comment format change?")
+    return findings, allowed, problems
+
+
+def diff_sets(label, want, got):
+    ok = True
+    for item in sorted(want - got):
+        print(f"FAILED: expected {label} {item} was not reported",
+              file=sys.stderr)
+        ok = False
+    for item in sorted(got - want):
+        print(f"FAILED: unexpected {label} {item}", file=sys.stderr)
+        ok = False
+    return ok
+
+
+def main() -> int:
+    want_findings, want_allowed, want_problems = parse_expectations()
+
+    with tempfile.TemporaryDirectory(prefix="easyc_lint_fixture") as tmp:
+        root = Path(tmp)
+        shutil.copytree(FIXTURES, root, dirs_exist_ok=True)
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(root)],
+            capture_output=True, text=True)
+
+    if proc.returncode != 1:
+        print(f"FAILED: expected exit 1 on the planted tree, got "
+              f"{proc.returncode}\nstdout:\n{proc.stdout}\n"
+              f"stderr:\n{proc.stderr}", file=sys.stderr)
+        return 1
+
+    got_findings, got_problems = set(), set()
+    for line in proc.stderr.splitlines():
+        sm = STALE_LINE_RE.match(line)
+        if sm:
+            got_problems.add((sm.group(1), int(sm.group(2))))
+            continue
+        fm = FINDING_LINE_RE.match(line)
+        if fm:
+            got_findings.add((fm.group(1), int(fm.group(2)), fm.group(3)))
+    got_allowed = set()
+    for line in proc.stdout.splitlines():
+        am = ALLOWED_LINE_RE.match(line)
+        if am:
+            got_allowed.add((am.group(1), int(am.group(2)), am.group(3)))
+
+    ok = diff_sets("finding", want_findings, got_findings)
+    ok &= diff_sets("allowed suppression", want_allowed, got_allowed)
+    ok &= diff_sets("stale-allow problem", want_problems, got_problems)
+    if not ok:
+        print(f"\nlinter stderr was:\n{proc.stderr}", file=sys.stderr)
+        return 1
+
+    # A clean tree must pass: the fixtures prove rules fire, this
+    # proves they don't fire on nothing.
+    with tempfile.TemporaryDirectory(prefix="easyc_lint_clean") as tmp:
+        clean = Path(tmp) / "src" / "util"
+        clean.mkdir(parents=True)
+        (clean / "clean.cpp").write_text("int clean() { return 0; }\n")
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", tmp],
+            capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"FAILED: clean tree reported findings:\n{proc.stderr}",
+              file=sys.stderr)
+        return 1
+
+    print(f"lint_fixture_test ok: {len(got_findings)} findings, "
+          f"{len(got_allowed)} allowed, {len(got_problems)} stale allows "
+          "matched the fixture expectations exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

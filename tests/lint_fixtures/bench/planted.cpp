@@ -1,0 +1,5 @@
+// Fixture for lint_fixture_test.py — a diagnostic pragma with no
+// allow(pragma-suppression) rationale.
+// Expected findings (rule: line):
+//   pragma-suppression: 5
+#pragma GCC diagnostic ignored "-Wshadow"

@@ -1,0 +1,21 @@
+// Fixture for lint_fixture_test.py — planted payload-path violations.
+// Expected findings (rule: line) are asserted exactly by the test:
+//   unordered-iteration: 12   (member declared in the paired header)
+//   accumulate-reduction: 16
+//   pinned-float-format: 18   (setprecision in a payload path)
+//   pinned-float-format: 19   (inline %.17g)
+#include "analysis/planted.hpp"
+
+double PlantedReport::render() const {
+  double total = 0.0;
+  // line 12: range-for over an unordered member
+  for (const auto& kv : totals_by_site_) {
+    total += kv.second;
+  }
+  std::vector<double> xs;
+  total += std::accumulate(xs.begin(), xs.end(), 0.0);
+  std::ostringstream out;
+  out << std::setprecision(17) << total;
+  std::printf("%.17g", total);
+  return total;
+}

@@ -1,0 +1,13 @@
+// Fixture for lint_fixture_test.py — NOT compiled, NOT scanned in the
+// real tree (easyc_lint only scans tests/*.cpp, not subdirectories).
+// Declares the unordered member the paired .cpp iterates, so the test
+// proves declaration/iteration pairing works across the .hpp/.cpp
+// boundary.
+#pragma once
+#include <string>
+#include <unordered_map>
+
+struct PlantedReport {
+  std::unordered_map<std::string, double> totals_by_site_;
+  double render() const;
+};

@@ -1,0 +1,13 @@
+// Fixture for lint_fixture_test.py — raw byte access in a codec path
+// (the src/easyc/codec* prefix routes decoding through BinaryReader).
+// Expected findings (rule: line):
+//   unchecked-codec-read: 9
+//   unchecked-codec-read: 11
+#include <cstring>
+
+double planted_decode(const char* wire) {
+  const double* raw = reinterpret_cast<const double*>(wire);
+  double out;
+  std::memcpy(&out, raw, sizeof(out));
+  return out;
+}

@@ -1,0 +1,13 @@
+// Fixture for lint_fixture_test.py — planted nondeterminism sources.
+// Expected findings (rule: line):
+//   raw-random: 9
+//   raw-random: 10
+//   locale-dependent: 11
+#include <cstdlib>
+
+int planted_jitter() {
+  int seed = rand();
+  seed ^= static_cast<int>(std::chrono::system_clock::now().time_since_epoch().count());
+  std::setlocale(LC_ALL, "");
+  return seed;
+}

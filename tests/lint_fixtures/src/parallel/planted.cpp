@@ -1,0 +1,21 @@
+// Fixture for lint_fixture_test.py — bare mutex locking, one
+// violation allowlisted with a reason.
+// Expected findings (rule: line):
+//   bare-lock: 13
+//   bare-lock: 14
+// Expected allowed suppression:
+//   bare-lock: 20
+#include <mutex>
+
+std::mutex planted_mu;
+
+void planted_critical() {
+  planted_mu.lock();
+  planted_mu.unlock();
+}
+
+void planted_callback_handoff() {
+  // easyc-lint: allow(bare-lock) ownership passes to a C callback that
+  // releases on its own thread; no RAII scope can span the handoff.
+  planted_mu.lock();
+}

@@ -1,0 +1,7 @@
+// Fixture for lint_fixture_test.py — a stale allow comment (the
+// violation it once covered is gone); the linter must report it.
+// Expected allow problem at line 5.
+int planted_clean_function() {
+  // easyc-lint: allow(raw-random) left over from a removed rand() call
+  return 4;
+}

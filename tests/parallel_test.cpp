@@ -294,7 +294,9 @@ TEST(ShardedCache, SnapshotWhileWorkersMutateIsRaceFreeAndCoherent) {
     restored.restore(bytes, 5, decode_key, decode_value);
     for (size_t key = 0; key < 509; ++key) {
       size_t v = 0;
-      if (restored.lookup(key, v)) EXPECT_EQ(v, key * 7 + 1);
+      if (restored.lookup(key, v)) {
+        EXPECT_EQ(v, key * 7 + 1);
+      }
     }
   }
   // The final snapshot (after all workers finished) carries everything.

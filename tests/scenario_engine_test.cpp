@@ -160,7 +160,9 @@ TEST(ScenarioEngine, ParallelAndSerialResultsAreBitIdentical) {
         EXPECT_DOUBLE_EQ(*sa.operational[i], *sb.operational[i]);
       }
       EXPECT_EQ(sa.embodied[i].has_value(), sb.embodied[i].has_value());
-      if (sa.embodied[i]) EXPECT_DOUBLE_EQ(*sa.embodied[i], *sb.embodied[i]);
+      if (sa.embodied[i]) {
+        EXPECT_DOUBLE_EQ(*sa.embodied[i], *sb.embodied[i]);
+      }
     }
   }
   EXPECT_DOUBLE_EQ(a.op_total_full_mt, b.op_total_full_mt);

@@ -90,7 +90,8 @@ TEST(ParseRequest, RejectionMatrix) {
       "sweep axes=aci=1,2 refine=0@1",
       "sweep axes=aci=1,2 refine=1@0",
       "ping id=" + std::string(service::kMaxRequestIdBytes + 1, 'x'),
-      "ping id=\x01bad",                 // non-printable id
+      "ping id=\x01"
+      "bad",                             // non-printable id
   };
   for (const std::string& line : bad) {
     EXPECT_THROW(service::parse_request(line), easyc::util::Error)

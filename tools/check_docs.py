@@ -2,14 +2,17 @@
 """Doc-drift linter: every user-facing surface must be documented.
 
 Checks that
-  * every flag `easyc_cli --help` and `easyc_serve --help` advertise, and
+  * every flag `easyc_cli --help` and `easyc_serve --help` advertise,
+  * every flag `tools/easyc_sweep_shard.py --help` advertises,
+  * the `easyc_cells_decode` usage surface (tool name + any flags), and
   * every protocol verb declared in src/service/protocol.hpp
 appears somewhere in README.md or docs/ARCHITECTURE.md. A flag you can
 type but cannot read about is drift; this runs in CI so drift fails the
 build instead of accumulating.
 
 Usage:
-    tools/check_docs.py --cli build/easyc_cli --serve build/easyc_serve
+    tools/check_docs.py --cli build/easyc_cli --serve build/easyc_serve \
+        --decode build/easyc_cells_decode
     tools/check_docs.py --self-test --cli ... --serve ...
 
 --self-test plants a fake undocumented flag into the scanned flag set
@@ -40,6 +43,28 @@ def help_flags(binary: str) -> set:
     return flags
 
 
+def script_flags(script: str) -> set:
+    """Flags an argparse-based Python tool advertises. argparse wraps
+    long usage lines, so flags are read from the options section (one
+    `  --flag ...` line each), same shape FLAG_RE already parses."""
+    out = subprocess.run([sys.executable, script, "--help"],
+                         capture_output=True, text=True, check=True).stdout
+    flags = set(FLAG_RE.findall(out))
+    if not flags:
+        raise SystemExit(f"error: no flags parsed from `{script} --help` — "
+                         "did the argparse usage format change?")
+    return flags
+
+
+def decode_surface(binary: str) -> set:
+    """The easyc_cells_decode surface: the tool is positional-only
+    (usage on stderr, no long options today), so the documented surface
+    is its name plus whatever `--flags` its usage ever grows."""
+    proc = subprocess.run([binary, "--help"], capture_output=True, text=True,
+                          check=True)
+    return {Path(binary).name} | set(FLAG_RE.findall(proc.stdout + proc.stderr))
+
+
 def protocol_verbs() -> set:
     text = PROTOCOL_HPP.read_text()
     m = VERB_RE.search(text)
@@ -62,6 +87,12 @@ def main() -> int:
                         help="path to the easyc_cli binary")
     parser.add_argument("--serve", default=str(REPO / "build" / "easyc_serve"),
                         help="path to the easyc_serve binary")
+    parser.add_argument("--shard",
+                        default=str(REPO / "tools" / "easyc_sweep_shard.py"),
+                        help="path to the easyc_sweep_shard.py orchestrator")
+    parser.add_argument("--decode",
+                        default=str(REPO / "build" / "easyc_cells_decode"),
+                        help="path to the easyc_cells_decode binary")
     parser.add_argument("--self-test", action="store_true",
                         help="plant a fake undocumented flag; succeed only "
                              "if the checker flags it")
@@ -79,6 +110,10 @@ def main() -> int:
         surfaces[flag] = "easyc_cli --help"
     for flag in help_flags(args.serve):
         surfaces.setdefault(flag, "easyc_serve --help")
+    for flag in script_flags(args.shard):
+        surfaces.setdefault(flag, "easyc_sweep_shard.py --help")
+    for name in decode_surface(args.decode):
+        surfaces.setdefault(name, "easyc_cells_decode usage")
     for verb in protocol_verbs():
         surfaces[f"verb `{verb}`"] = "service/protocol.hpp"
 
